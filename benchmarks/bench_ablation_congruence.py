@@ -1,0 +1,132 @@
+"""E9 — ablation: the Section 6 datatype congruences.
+
+"For bounded type programs, ≈1 generates O(n) congruence classes, and
+this leads to a linear-time analysis algorithm. In contrast ... ≈2
+generates up to O(n^2) congruence classes ... We are currently
+investigating the tradeoffs between these two approaches. In
+particular, how much more accurate is the second approach?"
+
+We answer that question on list-heavy programs: for each congruence,
+the graph size and the *precision* (total size of the callee sets over
+all call sites — smaller is more precise), with the standard algorithm
+as the exact reference.
+"""
+
+import pytest
+
+from repro.bench import Table
+from repro.cfa.standard import analyze_standard
+from repro.core.datatypes import make_congruence
+from repro.core.lc import build_subtransitive_graph
+from repro.core.queries import SubtransitiveCFA
+from repro.lang import builders as b
+from repro.lang.ast import Program
+from repro.types.infer import infer_types
+from repro.types.types import INT, TData, TFun
+
+
+def make_function_list_program(groups: int) -> Program:
+    """``groups`` separate function-lists, each deconstructed — ≈1
+    conflates across groups, ≈2 only within a list."""
+    fnlist = TData("fnlist")
+    decl = b.datatype(
+        "fnlist", FNil=(), FCons=(TFun(INT, INT), fnlist)
+    )
+    bindings = []
+    uses = []
+    for i in range(1, groups + 1):
+        bindings.append(
+            (
+                f"w{i}",
+                b.lam("x", b.prim("add", b.var("x"), b.lit(i)),
+                      label=f"w{i}"),
+            )
+        )
+        bindings.append(
+            (f"l{i}", b.con("FCons", b.var(f"w{i}"), b.con("FNil")))
+        )
+        uses.append(
+            (
+                f"r{i}",
+                b.case(
+                    b.var(f"l{i}"),
+                    ("FNil", (), b.lit(0)),
+                    (
+                        "FCons",
+                        (f"h{i}", f"t{i}"),
+                        b.app(b.var(f"h{i}"), b.lit(1)),
+                    ),
+                ),
+            )
+        )
+    return b.program(b.lets(bindings + uses, b.lit(0)), [decl])
+
+
+def precision_score(program, cfa) -> int:
+    """Total callee-set size across call sites (lower = tighter)."""
+    return sum(len(cfa.may_call(s)) for s in program.applications)
+
+
+def run_report(groups=12):
+    program = make_function_list_program(groups)
+    inference = infer_types(program)
+    std = analyze_standard(program)
+    exact_score = precision_score(program, std)
+
+    table = Table(
+        ["congruence", "graph nodes", "precision score", "vs exact"],
+        title=f"Ablation — congruences on {groups} function lists "
+        f"(exact score {exact_score})",
+    )
+    rows = []
+    for name in ["base-and-type", "type"]:
+        sub = build_subtransitive_graph(
+            program,
+            congruence=make_congruence(name),
+            inference=inference,
+        )
+        cfa = SubtransitiveCFA(sub)
+        score = precision_score(program, cfa)
+        table.add_row(
+            name,
+            sub.stats.total_nodes,
+            score,
+            f"+{score - exact_score}",
+        )
+        rows.append(
+            {"name": name, "nodes": sub.stats.total_nodes, "score": score}
+        )
+    return table, {"exact": exact_score, "rows": rows}
+
+
+@pytest.mark.parametrize("name", ["type", "base-and-type"])
+def test_congruence_analysis_time(benchmark, name):
+    program = make_function_list_program(12)
+    inference = infer_types(program)
+
+    def run():
+        return build_subtransitive_graph(
+            program,
+            congruence=make_congruence(name),
+            inference=inference,
+        )
+
+    benchmark(run)
+
+
+def test_congruence_tradeoff():
+    _, data = run_report(groups=12)
+    by_name = {r["name"]: r for r in data["rows"]}
+    c1 = by_name["type"]
+    c2 = by_name["base-and-type"]
+    # ≈2 is strictly more accurate than ≈1 on this workload...
+    assert c2["score"] < c1["score"]
+    # ...and here it matches the exact reference.
+    assert c2["score"] == data["exact"]
+    # ≈1 buys its coarseness with fewer nodes.
+    assert c1["nodes"] <= c2["nodes"]
+
+
+if __name__ == "__main__":
+    table, _ = run_report()
+    print(table.render())

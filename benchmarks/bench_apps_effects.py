@@ -1,0 +1,111 @@
+"""E4 — Section 8: linear-time effects analysis vs the quadratic consumer.
+
+The naive CFA consumer materialises the per-site callee lists first —
+"at least quadratic in the program size, because it uses a
+representation of control-flow information that is quadratic". The
+linear version colours the subtransitive graph directly.
+
+Workload: the cubic family with a side-effecting primitive injected
+into one of the identity functions, so effects genuinely propagate
+through the join structure. The baseline consumes the *subtransitive*
+CFA (same precision), isolating the consumer cost. Both must agree
+exactly — asserted below — so the benchmark compares equal answers.
+"""
+
+import pytest
+
+from repro.apps.effects import effects_analysis, effects_analysis_baseline
+from repro.bench import Table, fit_exponent, time_call
+from repro.core.lc import build_subtransitive_graph
+from repro.core.queries import SubtransitiveCFA
+from repro.lang import builders as b
+from repro.lang.ast import Program
+from repro.workloads.cubic import make_cubic_source
+from repro.lang.parser import parse
+
+SIZES = [8, 16, 32, 64]
+
+
+def make_effectful_cubic(n: int) -> Program:
+    """The Table 1 family with an effectful fs, so redness flows
+    through every x_i and y_i binding."""
+    source = make_cubic_source(n).replace(
+        "let fs = fn[fs] x => x in",
+        "let fs = fn[fs] x => let u = print 0 in x in",
+        1,
+    )
+    return parse(source)
+
+
+def run_report(sizes=SIZES):
+    table = Table(
+        ["n", "nodes", "linear t", "baseline t", "red exprs", "equal"],
+        title="Section 8 — effects analysis: linear vs quadratic consumer",
+    )
+    rows = []
+    for n in sizes:
+        program = make_effectful_cubic(n)
+        sub = build_subtransitive_graph(program)
+        cfa = SubtransitiveCFA(sub)
+
+        linear_box = {}
+
+        def run_linear():
+            linear_box["r"] = effects_analysis(program, sub=sub)
+
+        linear_time = time_call(run_linear, repeat=3)
+
+        baseline_box = {}
+
+        def run_baseline():
+            baseline_box["r"] = effects_analysis_baseline(program, cfa)
+
+        baseline_time = time_call(run_baseline, repeat=3)
+
+        equal = (
+            linear_box["r"].red_nids == baseline_box["r"].red_nids
+        )
+        table.add_row(
+            n,
+            program.size,
+            linear_time,
+            baseline_time,
+            len(linear_box["r"].red_nids),
+            equal,
+        )
+        rows.append(
+            {
+                "size": program.size,
+                "linear": linear_time,
+                "baseline": baseline_time,
+                "equal": equal,
+            }
+        )
+    return table, rows
+
+
+@pytest.mark.parametrize("n", [16, 32])
+def test_linear_effects(benchmark, n):
+    program = make_effectful_cubic(n)
+    sub = build_subtransitive_graph(program)
+    benchmark(lambda: effects_analysis(program, sub=sub))
+
+
+@pytest.mark.parametrize("n", [16, 32])
+def test_baseline_effects(benchmark, n):
+    program = make_effectful_cubic(n)
+    cfa = SubtransitiveCFA(build_subtransitive_graph(program))
+    benchmark(lambda: effects_analysis_baseline(program, cfa))
+
+
+def test_effects_shape():
+    _, rows = run_report(sizes=[8, 16, 32])
+    assert all(r["equal"] for r in rows)
+    sizes = [r["size"] for r in rows]
+    # The linear consumer stays ~linear.
+    assert fit_exponent(sizes, [r["linear"] for r in rows]) < 1.7
+
+
+if __name__ == "__main__":
+    table, _ = run_report()
+    print(table.render())

@@ -1,0 +1,98 @@
+"""E6 — the paper's constant-factor claims (Sections 4 and 10).
+
+Three empirical claims about "the size of the constant":
+
+1. "the constant is quite small, typically around 2 or 3" — the
+   average type-tree size per node (``k_avg``), which bounds the
+   per-node work;
+2. "The number of nodes in the build phase of the analysis is
+   essentially the same as the number of syntax nodes in the program";
+3. "the number of nodes added in the close phase is typically no more
+   than the number of nodes in the build phase".
+
+Measured across the whole workload zoo.
+"""
+
+import pytest
+
+from repro.bench import Table
+from repro.core.lc import build_subtransitive_graph
+from repro.types.measure import bounded_type_report
+from repro.workloads.cubic import make_cubic_program
+from repro.workloads.generators import (
+    make_joinpoint_program,
+    random_typed_program,
+)
+from repro.workloads.synthetic import make_lexgen_like, make_life_like
+
+PROGRAMS = {
+    "cubic-40": lambda: make_cubic_program(40),
+    "joinpoint-40": lambda: make_joinpoint_program(40),
+    "life": make_life_like,
+    "lexgen": make_lexgen_like,
+    "random-0": lambda: random_typed_program(0, fuel=120),
+    "random-1": lambda: random_typed_program(1, fuel=120),
+}
+
+
+def run_report():
+    table = Table(
+        [
+            "prog",
+            "syntax n",
+            "k_avg",
+            "k_max",
+            "build/syntax",
+            "close/build",
+        ],
+        title="Constant factors: type sizes and node ratios",
+    )
+    rows = []
+    for name, make in PROGRAMS.items():
+        program = make()
+        report = bounded_type_report(program)
+        sub = build_subtransitive_graph(program)
+        stats = sub.stats
+        build_ratio = stats.build_nodes / program.size
+        close_ratio = stats.close_nodes / max(stats.build_nodes, 1)
+        table.add_row(
+            name,
+            program.size,
+            round(report.avg_size, 2),
+            report.max_size,
+            round(build_ratio, 2),
+            round(close_ratio, 2),
+        )
+        rows.append(
+            {
+                "name": name,
+                "k_avg": report.avg_size,
+                "build_ratio": build_ratio,
+                "close_ratio": close_ratio,
+            }
+        )
+    return table, rows
+
+
+@pytest.mark.parametrize("name", ["life", "lexgen"])
+def test_bounded_type_report_time(benchmark, name):
+    program = PROGRAMS[name]()
+    benchmark(lambda: bounded_type_report(program))
+
+
+def test_constant_claims():
+    _, rows = run_report()
+    for row in rows:
+        # Claim 1: the average type size is small.
+        assert row["k_avg"] < 5.0, row
+        # Claim 2: build nodes within a small multiple of syntax nodes.
+        assert row["build_ratio"] < 3.0, row
+    # Claim 3 holds for the realistic (non-adversarial) programs.
+    realistic = [r for r in rows if r["name"] in ("life", "lexgen")]
+    for row in realistic:
+        assert row["close_ratio"] <= 1.5, row
+
+
+if __name__ == "__main__":
+    table, _ = run_report()
+    print(table.render())

@@ -1,0 +1,80 @@
+"""E7 — the introduction's join-point behaviour.
+
+"the information collected for x can grow linearly — in effect, x acts
+like a join point ... Worse, if x is returned then all of the
+information joined by x can flow back to the call sites of the
+function f."
+
+We measure, as the number of call sites grows:
+
+* |L(x)| under the standard algorithm — linear growth (the join);
+* total label-set size over all sites in the *returning* variant —
+  quadratic output;
+* the subtransitive graph size — linear regardless, because the join
+  is represented once as a node with many in-edges, not copied into
+  every downstream set.
+"""
+
+import pytest
+
+from repro.bench import Table, fit_exponent
+from repro.cfa.standard import analyze_standard
+from repro.core.lc import build_subtransitive_graph
+from repro.workloads.generators import make_joinpoint_program
+
+SIZES = [8, 16, 32, 64]
+
+
+def run_report(sizes=SIZES):
+    table = Table(
+        ["sites", "|L(x)|", "sum |L(site)| (returning)", "LC nodes"],
+        title="Intro example — join-point growth",
+    )
+    rows = []
+    for n in sizes:
+        returning = make_joinpoint_program(n, returning=True)
+        cfa = analyze_standard(returning)
+        f = returning.abstraction("f")
+        joined = len(cfa.labels_of_var(f.param))
+        total_out = sum(
+            len(cfa.labels_of(site)) for site in returning.applications
+        )
+        sub = build_subtransitive_graph(returning)
+        table.add_row(n, joined, total_out, sub.stats.total_nodes)
+        rows.append(
+            {
+                "n": n,
+                "joined": joined,
+                "total_out": total_out,
+                "lc_nodes": sub.stats.total_nodes,
+            }
+        )
+    return table, rows
+
+
+@pytest.mark.parametrize("n", [32, 64])
+def test_standard_on_joinpoint(benchmark, n):
+    program = make_joinpoint_program(n, returning=True)
+    benchmark(lambda: analyze_standard(program))
+
+
+@pytest.mark.parametrize("n", [32, 64])
+def test_subtransitive_on_joinpoint(benchmark, n):
+    program = make_joinpoint_program(n, returning=True)
+    benchmark(lambda: build_subtransitive_graph(program))
+
+
+def test_joinpoint_shape():
+    _, rows = run_report(sizes=[8, 16, 32])
+    ns = [r["n"] for r in rows]
+    # The join grows linearly with the number of call sites...
+    assert rows[-1]["joined"] == 32
+    # ...the flowed-back output grows quadratically...
+    assert fit_exponent(ns, [r["total_out"] for r in rows]) > 1.7
+    # ...but the subtransitive graph stays linear.
+    assert fit_exponent(ns, [r["lc_nodes"] for r in rows]) < 1.2
+
+
+if __name__ == "__main__":
+    table, _ = run_report()
+    print(table.render())

@@ -1,0 +1,5 @@
+"""Benchmark-session configuration."""
+
+from repro._util import ensure_recursion_limit
+
+ensure_recursion_limit()

@@ -1,0 +1,134 @@
+"""Regenerate every paper table/figure reproduction in one run.
+
+Usage::
+
+    python benchmarks/run_all.py [--quick]
+
+Prints the reproduction of each experiment indexed in DESIGN.md (E1 -
+E12), in order. ``--quick`` shrinks the sweeps for a fast smoke run.
+EXPERIMENTS.md records a reference run of this script.
+"""
+
+import sys
+
+from repro._util import ensure_recursion_limit
+
+import bench_ablation_congruence
+import bench_ablation_demand
+import bench_apps_effects
+import bench_apps_klimited
+import bench_complexity_table
+import bench_constant_factor
+import bench_equality_cfa
+import bench_frontend
+import bench_hybrid
+import bench_joinpoint
+import bench_polyvariant
+import bench_table1_cubic_family
+import bench_table2_ml_programs
+
+from repro.bench import fit_exponent
+
+
+def main(quick: bool = False) -> None:
+    ensure_recursion_limit()
+
+    print("=" * 72)
+    print("E1 — Table 1: cubic family")
+    print("=" * 72)
+    sizes = [10, 20, 40, 80] if quick else [10, 20, 40, 80, 160]
+    table, rows = bench_table1_cubic_family.run_report(sizes=sizes)
+    print(table.render())
+    ns = [r["size"] for r in rows]
+    print(
+        "exponents: "
+        f"std-time {fit_exponent(ns, [r['std_time'] for r in rows]):.2f} "
+        f"std-work {fit_exponent(ns, [r['std_work'] for r in rows]):.2f} "
+        f"LC-time {fit_exponent(ns, [r['lc_time'] for r in rows]):.2f} "
+        f"LC-nodes {fit_exponent(ns, [r['lc_nodes'] for r in rows]):.2f} "
+        f"query {fit_exponent(ns, [r['query_time'] for r in rows]):.2f}"
+    )
+
+    print("\n" + "=" * 72)
+    print("E2 — Table 2: ML-like programs")
+    print("=" * 72)
+    table, _ = bench_table2_ml_programs.run_report()
+    print(table.render())
+
+    print("\n" + "=" * 72)
+    print("E3 — Section 2 complexity table")
+    print("=" * 72)
+    table, _ = bench_complexity_table.run_report(
+        sizes=[8, 16, 32] if quick else [8, 16, 32, 64]
+    )
+    print(table.render())
+
+    print("\n" + "=" * 72)
+    print("E4 — Section 8: effects analysis")
+    print("=" * 72)
+    table, _ = bench_apps_effects.run_report(
+        sizes=[8, 16, 32] if quick else [8, 16, 32, 64]
+    )
+    print(table.render())
+
+    print("\n" + "=" * 72)
+    print("E5 — Section 9: k-limited CFA + called-once")
+    print("=" * 72)
+    table, _ = bench_apps_klimited.run_report(
+        sizes=[8, 16, 32] if quick else [8, 16, 32, 64]
+    )
+    print(table.render())
+
+    print("\n" + "=" * 72)
+    print("E6 — constant factors")
+    print("=" * 72)
+    table, _ = bench_constant_factor.run_report()
+    print(table.render())
+
+    print("\n" + "=" * 72)
+    print("E7 — intro join-point example")
+    print("=" * 72)
+    table, _ = bench_joinpoint.run_report(
+        sizes=[8, 16, 32] if quick else [8, 16, 32, 64]
+    )
+    print(table.render())
+
+    print("\n" + "=" * 72)
+    print("E8 — ablation: demand-driven vs eager")
+    print("=" * 72)
+    table, _ = bench_ablation_demand.run_report()
+    print(table.render())
+
+    print("\n" + "=" * 72)
+    print("E9 — ablation: datatype congruences")
+    print("=" * 72)
+    table, _ = bench_ablation_congruence.run_report()
+    print(table.render())
+
+    print("\n" + "=" * 72)
+    print("E10 — Section 7: polyvariance")
+    print("=" * 72)
+    table, _ = bench_polyvariant.run_report()
+    print(table.render())
+
+    print("\n" + "=" * 72)
+    print("E11 — equality-based CFA comparison")
+    print("=" * 72)
+    table, _ = bench_equality_cfa.run_report()
+    print(table.render())
+
+    print("\n" + "=" * 72)
+    print("E12 — hybrid driver")
+    print("=" * 72)
+    table, _ = bench_hybrid.run_report()
+    print(table.render())
+
+    print("\n" + "=" * 72)
+    print("E13 (extra) — front-end decomposition (traversal cost)")
+    print("=" * 72)
+    table, _ = bench_frontend.run_report()
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

@@ -1,0 +1,85 @@
+"""Effects audit: the paper's Section 8 application on a list pipeline.
+
+Run with::
+
+    python examples/effects_audit.py
+
+Finds the side-effecting expressions of a program in linear time by
+colouring the subtransitive graph — and checks the result against the
+quadratic baseline that materialises the call graph first. Pure
+applications are exactly the ones a compiler may reorder, hoist or
+delete.
+"""
+
+from repro.apps import effects_analysis, effects_analysis_baseline
+from repro.core import analyze_subtransitive
+from repro.lang import parse, pretty
+
+SOURCE = """
+datatype intlist = Nil | Cons of int * intlist;
+letrec map = fn[map] f => fn[map2] xs =>
+  case xs of
+    Nil => Nil
+  | Cons(h, t) => Cons(f h, map f t)
+  end
+in
+letrec sum = fn[sum] xs =>
+  case xs of Nil => 0 | Cons(h, t) => h + sum t end
+in
+let trace = fn[trace] x => let u = print x in x in
+let pure_inc = fn[pure_inc] x => x + 1 in
+let data = Cons(1, Cons(2, Cons(3, Nil))) in
+let clean = map pure_inc data in
+let noisy = map trace data in
+sum clean + sum noisy
+"""
+
+
+def main() -> None:
+    program = parse(SOURCE)
+    effects = effects_analysis(program)
+
+    applications = program.applications
+    red = [s for s in applications if effects.is_effectful(s)]
+    pure = effects.pure_applications()
+
+    print(f"{len(applications)} applications: "
+          f"{len(red)} possibly effectful, {len(pure)} provably pure\n")
+
+    print("effectful call sites (cannot be reordered):")
+    for site in red:
+        print(f"  {pretty(site, show_labels=False)}")
+
+    print("\npure call sites (safe to hoist / common-subexpression):")
+    for site in pure:
+        print(f"  {pretty(site, show_labels=False)}")
+
+    # Cross-check against the quadratic CFA-consuming baseline.
+    baseline = effects_analysis_baseline(
+        program, analyze_subtransitive(program)
+    )
+    print(
+        "\nlinear colouring == quadratic baseline: "
+        f"{effects.red_nids == baseline.red_nids}"
+    )
+
+    # A monovariance lesson: `map pure_inc data` is reported as
+    # effectful even though this call is dynamically pure, because the
+    # *same* `map` is elsewhere applied to `trace` — the analysis
+    # folds all activations of `map` together (paper Section 1,
+    # "monovariant treatment"), so `f h` inside `map` is tainted at
+    # every call. Separating the pipelines per callee (or the
+    # polyvariant analysis of Section 7) recovers the distinction.
+    clean_site = next(
+        s
+        for s in applications
+        if pretty(s, show_labels=False) == "map pure_inc data"
+    )
+    print(
+        "`map pure_inc data` conservatively judged effectful "
+        f"(monovariant conflation): {effects.is_effectful(clean_site)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

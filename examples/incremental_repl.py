@@ -1,0 +1,118 @@
+"""An incremental analysis REPL (paper: "simple, incremental,
+demand-driven").
+
+Run interactively::
+
+    python examples/incremental_repl.py
+
+or pipe a script::
+
+    printf 'def inc = fn x => x + 1\\nwho inc\\nrun inc 41\\n' \\
+        | python examples/incremental_repl.py
+
+Commands::
+
+    def NAME = EXPR     define (or redefine) a session binding
+    who NAME            label set of a defined name
+    call EXPR           which functions may EXPR evaluate to?
+    run EXPR            evaluate EXPR under all definitions
+    stats               current graph size
+    quit
+
+Every definition *extends* the one subtransitive graph — the session
+never re-analyses old code, which is the incrementality the Section 3
+edge-addition/closure factorisation buys.
+"""
+
+import sys
+
+from repro.errors import ReproError
+from repro.lang.eval import render_value
+from repro.session import AnalysisSession
+from repro.workloads.generators import intlist_decl
+
+PROMPT = "cfa> "
+
+DEMO_SCRIPT = """\
+def inc = fn[inc] x => x + 1
+def dbl = fn[dbl] y => y * 2
+def twice = fn[twice] f => fn[tw] x => f (f x)
+who twice
+call twice inc
+run twice inc 5
+def pipeline = twice dbl
+call pipeline
+stats
+"""
+
+
+def handle(session: AnalysisSession, line: str) -> bool:
+    """Execute one command; returns False to quit."""
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return True
+    if line in ("quit", "exit"):
+        return False
+    try:
+        if line.startswith("def "):
+            rest = line[4:]
+            name, _, body = rest.partition("=")
+            name = name.strip()
+            if not name or not body.strip():
+                print("usage: def NAME = EXPR")
+                return True
+            session.define(name, body.strip())
+            print(
+                f"defined {name}  "
+                f"(graph: {session.graph_nodes} nodes, "
+                f"{session.graph_edges} edges)"
+            )
+        elif line.startswith("who "):
+            name = line[4:].strip()
+            labels = sorted(session.labels_of(name))
+            print(f"{name} : {labels or '-'}")
+        elif line.startswith("call "):
+            labels = sorted(session.query(line[5:]))
+            print(f"may be: {labels or '-'}")
+        elif line.startswith("run "):
+            result = session.evaluate(line[4:])
+            for out in result.output:
+                print(out)
+            print(f"=> {render_value(result.value)}")
+        elif line == "stats":
+            print(
+                f"{len(session.definitions)} definitions, "
+                f"{session.graph_nodes} graph nodes, "
+                f"{session.graph_edges} edges"
+            )
+        else:
+            print(f"unknown command: {line.split()[0]!r}")
+    except ReproError as error:
+        print(f"error: {error}")
+    return True
+
+
+def main() -> None:
+    session = AnalysisSession(datatypes=[intlist_decl()])
+    interactive = sys.stdin.isatty()
+    if interactive:
+        print(__doc__.split("Commands::")[0].strip())
+        print("type 'quit' to leave; demo script:\n" + DEMO_SCRIPT)
+    stream = sys.stdin
+    while True:
+        if interactive:
+            try:
+                line = input(PROMPT)
+            except EOFError:
+                break
+        else:
+            line = stream.readline()
+            if not line:
+                break
+            print(f"{PROMPT}{line.rstrip()}")
+        if not handle(session, line):
+            break
+
+
+if __name__ == "__main__":
+    main()

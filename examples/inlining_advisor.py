@@ -1,0 +1,79 @@
+"""Inlining advisor: k-limited CFA + called-once analysis.
+
+Run with::
+
+    python examples/inlining_advisor.py
+
+Section 9 of the paper motivates k-limited CFA with inlining and
+specialisation: a compiler only cares about call sites with *few*
+possible callees. This example builds the advisor a compiler would
+actually use:
+
+* call sites with exactly one callee (k-limited, k=1) are direct-call
+  candidates;
+* functions called from exactly one site (called-once) can be inlined
+  with zero code growth;
+* everything else is reported as "many" — without ever materialising
+  the quadratic all-calls table.
+"""
+
+from repro.apps import MANY, called_once, k_limited_cfa
+from repro.core import build_subtransitive_graph
+from repro.lang import parse, pretty
+
+SOURCE = """
+let handle_small = fn[handle_small] n => n + 1 in
+let handle_big = fn[handle_big] n => n * 2 in
+let log = fn[log] n => print n in
+let dispatch = fn[dispatch] n =>
+  if n < 100 then handle_small n else handle_big n in
+let audit = fn[audit] n =>
+  let u = log n in dispatch n in
+let once_helper = fn[once_helper] n => n - 1 in
+audit (once_helper 41)
+"""
+
+
+def main() -> None:
+    program = parse(SOURCE)
+    # One subtransitive graph serves every consuming analysis — the
+    # build is shared, each consumer is a linear pass.
+    sub = build_subtransitive_graph(program)
+
+    klim = k_limited_cfa(program, k=2, sub=sub)
+    once = called_once(program, sub=sub)
+
+    print("=== call-site report (k = 2) ===")
+    for site in program.applications:
+        callees = klim.may_call(site)
+        rendered = pretty(site, show_labels=False)
+        if callees is MANY:
+            verdict = "many candidates — leave an indirect call"
+        elif len(callees) == 1:
+            verdict = f"direct call to '{next(iter(callees))}'"
+        else:
+            verdict = f"guarded dispatch over {sorted(callees)}"
+        print(f"  {rendered:32s} {verdict}")
+
+    print("\n=== function report ===")
+    for lam in program.abstractions:
+        kind = once.classify(lam.label)
+        if kind == "once":
+            site = once.unique_site(lam.label)
+            print(
+                f"  {lam.label:14s} called once, at "
+                f"`{pretty(site, show_labels=False)}` "
+                "-> inline for free"
+            )
+        elif kind == "never":
+            print(f"  {lam.label:14s} never called -> dead code")
+        else:
+            print(f"  {lam.label:14s} multiple call sites")
+
+    mono = klim.monomorphic_sites()
+    print(f"\n{len(mono)} of {len(program.applications)} call sites "
+          "are monomorphic (single callee).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Polyvariance demo (paper Section 7).
+
+Run with::
+
+    python examples/polyvariance_demo.py
+
+Shows the precision monovariant CFA gives up at polymorphic functions,
+and how the polyvariant analysis — graph-fragment instantiation per
+use, equivalent to analysing the let-expansion without building it —
+recovers it. Also prints the Section 7 fragment-summarisation example.
+"""
+
+import repro
+from repro.core import analyze_polyvariant, summarize_fragment
+from repro.lang import parse, pretty
+from repro.lang.letexpand import let_expand
+
+SOURCE = """
+let id = fn[id] x => x in
+let first = id (fn[first] p => p + 1) in
+let second = id (fn[second] q => q * 2) in
+(first 1, second 2)
+"""
+
+
+def main() -> None:
+    program = parse(SOURCE)
+    mono = repro.analyze(program)
+    poly = analyze_polyvariant(program)
+
+    print("call sites, monovariant vs polyvariant:")
+    for site in program.applications:
+        rendered = pretty(site, show_labels=False)
+        print(
+            f"  {rendered:28s} mono={sorted(mono.may_call(site))} "
+            f"poly={sorted(poly.may_call(site))}"
+        )
+
+    # The polyvariant answer equals analysing the explicit
+    # let-expansion (the Section 7 equivalence), without copying the
+    # program:
+    expanded, origin = let_expand(program)
+    oracle = repro.analyze(expanded, algorithm="standard")
+    projected = frozenset(
+        origin.get(label, label)
+        for label in oracle.labels_of(expanded.root)
+    )
+    print(
+        "\nlet-expansion oracle agrees on the program result: "
+        f"{projected == poly.labels_of(program.root)}"
+    )
+    print(
+        f"expanded program has {expanded.size} nodes vs "
+        f"{program.size} original — the polyvariant analysis never "
+        "built it"
+    )
+
+    # Section 7's summarisation example: \z.((\y.z) nil) compresses
+    # to ran(e) -> dom(e).
+    fragment_src = "(fn[e] z => (fn[y] y1 => z) 0) (fn[arg] w => w)"
+    fragment_prog = parse(fragment_src)
+    sub = repro.analyze(fragment_prog)
+    summary = summarize_fragment(sub.sub, fragment_prog.abstraction("e"))
+    print(
+        f"\nfragment summary of `fn z => ((fn y => z) 0)`: "
+        f"{len(summary.critical)} critical nodes, "
+        f"{len(summary.edges)} compressed edge(s), "
+        f"{summary.removed_nodes} internal nodes removed"
+    )
+    for src_node, dst_node in summary.edges:
+        print(f"  {src_node.describe()} -> {dst_node.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Scaling demo: watch the cubic/linear separation live.
+
+Run with::
+
+    python examples/scaling_demo.py [max_n]
+
+Sweeps the paper's Section 10 benchmark family and prints, per size,
+the standard algorithm's time and work units next to the subtransitive
+build+close time and node counts — a miniature of the paper's Table 1
+you can grow until the cubic baseline hurts (default max_n=160).
+"""
+
+import sys
+
+import repro
+from repro.bench import Table, fit_exponent, time_call
+from repro.workloads import make_cubic_program
+
+
+def main(max_n: int = 160) -> None:
+    table = Table(
+        [
+            "n",
+            "syntax nodes",
+            "std time (s)",
+            "std work",
+            "LC time (s)",
+            "LC nodes",
+            "query-all (s)",
+        ],
+        title="Cubic-family sweep (paper Table 1 shape)",
+    )
+
+    sizes, std_times, lc_times, query_times = [], [], [], []
+    n = 10
+    while n <= max_n:
+        program = make_cubic_program(n)
+
+        std_result = {}
+
+        def run_std():
+            std_result["value"] = repro.analyze(
+                program, algorithm="standard"
+            )
+
+        std_time = time_call(run_std, repeat=1)
+
+        lc_result = {}
+
+        def run_lc():
+            lc_result["value"] = repro.analyze(program)
+
+        lc_time = time_call(run_lc, repeat=1)
+
+        cfa = lc_result["value"]
+        sites = program.nontrivial_applications()
+
+        def run_queries():
+            for site in sites:
+                cfa.may_call(site)
+
+        query_time = time_call(run_queries, repeat=1)
+
+        table.add_row(
+            n,
+            program.size,
+            std_time,
+            std_result["value"].work,
+            lc_time,
+            cfa.stats.total_nodes,
+            query_time,
+        )
+        sizes.append(program.size)
+        std_times.append(std_time)
+        lc_times.append(lc_time)
+        query_times.append(query_time)
+        n *= 2
+
+    print(table.render())
+    print(
+        "\nempirical scaling exponents (log-log slope):\n"
+        f"  standard algorithm : {fit_exponent(sizes, std_times):.2f} "
+        "(paper: ~3)\n"
+        f"  subtransitive LC'  : {fit_exponent(sizes, lc_times):.2f} "
+        "(paper: ~1)\n"
+        f"  query all sites    : {fit_exponent(sizes, query_times):.2f} "
+        "(paper: ~2)"
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 160)

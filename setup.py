@@ -1,0 +1,22 @@
+"""Package definition.
+
+Plain setuptools (no pyproject.toml) on purpose: the target offline
+environments have no network for PEP 517 build isolation, and the
+legacy path needs nothing beyond setuptools itself. Pytest settings
+live in pytest.ini.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Heintze & McAllester, 'Linear-time "
+        "Subtransitive Control Flow Analysis' (PLDI 1997)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

@@ -1,0 +1,32 @@
+"""Small internal utilities shared across the library."""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+def ensure_recursion_limit(limit: int = 100_000) -> None:
+    """Raise CPython's recursion limit to at least ``limit``.
+
+    The language front end recurses over the AST; realistic benchmark
+    programs (e.g. the ~1200-line lexgen stand-in) nest ``let`` chains
+    deeply enough to exceed the default limit of 1000.
+    """
+    if sys.getrecursionlimit() < limit:
+        sys.setrecursionlimit(limit)
+
+
+class Stopwatch:
+    """A tiny perf_counter-based stopwatch used by the bench harness."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start

@@ -1,0 +1,24 @@
+"""Benchmark harness: timing, scaling fits, paper-style tables.
+
+Used by the scripts in ``benchmarks/`` to regenerate the paper's
+Tables 1-2 and the Section 2 complexity table. Absolute timings are
+machine-dependent; the harness therefore also reports *work counters*
+(token propagations, node/edge counts) and log-log scaling exponents,
+which are the reproducible quantities.
+"""
+
+from repro.bench.harness import (
+    Table,
+    fit_exponent,
+    geometric_sizes,
+    lc_row,
+    time_call,
+)
+
+__all__ = [
+    "Table",
+    "fit_exponent",
+    "geometric_sizes",
+    "lc_row",
+    "time_call",
+]

@@ -1,0 +1,32 @@
+"""Baseline control-flow analyses.
+
+Three reference points the paper measures its contribution against:
+
+* :mod:`repro.cfa.standard` — the standard cubic-time inclusion-based
+  monovariant CFA (Section 2), which also stands in for set-based
+  analysis run in monovariant mode (the comparator in Section 10);
+* :mod:`repro.cfa.dtc` — the paper's Section-3 reformulation of
+  standard CFA as a dynamic-transitive-closure transition system
+  (rules ABS / APP-1 / APP-2 / TRANS);
+* :mod:`repro.cfa.equality` — the equality-based (unification) CFA in
+  the style of Bondorf & Jorgensen, almost-linear but strictly less
+  accurate; the paper's conclusion contrasts it with the subtransitive
+  approach.
+"""
+
+from repro.cfa.base import CFAResult, FlowKey, key_of
+from repro.cfa.dtc import DTCResult, analyze_dtc
+from repro.cfa.equality import EqualityCFAResult, analyze_equality
+from repro.cfa.standard import StandardCFAResult, analyze_standard
+
+__all__ = [
+    "CFAResult",
+    "DTCResult",
+    "EqualityCFAResult",
+    "FlowKey",
+    "StandardCFAResult",
+    "analyze_dtc",
+    "analyze_equality",
+    "analyze_standard",
+    "key_of",
+]

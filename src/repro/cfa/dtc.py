@@ -1,0 +1,214 @@
+"""The DTC transition system: standard CFA as dynamic transitive closure.
+
+Section 3 of the paper reformulates standard CFA as a transition
+system over program nodes::
+
+    (ABS)    \\^l x.e -> \\^l x.e
+    (APP-1)  e1 ->* \\^l x.e  =>  x -> e2         (for (e1 e2) in P)
+    (APP-2)  e1 ->* \\^l x.e  =>  (e1 e2) -> e    (for (e1 e2) in P)
+    (TRANS)  e1 -> e2, e2 -> e3  =>  e1 -> e3
+
+"In effect, the four deduction rules define a dynamic transitive
+closure problem: ABS sets up some initial edges, TRANS is transitive
+closure, and APP-1 and APP-2 add new basic edges as the transitive
+closure proceeds."
+
+We implement it exactly that way: an explicit *basic-edge* graph plus
+a derived-facts table ``facts[n] = { value nodes derivable at n }``
+(the paper notes TRANS may be restricted to abstraction right-hand
+sides; we keep the analogous restriction to value nodes). The engine
+is an independent implementation of the same semantics as
+:mod:`repro.cfa.standard`, which the test suite exploits for
+cross-validation; it also exposes the basic-edge graph so Proposition
+1 (LC-paths <=> DTC-derivability) can be tested directly.
+
+The language extensions (records, datatypes, refs) get the analogous
+"discovered basic edge" treatment.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Set, Tuple
+
+from repro._util import ensure_recursion_limit
+from repro.cfa.base import (
+    CFAResult,
+    FlowKey,
+    ValueToken,
+    cell_key,
+    key_of,
+    var_key,
+)
+from repro.graph.digraph import Digraph
+from repro.lang.ast import (
+    App,
+    Assign,
+    Case,
+    Con,
+    Deref,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Letrec,
+    Lit,
+    Prim,
+    Program,
+    Proj,
+    Record,
+    Ref,
+    Var,
+)
+
+
+class DTCResult(CFAResult):
+    """Completed DTC run: derived facts plus the basic-edge graph."""
+
+    def __init__(
+        self,
+        program: Program,
+        facts: Dict[FlowKey, Set[ValueToken]],
+        basic_edges: Digraph,
+        derivations: int,
+    ):
+        super().__init__(program)
+        self._facts = facts
+        #: The basic-edge graph (an edge ``m -> n`` means "anything
+        #: derivable from n is derivable from m").
+        self.basic_edges = basic_edges
+        #: Number of fact derivations performed.
+        self.derivations = derivations
+
+    def tokens_at(self, key: FlowKey) -> Set[ValueToken]:
+        return self._facts.get(key, set())
+
+    def derivable(self, expr: Expr, lam: Lam) -> bool:
+        """Is ``expr -> lam`` derivable in DTC? (Proposition 1 LHS.)"""
+        return lam in self.tokens_at(key_of(expr))
+
+
+class _Engine:
+    def __init__(self, program: Program):
+        self.program = program
+        self.graph = Digraph()
+        self.facts: Dict[FlowKey, Set[ValueToken]] = {}
+        self.worklist: Deque[Tuple[FlowKey, ValueToken]] = deque()
+        self.derivations = 0
+        self.app_sites: Dict[FlowKey, List[App]] = {}
+        self.proj_sites: Dict[FlowKey, List[Proj]] = {}
+        self.case_sites: Dict[FlowKey, List[Case]] = {}
+        self.deref_sites: Dict[FlowKey, List[Deref]] = {}
+        self.assign_sites: Dict[FlowKey, List[Assign]] = {}
+
+    def add_fact(self, key: FlowKey, token: ValueToken) -> None:
+        bucket = self.facts.setdefault(key, set())
+        if token not in bucket:
+            bucket.add(token)
+            self.worklist.append((key, token))
+
+    def add_basic_edge(self, src: FlowKey, dst: FlowKey) -> None:
+        """Add ``src -> dst``: src derives whatever dst derives."""
+        if self.graph.add_edge(src, dst):
+            for token in list(self.facts.get(dst, ())):
+                self.add_fact(src, token)
+
+    # -- initial edges and facts ---------------------------------------------
+
+    def seed(self) -> None:
+        for node in self.program.nodes:
+            self._seed(node)
+
+    def _seed(self, node: Expr) -> None:
+        if isinstance(node, Var):
+            # An occurrence derives what its variable derives.
+            self.add_basic_edge(key_of(node), var_key(node.name))
+        elif isinstance(node, Lam):
+            self.add_fact(key_of(node), node)  # the ABS axiom
+        elif isinstance(node, App):
+            self.app_sites.setdefault(key_of(node.fn), []).append(node)
+        elif isinstance(node, Let):
+            self.add_basic_edge(var_key(node.name), key_of(node.bound))
+            self.add_basic_edge(key_of(node), key_of(node.body))
+        elif isinstance(node, Letrec):
+            self.add_basic_edge(var_key(node.name), key_of(node.bound))
+            self.add_basic_edge(key_of(node), key_of(node.body))
+        elif isinstance(node, Record):
+            self.add_fact(key_of(node), node)
+        elif isinstance(node, Proj):
+            self.proj_sites.setdefault(key_of(node.expr), []).append(node)
+        elif isinstance(node, Con):
+            self.add_fact(key_of(node), node)
+        elif isinstance(node, Case):
+            self.case_sites.setdefault(
+                key_of(node.scrutinee), []
+            ).append(node)
+            for branch in node.branches:
+                self.add_basic_edge(key_of(node), key_of(branch.body))
+        elif isinstance(node, If):
+            self.add_basic_edge(key_of(node), key_of(node.then))
+            self.add_basic_edge(key_of(node), key_of(node.orelse))
+        elif isinstance(node, Ref):
+            self.add_fact(key_of(node), node)
+            self.add_basic_edge(cell_key(node), key_of(node.expr))
+        elif isinstance(node, Deref):
+            self.deref_sites.setdefault(key_of(node.expr), []).append(node)
+        elif isinstance(node, Assign):
+            self.assign_sites.setdefault(
+                key_of(node.target), []
+            ).append(node)
+        elif isinstance(node, (Lit, Prim)):
+            pass
+        else:
+            raise TypeError(
+                f"unknown expression node {type(node).__name__}"
+            )
+
+    # -- closure -----------------------------------------------------------
+
+    def run(self) -> None:
+        pop = self.worklist.popleft
+        while self.worklist:
+            key, token = pop()
+            self.derivations += 1
+            # TRANS (restricted to value right-hand sides): every
+            # basic-edge predecessor derives this token too.
+            for pred in self.graph.predecessors(key):
+                self.add_fact(pred, token)
+            self._discover(key, token)
+
+    def _discover(self, key: FlowKey, token: ValueToken) -> None:
+        if isinstance(token, Lam):
+            for site in self.app_sites.get(key, ()):
+                # APP-1: x -> e2 ; APP-2: (e1 e2) -> body.
+                self.add_basic_edge(var_key(token.param), key_of(site.arg))
+                self.add_basic_edge(key_of(site), key_of(token.body))
+        elif isinstance(token, Record):
+            for site in self.proj_sites.get(key, ()):
+                if site.index <= token.arity:
+                    self.add_basic_edge(
+                        key_of(site), key_of(token.fields[site.index - 1])
+                    )
+        elif isinstance(token, Con):
+            for site in self.case_sites.get(key, ()):
+                for branch in site.branches:
+                    if branch.cname != token.cname:
+                        continue
+                    for param, arg in zip(branch.params, token.args):
+                        self.add_basic_edge(var_key(param), key_of(arg))
+        elif isinstance(token, Ref):
+            for site in self.deref_sites.get(key, ()):
+                self.add_basic_edge(key_of(site), cell_key(token))
+            for site in self.assign_sites.get(key, ()):
+                self.add_basic_edge(cell_key(token), key_of(site.value))
+
+
+def analyze_dtc(program: Program) -> DTCResult:
+    """Run the DTC transition system to its least fixed point."""
+    ensure_recursion_limit()
+    engine = _Engine(program)
+    engine.seed()
+    engine.run()
+    return DTCResult(
+        program, engine.facts, engine.graph, engine.derivations
+    )

@@ -1,0 +1,259 @@
+"""Command-line interface.
+
+Usage (also available as ``python -m repro``)::
+
+    repro analyze  prog.ml [--algorithm subtransitive] [--json]
+    repro query    prog.ml --label inc [--expr NID]
+    repro effects  prog.ml
+    repro klimited prog.ml -k 2
+    repro called-once prog.ml
+    repro typecheck prog.ml
+    repro eval     prog.ml [--fuel N]
+    repro dot      prog.ml [-o graph.dot]
+
+Every subcommand accepts ``-`` as the file to read the program from
+stdin. Exit status is 0 on success, 1 on analysis/user errors (with a
+diagnostic on stderr), 2 on usage errors (argparse).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import repro
+from repro.apps import MANY, called_once, effects_analysis, k_limited_cfa
+from repro.bench import Table
+from repro.errors import ReproError
+from repro.export import graph_to_dot, result_to_json
+from repro.lang import parse, pretty
+from repro.types import bounded_type_report
+
+
+def _read_program(path: str):
+    if path == "-":
+        source = sys.stdin.read()
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    return parse(source)
+
+
+def _cmd_analyze(args) -> int:
+    program = _read_program(args.file)
+    cfa = repro.analyze(program, algorithm=args.algorithm)
+    if args.json:
+        print(result_to_json(cfa))
+        return 0
+    table = Table(["site", "source", "may call"])
+    for site in program.applications:
+        table.add_row(
+            site.nid,
+            pretty(site, show_labels=False),
+            ", ".join(sorted(cfa.may_call(site))) or "-",
+        )
+    print(table.render())
+    stats = getattr(cfa, "stats", None)
+    if stats is not None:
+        print(
+            f"\ngraph: {stats.build_nodes} build + "
+            f"{stats.close_nodes} close nodes, "
+            f"{stats.total_edges} edges"
+        )
+    return 0
+
+
+def _cmd_query(args) -> int:
+    program = _read_program(args.file)
+    cfa = repro.analyze(program, algorithm=args.algorithm)
+    if args.expr is not None:
+        expr = program.node(args.expr)
+        if args.label:
+            answer = cfa.is_label_in(args.label, expr)
+            print("yes" if answer else "no")
+        else:
+            print(", ".join(sorted(cfa.labels_of(expr))) or "-")
+        return 0
+    if args.label:
+        for expr in cfa.expressions_with_label(args.label):
+            print(f"{expr.nid}\t{pretty(expr, show_labels=False)}")
+        return 0
+    print("query needs --label and/or --expr", file=sys.stderr)
+    return 1
+
+
+def _cmd_effects(args) -> int:
+    program = _read_program(args.file)
+    effects = effects_analysis(program)
+    table = Table(["site", "source", "verdict"])
+    for site in program.applications:
+        verdict = (
+            "effectful" if effects.is_effectful(site) else "pure"
+        )
+        table.add_row(
+            site.nid, pretty(site, show_labels=False), verdict
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_klimited(args) -> int:
+    program = _read_program(args.file)
+    klim = k_limited_cfa(program, k=args.k)
+    table = Table(["site", "source", f"callees (k={args.k})"])
+    for site in program.applications:
+        value = klim.may_call(site)
+        rendered = "many" if value is MANY else (
+            ", ".join(sorted(value)) or "-"
+        )
+        table.add_row(site.nid, pretty(site, show_labels=False), rendered)
+    print(table.render())
+    return 0
+
+
+def _cmd_called_once(args) -> int:
+    program = _read_program(args.file)
+    result = called_once(program)
+    table = Table(["label", "verdict", "unique site"])
+    for lam in program.abstractions:
+        verdict = result.classify(lam.label)
+        site = result.unique_site(lam.label)
+        table.add_row(
+            lam.label,
+            verdict,
+            pretty(site, show_labels=False) if site else "-",
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_typecheck(args) -> int:
+    program = _read_program(args.file)
+    report = bounded_type_report(program)
+    print(
+        f"typeable: yes\n"
+        f"syntax nodes : {report.node_count}\n"
+        f"max type size: {report.max_size} "
+        f"(program is in P_{report.max_size})\n"
+        f"avg type size: {report.avg_size:.2f}\n"
+        f"max order    : {report.max_order}\n"
+        f"max arity    : {report.max_arity}"
+    )
+    return 0
+
+
+def _cmd_eval(args) -> int:
+    program = _read_program(args.file)
+    result = repro.evaluate(program, fuel=args.fuel)
+    for line in result.output:
+        print(line)
+    from repro.lang.eval import render_value
+
+    print(f"=> {render_value(result.value)}")
+    return 0
+
+
+def _cmd_dot(args) -> int:
+    program = _read_program(args.file)
+    cfa = repro.analyze(program)
+    dot = graph_to_dot(cfa.sub)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(dot + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(dot)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Linear-time subtransitive control-flow analysis "
+            "(Heintze & McAllester, PLDI 1997)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("file", help="mini-ML source file, or - for stdin")
+
+    p = sub.add_parser("analyze", help="print the call graph")
+    add_common(p)
+    p.add_argument(
+        "--algorithm",
+        default="subtransitive",
+        choices=[
+            "subtransitive",
+            "standard",
+            "dtc",
+            "equality",
+            "hybrid",
+            "polyvariant",
+        ],
+    )
+    p.add_argument("--json", action="store_true", help="JSON output")
+    p.set_defaults(run=_cmd_analyze)
+
+    p = sub.add_parser("query", help="reachability queries")
+    add_common(p)
+    p.add_argument("--label", help="abstraction label")
+    p.add_argument("--expr", type=int, help="expression nid")
+    p.add_argument("--algorithm", default="subtransitive")
+    p.set_defaults(run=_cmd_query)
+
+    p = sub.add_parser("effects", help="Section 8 effects analysis")
+    add_common(p)
+    p.set_defaults(run=_cmd_effects)
+
+    p = sub.add_parser("klimited", help="Section 9 k-limited CFA")
+    add_common(p)
+    p.add_argument("-k", type=int, default=2)
+    p.set_defaults(run=_cmd_klimited)
+
+    p = sub.add_parser("called-once", help="called-once analysis")
+    add_common(p)
+    p.set_defaults(run=_cmd_called_once)
+
+    p = sub.add_parser("typecheck", help="bounded-type report")
+    add_common(p)
+    p.set_defaults(run=_cmd_typecheck)
+
+    p = sub.add_parser("eval", help="run the program")
+    add_common(p)
+    p.add_argument("--fuel", type=int, default=1_000_000)
+    p.set_defaults(run=_cmd_eval)
+
+    p = sub.add_parser("dot", help="export the graph as Graphviz DOT")
+    add_common(p)
+    p.add_argument("-o", "--output", help="write to a file")
+    p.set_defaults(run=_cmd_dot)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.run(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output was piped into a consumer that closed early (head,
+        # less, ...): exit quietly like other well-behaved CLIs.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

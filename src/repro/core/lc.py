@@ -1,0 +1,514 @@
+"""The LC' engine: building the subtransitive control-flow graph.
+
+This is the paper's main contribution (Section 3). The transition
+system LC' consists of per-program-construct *build* rules::
+
+    (ABS-1)  x -> dom(\\^l x.e)          for \\^l x.e in P
+    (ABS-2)  ran(\\^l x.e) -> e          for \\^l x.e in P
+    (APP-1)  dom(e1) -> e2              for (e1 e2) in P
+    (APP-2)  (e1 e2) -> ran(e1)         for (e1 e2) in P
+
+plus two *demand-driven closure* rules::
+
+    (CLOSE-DOM')  n1 -> n2,  n -> dom(n2)   =>  dom(n2) -> dom(n1)
+    (CLOSE-RAN')  n1 -> n2,  n -> ran(n1)   =>  ran(n1) -> ran(n2)
+
+"This means CLOSE-DOM' can only be applied if there is a transition
+whose right-hand-side could immediately match with the left-hand-side
+of the added transition, i.e. if it is needed" — a node counts as
+*demanded* once it has an incoming edge.
+
+The engine is event-driven: each inserted edge is examined once as a
+potential premise of each closure rule, and a node's first incoming
+edge triggers a one-time sweep applying the closure rules to the edges
+that arrived before the demand. Both closure rules generalise over
+operator *variance* (:mod:`repro.core.nodes`), which is what extends
+the system to records, datatypes and ref cells (Section 6) without
+special cases.
+
+Statistics distinguish the *build* phase from the *close* phase,
+matching the paper's Table 1/2 columns (build time/nodes, close
+time/nodes). The paper's key empirical claim — "the number of nodes
+added in the close phase is typically no more than the number of nodes
+in the build phase" — is directly measurable from
+:class:`LCStatistics`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro._util import Stopwatch, ensure_recursion_limit
+from repro.errors import AnalysisBudgetExceeded
+from repro.graph.digraph import Digraph
+from repro.lang.ast import (
+    App,
+    Assign,
+    Case,
+    Con,
+    Deref,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Letrec,
+    Lit,
+    Prim,
+    Program,
+    Proj,
+    Record,
+    Ref,
+    Var,
+)
+from repro.types.infer import InferenceResult
+
+from repro.core.datatypes import Congruence
+from repro.core.nodes import (
+    Context,
+    Node,
+    NodeFactory,
+    OpKey,
+    op_is_contravariant,
+    op_is_covariant,
+)
+
+#: Default node budget multiplier: LC' may create at most this many
+#: nodes per syntax node before concluding the program is not
+#: bounded-type. Typed programs observed in practice use ~2-3x.
+DEFAULT_BUDGET_FACTOR = 64
+
+
+class LCStatistics:
+    """Build/close accounting for one LC' run."""
+
+    def __init__(self) -> None:
+        self.build_nodes = 0
+        self.build_edges = 0
+        self.close_nodes = 0
+        self.close_edges = 0
+        self.build_seconds = 0.0
+        self.close_seconds = 0.0
+        self.demanded_nodes = 0
+        self.rule_applications: Dict[str, int] = {
+            "ABS-1": 0,
+            "ABS-2": 0,
+            "APP-1": 0,
+            "APP-2": 0,
+            "CLOSE-COV": 0,
+            "CLOSE-CONTRA": 0,
+        }
+
+    @property
+    def total_nodes(self) -> int:
+        return self.build_nodes + self.close_nodes
+
+    @property
+    def total_edges(self) -> int:
+        return self.build_edges + self.close_edges
+
+    @property
+    def total_seconds(self) -> float:
+        return self.build_seconds + self.close_seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LCStatistics build={self.build_nodes}n/"
+            f"{self.build_edges}e close={self.close_nodes}n/"
+            f"{self.close_edges}e>"
+        )
+
+
+class SubtransitiveGraph:
+    """The finished subtransitive control-flow graph.
+
+    Its transitive closure encodes standard CFA (Propositions 1-2):
+    ``l in L(e)`` iff the abstraction labelled ``l`` is reachable from
+    ``e``'s node. Use :class:`repro.core.queries.SubtransitiveCFA` for
+    the query layer.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        factory: NodeFactory,
+        graph: Digraph,
+        stats: LCStatistics,
+    ):
+        self.program = program
+        self.factory = factory
+        self.graph = graph
+        self.stats = stats
+
+    def node_of(self, expr: Expr, context: Context = ()) -> Node:
+        """The graph node of an expression occurrence."""
+        return self.factory.expr_node(expr, context)
+
+    def node_of_var(self, name: str, context: Context = ()) -> Node:
+        """The graph node of a variable."""
+        return self.factory.var_node(name, context)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SubtransitiveGraph nodes={self.graph.node_count} "
+            f"edges={self.graph.edge_count}>"
+        )
+
+
+class LCEngine:
+    """Runs LC' on a program. One engine per analysis."""
+
+    def __init__(
+        self,
+        program: Program,
+        congruence: Optional[Congruence] = None,
+        inference: Optional[InferenceResult] = None,
+        node_budget: Optional[int] = None,
+        polyvariant_lets: Optional[frozenset] = None,
+        instance_budget: int = 10_000,
+        max_depth: Optional[int] = None,
+    ):
+        if congruence is not None and congruence.requires_types:
+            if inference is None:
+                raise ValueError(
+                    f"congruence {congruence.name!r} requires type "
+                    "information; pass inference=infer_types(program)"
+                )
+        if node_budget is None:
+            node_budget = DEFAULT_BUDGET_FACTOR * max(program.size, 16)
+        self.program = program
+        self.factory = NodeFactory(
+            program, congruence, inference, node_budget, max_depth
+        )
+        self.graph = Digraph()
+        self.stats = LCStatistics()
+        self.pending: Deque[Tuple[Node, Node]] = deque()
+        #: Names of let/letrec bindings analysed polyvariantly
+        #: (Section 7); empty/None for the monovariant analysis.
+        self.polyvariant_lets = polyvariant_lets or frozenset()
+        self.instance_budget = instance_budget
+        self._instances = 0
+        #: bound expression of each polyvariant binder.
+        self._poly_bound: Dict[str, Expr] = {}
+        #: nids of recursive occurrences (a letrec binder used inside
+        #: its own bound expression) — these stay in-instance.
+        self._recursive_occurrences: frozenset = frozenset()
+        self.factory.on_member = self.register_member_sweep
+
+    # -- public driver -------------------------------------------------------
+
+    def run(self) -> SubtransitiveGraph:
+        """Build + close; returns the finished graph."""
+        ensure_recursion_limit()
+        with Stopwatch() as watch:
+            self.build()
+        self.stats.build_seconds = watch.elapsed
+        self.stats.build_nodes = self.factory.node_count
+        self.stats.build_edges = self.graph.edge_count
+        with Stopwatch() as watch:
+            self.close()
+        self.stats.close_seconds = watch.elapsed
+        self.stats.close_nodes = (
+            self.factory.node_count - self.stats.build_nodes
+        )
+        self.stats.close_edges = (
+            self.graph.edge_count - self.stats.build_edges
+        )
+        return SubtransitiveGraph(
+            self.program, self.factory, self.graph, self.stats
+        )
+
+    # -- build phase ---------------------------------------------------------
+
+    def build(self) -> None:
+        """Add the program-structure edges (a linear pass)."""
+        if self.polyvariant_lets:
+            self._collect_poly_bindings()
+        self._build_expr(self.program.root, ())
+
+    def _collect_poly_bindings(self) -> None:
+        recursive = set()
+        for node in self.program.nodes:
+            if (
+                isinstance(node, (Let, Letrec))
+                and node.name in self.polyvariant_lets
+            ):
+                self._poly_bound[node.name] = node.bound
+                if isinstance(node, Letrec):
+                    recursive.update(
+                        sub.nid
+                        for sub in node.bound.walk()
+                        if isinstance(sub, Var) and sub.name == node.name
+                    )
+        self._recursive_occurrences = frozenset(recursive)
+
+    def _build_expr(self, expr: Expr, ctx: Context) -> None:
+        """Emit build edges for ``expr`` and its subtree in ``ctx``."""
+        for node in expr.walk():
+            self._build_one(node, ctx)
+
+    def _build_one(self, node: Expr, ctx: Context) -> None:
+        make = self.factory.expr_node
+        mkvar = self.factory.var_node
+        mkop = self.factory.op_node
+        if isinstance(node, Var):
+            if (
+                node.name in self._poly_bound
+                and node.nid not in self._recursive_occurrences
+            ):
+                self._instantiate(node, ctx)
+            else:
+                self._edge(make(node, ctx), mkvar(node.name, ctx))
+        elif isinstance(node, Lam):
+            lam_node = make(node, ctx)
+            self._edge(
+                mkvar(node.param, ctx), mkop(("dom",), lam_node)
+            )
+            self.stats.rule_applications["ABS-1"] += 1
+            self._edge(mkop(("ran",), lam_node), make(node.body, ctx))
+            self.stats.rule_applications["ABS-2"] += 1
+        elif isinstance(node, App):
+            fn_node = make(node.fn, ctx)
+            self._edge(mkop(("dom",), fn_node), make(node.arg, ctx))
+            self.stats.rule_applications["APP-1"] += 1
+            self._edge(make(node, ctx), mkop(("ran",), fn_node))
+            self.stats.rule_applications["APP-2"] += 1
+        elif isinstance(node, (Let, Letrec)):
+            if node.name not in self._poly_bound:
+                self._edge(mkvar(node.name, ctx), make(node.bound, ctx))
+            self._edge(make(node, ctx), make(node.body, ctx))
+        elif isinstance(node, Record):
+            rec_node = make(node, ctx)
+            for index, field in enumerate(node.fields, start=1):
+                self._edge(
+                    mkop(("proj", index), rec_node), make(field, ctx)
+                )
+        elif isinstance(node, Proj):
+            self._edge(
+                make(node, ctx),
+                mkop(("proj", node.index), make(node.expr, ctx)),
+            )
+        elif isinstance(node, Con):
+            con_node = make(node, ctx)
+            for index, arg in enumerate(node.args, start=1):
+                self._edge(
+                    mkop(("con", node.cname, index), con_node),
+                    make(arg, ctx),
+                )
+        elif isinstance(node, Case):
+            scrutinee = make(node.scrutinee, ctx)
+            for branch in node.branches:
+                for index, param in enumerate(branch.params, start=1):
+                    self._edge(
+                        mkvar(param, ctx),
+                        mkop(("con", branch.cname, index), scrutinee),
+                    )
+                self._edge(make(node, ctx), make(branch.body, ctx))
+        elif isinstance(node, If):
+            if_node = make(node, ctx)
+            self._edge(if_node, make(node.then, ctx))
+            self._edge(if_node, make(node.orelse, ctx))
+        elif isinstance(node, Ref):
+            self._edge(
+                mkop(("cell",), make(node, ctx)), make(node.expr, ctx)
+            )
+        elif isinstance(node, Deref):
+            self._edge(
+                make(node, ctx), mkop(("cell",), make(node.expr, ctx))
+            )
+        elif isinstance(node, Assign):
+            self._edge(
+                mkop(("cell",), make(node.target, ctx)),
+                make(node.value, ctx),
+            )
+        elif isinstance(node, (Lit, Prim)):
+            pass  # ground values; no flow edges
+        else:
+            raise TypeError(
+                f"unknown expression node {type(node).__name__}"
+            )
+
+    def _instantiate(self, occurrence: Var, ctx: Context) -> None:
+        """Polyvariant use of a binder: instantiate a fresh copy of
+        the binding's graph fragment for this occurrence (Section 7 —
+        "we make copies of this graph fragment for each place the
+        function is used", done at the graph level so the AST is never
+        duplicated)."""
+        self._instances += 1
+        if self._instances > self.instance_budget:
+            raise AnalysisBudgetExceeded(
+                "polyvariant instance", self._instances, self.instance_budget
+            )
+        bound = self._poly_bound[occurrence.name]
+        inner_ctx = ctx + (occurrence.nid,)
+        make = self.factory.expr_node
+        self._edge(make(occurrence, ctx), make(bound, inner_ctx))
+        # A letrec fragment refers to its own binder: tie the recursive
+        # variable to this instance (monomorphic recursion).
+        binder = self.program.binder(occurrence.name)
+        if isinstance(binder, Letrec):
+            self._edge(
+                self.factory.var_node(occurrence.name, inner_ctx),
+                make(bound, inner_ctx),
+            )
+        self._build_expr(bound, inner_ctx)
+
+    def _edge(self, src: Optional[Node], dst: Optional[Node]) -> None:
+        # None endpoints come from depth-capped operator creation; no
+        # well-typed flow needs the suppressed node, so the edge is
+        # dropped (the stats record the truncation).
+        if src is None or dst is None or src is dst:
+            return
+        if self.graph.add_edge(src, dst):
+            self.pending.append((src, dst))
+
+    # -- close phase ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Run the demand-driven closure rules to fixpoint."""
+        pending = self.pending
+        rules = self.stats.rule_applications
+        mkop = self.factory.op_node
+        while pending:
+            src, dst = pending.popleft()
+            # Premise-1 of the covariant rule: src is n1, dst is n2;
+            # fire for every demanded covariant operator over src.
+            for opkey, opnode in list(src.ops.items()):
+                if opnode.demanded and op_is_covariant(opkey):
+                    rules["CLOSE-COV"] += 1
+                    self._edge(opnode, mkop(opkey, dst))
+            # Premise-1 of the contravariant rule: fire for every
+            # demanded contravariant operator over dst.
+            for opkey, opnode in list(dst.ops.items()):
+                if opnode.demanded and op_is_contravariant(opkey):
+                    rules["CLOSE-CONTRA"] += 1
+                    self._edge(opnode, mkop(opkey, src))
+            # Premise-2: the edge's target just became demanded.
+            if dst.kind == "op" and not dst.demanded:
+                self._demand(dst)
+
+    def _demand(self, node: Node) -> None:
+        """First incoming edge for ``node``: sweep the closure rules
+        over the premise edges that arrived earlier."""
+        node.demanded = True
+        self.stats.demanded_nodes += 1
+        for opkey, inner in node.members:
+            self._sweep_member(node, opkey, inner)
+
+    def _sweep_member(
+        self, node: Node, opkey: OpKey, inner: Node
+    ) -> None:
+        rules = self.stats.rule_applications
+        mkop = self.factory.op_node
+        if op_is_covariant(opkey):
+            for dst in list(self.graph.successors(inner)):
+                rules["CLOSE-COV"] += 1
+                self._edge(node, mkop(opkey, dst))
+        if op_is_contravariant(opkey):
+            for src in list(self.graph.predecessors(inner)):
+                rules["CLOSE-CONTRA"] += 1
+                self._edge(node, mkop(opkey, src))
+
+    def register_member_sweep(
+        self, node: Node, opkey: OpKey, inner: Node
+    ) -> None:
+        """Hook used by the factory when a new member joins an
+        already-demanded class node."""
+        if node.demanded:
+            self._sweep_member(node, opkey, inner)
+
+
+def default_congruence(
+    program: Program,
+    inference: Optional[InferenceResult],
+) -> Tuple[Optional[Congruence], Optional[InferenceResult]]:
+    """Pick the congruence a plain ``analyze`` call should use.
+
+    Programs without datatype declarations need none: the exact node
+    grammar is bounded by the (record/function/ref) type trees. With
+    recursive datatypes the exact grammar is unbounded (Section 6), so
+    we default to the finer congruence ``≈2`` — "strictly more
+    accurate" than ``≈1`` — which requires type information; inference
+    is run on demand and a :class:`~repro.errors.TypeInferenceError`
+    propagates for untypeable programs (route those through the hybrid
+    driver).
+    """
+    if not program.datatypes:
+        return None, inference
+    from repro.core.datatypes import BaseTypeCongruence
+    from repro.types.infer import infer_types
+
+    if inference is None:
+        inference = infer_types(program)
+    return BaseTypeCongruence(), inference
+
+
+def default_max_depth(
+    program: Program, inference: Optional[InferenceResult]
+) -> Optional[int]:
+    """The Section 4 type-template depth bound for ``program``.
+
+    Every node LC' must consider corresponds to a position in some
+    type tree of the program (for polymorphic programs: of the let-
+    expansion, whose per-occurrence instantiations inference records),
+    so operator towers never need to exceed the deepest type tree.
+    Without that bound, cyclic monovariant flow graphs (e.g. a
+    polymorphic ``id`` applied to itself) make the demand cascade echo
+    indefinitely. Returns ``None`` (engine default) when the program
+    is untypeable.
+    """
+    from repro.errors import TypeInferenceError
+    from repro.types.measure import max_type_depth
+
+    try:
+        return max_type_depth(program, inference) + 1
+    except TypeInferenceError:
+        return None
+
+
+def build_subtransitive_graph(
+    program: Program,
+    congruence: Optional[Congruence] = None,
+    inference: Optional[InferenceResult] = None,
+    node_budget: Optional[int] = None,
+    polyvariant_lets: Optional[frozenset] = None,
+) -> SubtransitiveGraph:
+    """Run LC' on ``program`` and return the subtransitive graph.
+
+    When ``congruence`` is omitted, datatype-using programs default to
+    the ``≈2`` congruence (running type inference if needed); pass
+    ``make_congruence('exact')`` to force the exact node grammar.
+    Type inference is attempted once up front to derive the Section 4
+    type-template depth bound; untypeable programs run uncapped under
+    the node budget alone.
+
+    Raises :class:`AnalysisBudgetExceeded` if the program does not
+    appear to be bounded-type (use :mod:`repro.core.hybrid` to fall
+    back to the cubic algorithm automatically).
+    """
+    from repro.core.datatypes import ExactCongruence
+    from repro.errors import TypeInferenceError
+    from repro.types.infer import infer_types
+
+    if inference is None:
+        try:
+            inference = infer_types(program)
+        except TypeInferenceError:
+            if program.datatypes and congruence is None:
+                raise  # auto-congruence needs types; hybrid handles
+            inference = None
+    if congruence is None:
+        congruence, inference = default_congruence(program, inference)
+    if isinstance(congruence, ExactCongruence):
+        congruence = None
+    engine = LCEngine(
+        program,
+        congruence=congruence,
+        inference=inference,
+        node_budget=node_budget,
+        polyvariant_lets=polyvariant_lets,
+        max_depth=default_max_depth(program, inference)
+        if inference is not None
+        else None,
+    )
+    return engine.run()

@@ -1,0 +1,209 @@
+"""Reachability queries over the subtransitive graph.
+
+The paper's Algorithms 1 and 2 (Section 4)::
+
+    Algorithm 1 — Input: program P, label l, occurrence e.
+        1. Apply LC' to P.
+        2. Use graph reachability to determine whether l is reachable
+           from e.                                    [O(n) per query]
+
+    Algorithm 2 — Input: program P, occurrence e.
+        1. Apply LC' to P.
+        2. Use graph reachability to find all nodes reachable from e.
+        3. Output the labels of abstractions among them.   [O(n)]
+
+plus "an O(n^2) algorithm for computing all label sets by repeatedly
+applying Algorithm 2 to all program sub-expressions".
+
+:class:`SubtransitiveCFA` implements the :class:`~repro.cfa.base.
+CFAResult` interface on top of these, so the test suite can compare it
+pointwise against the cubic baselines and the CFA-consuming
+applications can run on it directly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro.cfa.base import CFAResult, FlowKey, ValueToken
+from repro.errors import QueryError
+from repro.graph.reachability import reachable_from
+from repro.lang.ast import App, Con, Expr, Lam, Program, Record, Ref, Var
+
+from repro.core.lc import SubtransitiveGraph
+from repro.core.nodes import Context, Node
+
+
+class SubtransitiveCFA(CFAResult):
+    """Query layer over a :class:`SubtransitiveGraph`.
+
+    Queries are demand-driven graph reachability — nothing is
+    precomputed, matching the paper's "we only explore the parts ...
+    that are actually needed". ``contexts`` (polyvariant runs only)
+    lists the instantiation contexts each binder was analysed under;
+    monovariant queries of a polyvariant result take the union over
+    contexts, which is the precision-relevant projection.
+    """
+
+    def __init__(self, sub: SubtransitiveGraph):
+        super().__init__(sub.program)
+        self.sub = sub
+        self.graph = sub.graph
+        self.factory = sub.factory
+
+    # -- internals ---------------------------------------------------------
+
+    def _start_nodes(self, key: FlowKey) -> List[Node]:
+        """Graph nodes corresponding to a flow key, over all contexts."""
+        starts: List[Node] = []
+        if isinstance(key, int):
+            if key < 0 or key >= self.program.size:
+                raise QueryError(f"no expression with nid {key}")
+            expr = self.program.node(key)
+            for node in self._context_nodes("expr", expr.nid):
+                starts.append(node)
+            if not starts:
+                starts.append(self.factory.expr_node(expr))
+        else:
+            found = list(self._context_nodes("var", key))
+            starts.extend(found)
+            if not starts:
+                starts.append(self.factory.var_node(key))
+        return starts
+
+    def _context_nodes(self, kind: str, ident) -> Iterable[Node]:
+        intern = self.factory._intern
+        # Fast path: the monovariant node, if present.
+        mono = intern.get((kind, ident, ()))
+        if mono is not None:
+            yield mono
+        for key, node in intern.items():
+            if (
+                len(key) == 3
+                and key[0] == kind
+                and key[1] == ident
+                and key[2] != ()
+            ):
+                yield node
+
+    def _reachable(self, starts: Iterable[Node]) -> Set[Node]:
+        return reachable_from(self.graph, starts)
+
+    @staticmethod
+    def _tokens_in(nodes: Iterable[Node]) -> Set[ValueToken]:
+        tokens: Set[ValueToken] = set()
+        for node in nodes:
+            if node.kind != "expr":
+                continue
+            if node.expr is not None:
+                if isinstance(node.expr, (Lam, Record, Con, Ref)):
+                    tokens.add(node.expr)
+            else:
+                # A congruence class node absorbs the value
+                # occurrences of its datatype.
+                for expr in node.absorbed:
+                    if isinstance(expr, (Lam, Record, Con, Ref)):
+                        tokens.add(expr)
+        return tokens
+
+    # -- CFAResult interface --------------------------------------------------
+
+    def tokens_at(self, key: FlowKey) -> Set[ValueToken]:
+        return self._tokens_in(self._reachable(self._start_nodes(key)))
+
+    def is_label_in(self, label: str, expr: Expr) -> bool:
+        """Algorithm 1: early-exit reachability to the abstraction."""
+        self._check(expr)
+        target = self.program.abstraction(label)
+        target_nodes = set(self._context_nodes("expr", target.nid))
+        if not target_nodes:
+            return False
+        seen: Set[Node] = set()
+        queue = deque(self._start_nodes(expr.nid))
+        seen.update(queue)
+        while queue:
+            node = queue.popleft()
+            if node in target_nodes:
+                return True
+            for succ in self.graph.successors(node):
+                if succ not in seen:
+                    seen.add(succ)
+                    queue.append(succ)
+        return False
+
+    def expressions_with_label(self, label: str) -> List[Expr]:
+        """The paper's third query, via *reverse* reachability from
+        the abstraction — O(n), not O(n^2)."""
+        target = self.program.abstraction(label)
+        starts = list(self._context_nodes("expr", target.nid))
+        backwards = reachable_from(
+            self.graph, starts, follow=self.graph.predecessors
+        )
+        nids: Set[int] = set()
+        for node in backwards:
+            if node.kind == "expr" and node.expr is not None:
+                nids.add(node.expr.nid)
+            elif node.kind == "expr":
+                nids.update(e.nid for e in node.absorbed)
+        return [self.program.node(nid) for nid in sorted(nids)]
+
+    def all_label_sets(self) -> Dict[int, FrozenSet[str]]:
+        """All label sets in O(n * |labels|): one reverse reachability
+        per abstraction (the output alone is quadratic, so this is
+        optimal up to constants)."""
+        sets: Dict[int, Set[str]] = {
+            node.nid: set() for node in self.program.nodes
+        }
+        for lam in self.program.abstractions:
+            for expr in self.expressions_with_label(lam.label):
+                sets[expr.nid].add(lam.label)
+        return {nid: frozenset(ls) for nid, ls in sets.items()}
+
+    # -- extra reachability queries -------------------------------------------
+
+    def reachable_nodes(self, expr: Expr, context: Context = ()) -> Set[Node]:
+        """All graph nodes reachable from an occurrence (diagnostics)."""
+        self._check(expr)
+        return self._reachable([self.factory.expr_node(expr, context)])
+
+    def records_of(self, expr: Expr) -> Set[Record]:
+        """Record creation sites that may flow to ``expr``."""
+        self._check(expr)
+        return {
+            t
+            for t in self.tokens_at(expr.nid)
+            if isinstance(t, Record)
+        }
+
+    def constructors_of(self, expr: Expr) -> Set[Con]:
+        """Constructor sites that may flow to ``expr``."""
+        self._check(expr)
+        return {
+            t for t in self.tokens_at(expr.nid) if isinstance(t, Con)
+        }
+
+    @property
+    def stats(self):
+        """The engine's build/close statistics."""
+        return self.sub.stats
+
+
+def analyze_subtransitive(
+    program: Program,
+    congruence=None,
+    inference=None,
+    node_budget: Optional[int] = None,
+    polyvariant_lets: Optional[frozenset] = None,
+) -> SubtransitiveCFA:
+    """Convenience: run LC' and wrap the result in the query layer."""
+    from repro.core.lc import build_subtransitive_graph
+
+    sub = build_subtransitive_graph(
+        program,
+        congruence=congruence,
+        inference=inference,
+        node_budget=node_budget,
+        polyvariant_lets=polyvariant_lets,
+    )
+    return SubtransitiveCFA(sub)

@@ -1,0 +1,118 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+client code can catch a single base class. Errors carry enough context
+(positions, node identities, budgets) to be actionable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SourceError(ReproError):
+    """Base class for errors that point at a source location."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class LexError(SourceError):
+    """Raised when the lexer encounters a malformed token."""
+
+
+class ParseError(SourceError):
+    """Raised when the parser encounters a malformed program."""
+
+
+class ScopeError(ReproError):
+    """Raised when an expression references an unbound variable or
+    duplicates a label."""
+
+
+class TypeInferenceError(ReproError):
+    """Raised when Hindley-Milner inference fails (the program is not
+    typeable in the simply-typed / let-polymorphic discipline).
+
+    The subtransitive algorithm only has linear-time guarantees for
+    typeable (bounded-type) programs; untypeable programs should be
+    routed through :mod:`repro.core.hybrid`.
+    """
+
+
+class UnificationError(TypeInferenceError):
+    """Raised when two types cannot be unified."""
+
+    def __init__(self, left, right, reason: str = ""):
+        self.left = left
+        self.right = right
+        detail = f": {reason}" if reason else ""
+        super().__init__(f"cannot unify {left} with {right}{detail}")
+
+
+class OccursCheckError(UnificationError):
+    """Raised when unification would build an infinite (recursive) type."""
+
+    def __init__(self, var, ty):
+        self.var = var
+        self.ty = ty
+        TypeInferenceError.__init__(
+            self, f"occurs check failed: {var} occurs in {ty}"
+        )
+
+
+class EvaluationError(ReproError):
+    """Raised when the reference evaluator gets stuck (a dynamic type
+    error in the object program)."""
+
+
+class FuelExhausted(EvaluationError):
+    """Raised when the evaluator runs out of fuel (likely divergence)."""
+
+    def __init__(self, fuel: int):
+        self.fuel = fuel
+        super().__init__(f"evaluation did not finish within {fuel} steps")
+
+
+class AnalysisError(ReproError):
+    """Base class for errors raised by the analyses themselves."""
+
+
+class AnalysisBudgetExceeded(AnalysisError):
+    """Raised when LC' exceeds its node/edge budget.
+
+    This happens for untypeable programs (e.g. self-application), where
+    the demand-driven closure can materialise unboundedly deep
+    ``dom``/``ran`` towers. The hybrid driver catches this and falls
+    back to the standard cubic algorithm, as the paper proposes.
+    """
+
+    def __init__(self, kind: str, used: int, budget: int):
+        self.kind = kind
+        self.used = used
+        self.budget = budget
+        super().__init__(
+            f"subtransitive analysis exceeded its {kind} budget "
+            f"({used} > {budget}); the program is likely not "
+            f"bounded-type — use the hybrid driver"
+        )
+
+
+class UnknownConstructorError(AnalysisError):
+    """Raised when a program uses a constructor that no datatype
+    declaration defines."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(f"unknown constructor {name!r}")
+
+
+class QueryError(AnalysisError):
+    """Raised when a CFA query references an expression or label that is
+    not part of the analysed program."""

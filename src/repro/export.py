@@ -1,0 +1,105 @@
+"""Exporting analysis artefacts: Graphviz DOT and JSON.
+
+Tooling around an analysis needs two things the paper's prototype also
+had informally: a way to *see* the subtransitive graph, and a way to
+ship results to other tools.
+
+* :func:`graph_to_dot` renders a subtransitive graph (or any analysed
+  subset of it) as Graphviz DOT, with build and close edges
+  distinguished and abstraction nodes highlighted;
+* :func:`result_to_json` serialises any :class:`~repro.cfa.base.
+  CFAResult`-compatible analysis into a stable JSON document (per-site
+  call graph, per-label flow sets, label table) that downstream tools
+  can consume without importing this library.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Optional, Set
+
+from repro.core.lc import SubtransitiveGraph
+from repro.core.nodes import Node
+from repro.lang.ast import App, Lam, Program
+from repro.lang.printer import pretty
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def graph_to_dot(
+    sub: SubtransitiveGraph,
+    nodes: Optional[Iterable[Node]] = None,
+    title: str = "subtransitive control-flow graph",
+) -> str:
+    """Render (a subset of) a subtransitive graph as Graphviz DOT.
+
+    ``nodes`` restricts the rendering (e.g. to a reachable slice);
+    by default the whole graph is emitted. Abstraction nodes are drawn
+    as double circles, operator nodes as boxes, and everything else as
+    ellipses.
+    """
+    selected: Optional[Set[Node]] = set(nodes) if nodes is not None else None
+
+    def included(node: Node) -> bool:
+        return selected is None or node in selected
+
+    lines = [
+        "digraph subtransitive {",
+        f'  label="{_dot_escape(title)}";',
+        "  rankdir=LR;",
+        '  node [fontname="monospace"];',
+    ]
+    for node in sub.factory.nodes:
+        if not included(node):
+            continue
+        label = _dot_escape(node.describe())
+        if node.kind == "expr" and isinstance(node.expr, Lam):
+            shape = "doublecircle"
+        elif node.kind == "op":
+            shape = "box"
+        else:
+            shape = "ellipse"
+        lines.append(f'  n{node.uid} [label="{label}", shape={shape}];')
+    for src, dst in sub.graph.edges():
+        if included(src) and included(dst):
+            lines.append(f"  n{src.uid} -> n{dst.uid};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def result_to_json(cfa, indent: Optional[int] = 2) -> str:
+    """Serialise an analysis result to JSON.
+
+    The document contains:
+
+    * ``program``: size and the abstraction label table (label ->
+      pretty-printed lambda);
+    * ``call_graph``: per application site (by nid, with its source
+      text) the callable labels;
+    * ``label_flows``: per label, the nids of occurrences it may reach.
+    """
+    program: Program = cfa.program
+    labels: Dict[str, str] = {
+        lam.label: pretty(lam, show_labels=False)
+        for lam in program.abstractions
+    }
+    call_graph = {}
+    for site in program.applications:
+        call_graph[str(site.nid)] = {
+            "source": pretty(site, show_labels=False),
+            "callees": sorted(cfa.may_call(site)),
+        }
+    label_flows = {
+        lam.label: sorted(
+            expr.nid for expr in cfa.expressions_with_label(lam.label)
+        )
+        for lam in program.abstractions
+    }
+    document = {
+        "program": {"size": program.size, "labels": labels},
+        "call_graph": call_graph,
+        "label_flows": label_flows,
+    }
+    return json.dumps(document, indent=indent, sort_keys=True)

@@ -1,0 +1,65 @@
+"""Transitive closure.
+
+The subtransitive graph is useful precisely because one does *not*
+compute its transitive closure; this routine exists for the paper's
+correctness statements (Propositions 1-2 relate LC'-reachability to
+DTC-derivability) and for small-program oracles in the test suite.
+
+The implementation condenses SCCs first and propagates reachable sets
+over the DAG in reverse topological order — O(V * E / wordsize)-ish in
+practice via Python set unions, fine for test-sized graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.graph.digraph import Digraph, Node
+from repro.graph.tarjan import strongly_connected_components
+
+
+def transitive_closure(graph: Digraph, reflexive: bool = False) -> Digraph:
+    """Return a new graph with an edge ``a -> b`` whenever ``b`` is
+    reachable from ``a`` by a nonempty path (or any path when
+    ``reflexive``)."""
+    components = strongly_connected_components(graph)
+    component_of: Dict[Node, int] = {}
+    for cid, members in enumerate(components):
+        for node in members:
+            component_of[node] = cid
+
+    # components are produced in reverse topological order, so every
+    # successor component is finished before its predecessors.
+    reach: Dict[int, Set[int]] = {}
+    cyclic: Dict[int, bool] = {}
+    for cid, members in enumerate(components):
+        acc: Set[int] = set()
+        has_self_loop = len(members) > 1
+        for node in members:
+            for succ in graph.successors(node):
+                scid = component_of[succ]
+                if scid == cid:
+                    has_self_loop = True
+                else:
+                    acc.add(scid)
+                    acc |= reach[scid]
+        reach[cid] = acc
+        cyclic[cid] = has_self_loop
+
+    closure = Digraph()
+    for node in graph.nodes():
+        closure.add_node(node)
+    for node in graph.nodes():
+        cid = component_of[node]
+        targets: Set[Node] = set()
+        for rcid in reach[cid]:
+            targets.update(components[rcid])
+        if cyclic[cid]:
+            targets.update(components[cid])
+        for target in targets:
+            closure.add_edge(node, target)
+        if reflexive:
+            closure.add_edge(node, node)
+        elif node in targets:
+            pass  # already added via the cyclic case
+    return closure

@@ -1,0 +1,113 @@
+"""A compact directed graph over hashable nodes.
+
+Successor and predecessor sets are both maintained because the
+subtransitive engine's demand-driven closure rules need O(degree)
+sweeps over *incoming* edges, and the CFA-consuming applications
+(Sections 8-9) propagate annotations against edge direction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Set, Tuple
+
+Node = Hashable
+
+
+class Digraph:
+    """A directed graph with O(1) amortised edge insertion and dedup."""
+
+    def __init__(self) -> None:
+        self._succ: Dict[Node, Set[Node]] = {}
+        self._pred: Dict[Node, Set[Node]] = {}
+        self._edge_count = 0
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        """Ensure ``node`` exists (possibly with no edges)."""
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+
+    def add_edge(self, src: Node, dst: Node) -> bool:
+        """Insert edge ``src -> dst``; returns True if it was new."""
+        self.add_node(src)
+        self.add_node(dst)
+        if dst in self._succ[src]:
+            return False
+        self._succ[src].add(dst)
+        self._pred[dst].add(src)
+        self._edge_count += 1
+        return True
+
+    def add_edges(self, edges: Iterable[Tuple[Node, Node]]) -> None:
+        for src, dst in edges:
+            self.add_edge(src, dst)
+
+    # -- inspection --------------------------------------------------------
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._succ)
+
+    @property
+    def edge_count(self) -> int:
+        return self._edge_count
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    def edges(self) -> Iterator[Tuple[Node, Node]]:
+        for src, dsts in self._succ.items():
+            for dst in dsts:
+                yield src, dst
+
+    def successors(self, node: Node) -> Set[Node]:
+        """Successor set of ``node`` (empty for unknown nodes).
+
+        The returned set is the live internal set; callers must not
+        mutate it.
+        """
+        return self._succ.get(node, _EMPTY)
+
+    def predecessors(self, node: Node) -> Set[Node]:
+        """Predecessor set of ``node`` (empty for unknown nodes)."""
+        return self._pred.get(node, _EMPTY)
+
+    def has_edge(self, src: Node, dst: Node) -> bool:
+        return dst in self._succ.get(src, _EMPTY)
+
+    def out_degree(self, node: Node) -> int:
+        return len(self._succ.get(node, _EMPTY))
+
+    def in_degree(self, node: Node) -> int:
+        return len(self._pred.get(node, _EMPTY))
+
+    def reverse(self) -> "Digraph":
+        """A new graph with every edge flipped."""
+        reversed_graph = Digraph()
+        for node in self.nodes():
+            reversed_graph.add_node(node)
+        for src, dst in self.edges():
+            reversed_graph.add_edge(dst, src)
+        return reversed_graph
+
+    def copy(self) -> "Digraph":
+        duplicate = Digraph()
+        for node in self.nodes():
+            duplicate.add_node(node)
+        for src, dst in self.edges():
+            duplicate.add_edge(src, dst)
+        return duplicate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Digraph nodes={self.node_count} edges={self.edge_count}>"
+
+
+_EMPTY: Set[Node] = frozenset()  # type: ignore[assignment]

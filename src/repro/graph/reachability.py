@@ -1,0 +1,61 @@
+"""Reachability on :class:`~repro.graph.digraph.Digraph`.
+
+These are the O(V + E) primitives behind the paper's Algorithms 1
+and 2 ("Apply LC' to P; use graph reachability ...").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Optional, Set
+
+from repro.graph.digraph import Digraph, Node
+
+
+def reachable_from(
+    graph: Digraph,
+    sources: Iterable[Node],
+    follow: Optional[Callable[[Node], Iterable[Node]]] = None,
+) -> Set[Node]:
+    """All nodes reachable from ``sources`` (inclusive) via BFS.
+
+    ``follow`` overrides the successor function (the polyvariant
+    summariser uses this to extend reachability through ``dom``/``ran``
+    formation, as Section 7 requires).
+    """
+    step = follow if follow is not None else graph.successors
+    seen: Set[Node] = set()
+    queue = deque()
+    for source in sources:
+        if source not in seen:
+            seen.add(source)
+            queue.append(source)
+    while queue:
+        node = queue.popleft()
+        for succ in step(node):
+            if succ not in seen:
+                seen.add(succ)
+                queue.append(succ)
+    return seen
+
+
+def reachable_to(graph: Digraph, targets: Iterable[Node]) -> Set[Node]:
+    """All nodes that can reach some node in ``targets`` (inclusive)."""
+    return reachable_from(graph, targets, follow=graph.predecessors)
+
+
+def reaches(graph: Digraph, src: Node, dst: Node) -> bool:
+    """True if ``dst`` is reachable from ``src`` (early-exit BFS)."""
+    if src == dst:
+        return True
+    seen: Set[Node] = {src}
+    queue = deque([src])
+    while queue:
+        node = queue.popleft()
+        for succ in graph.successors(node):
+            if succ == dst:
+                return True
+            if succ not in seen:
+                seen.add(succ)
+                queue.append(succ)
+    return False

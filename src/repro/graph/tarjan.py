@@ -1,0 +1,83 @@
+"""Tarjan's strongly-connected-components algorithm (iterative).
+
+Used by the transitive-closure routine (collapse SCCs, then propagate
+over the DAG) and by graph sanity checks in the test suite. The
+implementation is iterative so million-node graphs do not hit the
+Python recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.graph.digraph import Digraph, Node
+
+
+def strongly_connected_components(graph: Digraph) -> List[List[Node]]:
+    """SCCs of ``graph`` in reverse topological order (Tarjan)."""
+    index_of: Dict[Node, int] = {}
+    lowlink: Dict[Node, int] = {}
+    on_stack: Dict[Node, bool] = {}
+    stack: List[Node] = []
+    components: List[List[Node]] = []
+    counter = [0]
+
+    for root in list(graph.nodes()):
+        if root in index_of:
+            continue
+        # Each work item is (node, iterator over successors).
+        work = [(root, iter(graph.successors(root)))]
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack[succ] = True
+                    work.append((succ, iter(graph.successors(succ))))
+                    advanced = True
+                    break
+                if on_stack.get(succ):
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: List[Node] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def condensation(graph: Digraph) -> "tuple[Digraph, Dict[Node, int]]":
+    """The SCC condensation DAG plus the node -> component-id map.
+
+    Component ids are positions in the reverse-topological SCC list.
+    """
+    components = strongly_connected_components(graph)
+    component_of: Dict[Node, int] = {}
+    for cid, members in enumerate(components):
+        for node in members:
+            component_of[node] = cid
+    dag = Digraph()
+    for cid in range(len(components)):
+        dag.add_node(cid)
+    for src, dst in graph.edges():
+        a, b = component_of[src], component_of[dst]
+        if a != b:
+            dag.add_edge(a, b)
+    return dag, component_of

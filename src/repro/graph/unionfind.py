@@ -1,0 +1,66 @@
+"""Union-find with path compression and union by rank.
+
+This is the engine behind the equality-based CFA baseline
+(:mod:`repro.cfa.equality`): the paper contrasts its inclusion-based
+linear algorithm with analyses that "replace containment by
+unification", which run in almost-linear time via exactly this
+structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List
+
+Item = Hashable
+
+
+class UnionFind:
+    """Disjoint sets over arbitrary hashable items (created lazily)."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[Item, Item] = {}
+        self._rank: Dict[Item, int] = {}
+        self.union_count = 0
+
+    def find(self, item: Item) -> Item:
+        """Representative of ``item``'s set (item auto-registered)."""
+        parent = self._parent
+        if item not in parent:
+            parent[item] = item
+            self._rank[item] = 0
+            return item
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a: Item, b: Item) -> Item:
+        """Merge the sets of ``a`` and ``b``; returns the new root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        self.union_count += 1
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        return ra
+
+    def same(self, a: Item, b: Item) -> bool:
+        return self.find(a) == self.find(b)
+
+    def items(self) -> Iterator[Item]:
+        return iter(self._parent)
+
+    def groups(self) -> Dict[Item, List[Item]]:
+        """Map of representative -> members."""
+        out: Dict[Item, List[Item]] = {}
+        for item in list(self._parent):
+            out.setdefault(self.find(item), []).append(item)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._parent)

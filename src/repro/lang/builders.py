@@ -1,0 +1,163 @@
+"""A concise programmatic construction DSL for mini-ML terms.
+
+The workload generators and the test suite build thousands of terms;
+these helpers keep that code readable::
+
+    from repro.lang import builders as b
+
+    identity = b.lam("x", b.var("x"), label="id")
+    twice = b.app(identity, identity)
+    prog = b.program(b.let("i", identity, b.app(b.var("i"), b.lit(1))))
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.lang.ast import (
+    App,
+    Assign,
+    Branch,
+    Case,
+    Con,
+    DatatypeDecl,
+    Deref,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Letrec,
+    Lit,
+    Prim,
+    Program,
+    Proj,
+    Record,
+    Ref,
+    Var,
+)
+
+#: A case arm in builder form: (constructor, params, body).
+BranchSpec = Tuple[str, Sequence[str], Expr]
+
+
+def var(name: str) -> Var:
+    """A variable occurrence."""
+    return Var(name)
+
+
+def lam(param: str, body: Expr, label: Optional[str] = None) -> Lam:
+    """A labelled abstraction ``fn param => body``."""
+    return Lam(param, body, label)
+
+
+def app(fn: Expr, *args: Expr) -> Expr:
+    """Left-associated application ``fn a1 a2 ...`` (curried)."""
+    if not args:
+        raise ValueError("app needs at least one argument")
+    result: Expr = fn
+    for arg in args:
+        result = App(result, arg)
+    return result
+
+
+def let(name: str, bound: Expr, body: Expr) -> Let:
+    """``let name = bound in body``."""
+    return Let(name, bound, body)
+
+
+def lets(bindings: Sequence[Tuple[str, Expr]], body: Expr) -> Expr:
+    """A chain of ``let`` bindings ending in ``body``."""
+    result = body
+    for name, bound in reversed(list(bindings)):
+        result = Let(name, bound, result)
+    return result
+
+
+def letrec(name: str, bound: Lam, body: Expr) -> Letrec:
+    """``letrec name = bound in body`` (bound must be an abstraction)."""
+    return Letrec(name, bound, body)
+
+
+def record(*fields: Expr) -> Record:
+    """A record (tuple) ``(f1, ..., fn)``."""
+    return Record(fields)
+
+
+def proj(index: int, expr: Expr) -> Proj:
+    """Projection ``#index expr`` (1-based)."""
+    return Proj(index, expr)
+
+
+def con(cname: str, *args: Expr) -> Con:
+    """A constructor application ``Cname(args...)``."""
+    return Con(cname, args)
+
+
+def case(scrutinee: Expr, *branches: BranchSpec) -> Case:
+    """``case scrutinee of C1(xs) => e1 | ...``."""
+    return Case(
+        scrutinee,
+        [Branch(cname, params, body) for cname, params, body in branches],
+    )
+
+
+def ife(cond: Expr, then: Expr, orelse: Expr) -> If:
+    """``if cond then then else orelse``."""
+    return If(cond, then, orelse)
+
+
+def lit(value: Union[int, bool, None]) -> Lit:
+    """A literal (int, bool, or ``None`` for unit)."""
+    return Lit(value)
+
+
+def unit() -> Lit:
+    """The unit literal ``()``."""
+    return Lit(None)
+
+
+def prim(name: str, *args: Expr) -> Prim:
+    """A fully-applied primitive, e.g. ``prim('add', x, y)``."""
+    return Prim(name, args)
+
+
+def ref(expr: Expr) -> Ref:
+    """Reference allocation ``ref expr``."""
+    return Ref(expr)
+
+
+def deref(expr: Expr) -> Deref:
+    """Reference read ``!expr``."""
+    return Deref(expr)
+
+
+def assign(target: Expr, value: Expr) -> Assign:
+    """Reference write ``target := value``."""
+    return Assign(target, value)
+
+
+def seq(first: Expr, second: Expr, *rest: Expr) -> Expr:
+    """Sequencing sugar: evaluate ``first`` for effect, then continue.
+
+    Encoded as ``let _seq = first in second`` (binders are freshened by
+    :class:`Program`'s alpha-renaming, so reuse is safe).
+    """
+    exprs = [first, second, *rest]
+    result = exprs[-1]
+    for e in reversed(exprs[:-1]):
+        result = Let("_seq", e, result)
+    return result
+
+
+def datatype(name: str, **constructors) -> DatatypeDecl:
+    """A datatype declaration; values are tuples of argument types."""
+    return DatatypeDecl(name, {c: tuple(ts) for c, ts in constructors.items()})
+
+
+def program(
+    root: Expr,
+    datatypes: Sequence[DatatypeDecl] = (),
+    rename: bool = True,
+) -> Program:
+    """Wrap an expression into an analysed-ready :class:`Program`."""
+    return Program(root, datatypes, rename=rename)

@@ -1,0 +1,103 @@
+"""Structural comparison of expressions.
+
+AST nodes deliberately use identity equality (each occurrence is a
+distinct analysis node), so tests and the parser round-trip property
+need an explicit structural comparison. Comparison is up to node
+structure, variable names, constructor names, literal values and
+(optionally) abstraction labels.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    App,
+    Assign,
+    Case,
+    Con,
+    Deref,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Letrec,
+    Lit,
+    Prim,
+    Proj,
+    Record,
+    Ref,
+    Var,
+)
+
+
+def ast_equal(a: Expr, b: Expr, compare_labels: bool = True) -> bool:
+    """Structural equality of two expression trees."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, Var):
+        return a.name == b.name
+    if isinstance(a, Lam):
+        if a.param != b.param:
+            return False
+        if compare_labels and a.label != b.label:
+            return False
+        return ast_equal(a.body, b.body, compare_labels)
+    if isinstance(a, App):
+        return ast_equal(a.fn, b.fn, compare_labels) and ast_equal(
+            a.arg, b.arg, compare_labels
+        )
+    if isinstance(a, (Let, Letrec)):
+        return (
+            a.name == b.name
+            and ast_equal(a.bound, b.bound, compare_labels)
+            and ast_equal(a.body, b.body, compare_labels)
+        )
+    if isinstance(a, Record):
+        return len(a.fields) == len(b.fields) and all(
+            ast_equal(x, y, compare_labels)
+            for x, y in zip(a.fields, b.fields)
+        )
+    if isinstance(a, Proj):
+        return a.index == b.index and ast_equal(
+            a.expr, b.expr, compare_labels
+        )
+    if isinstance(a, Con):
+        return (
+            a.cname == b.cname
+            and len(a.args) == len(b.args)
+            and all(
+                ast_equal(x, y, compare_labels)
+                for x, y in zip(a.args, b.args)
+            )
+        )
+    if isinstance(a, Case):
+        if not ast_equal(a.scrutinee, b.scrutinee, compare_labels):
+            return False
+        if len(a.branches) != len(b.branches):
+            return False
+        for branch_a, branch_b in zip(a.branches, b.branches):
+            if branch_a.cname != branch_b.cname:
+                return False
+            if branch_a.params != branch_b.params:
+                return False
+            if not ast_equal(branch_a.body, branch_b.body, compare_labels):
+                return False
+        return True
+    if isinstance(a, If):
+        return (
+            ast_equal(a.cond, b.cond, compare_labels)
+            and ast_equal(a.then, b.then, compare_labels)
+            and ast_equal(a.orelse, b.orelse, compare_labels)
+        )
+    if isinstance(a, Lit):
+        return type(a.value) is type(b.value) and a.value == b.value
+    if isinstance(a, Prim):
+        return a.name == b.name and all(
+            ast_equal(x, y, compare_labels) for x, y in zip(a.args, b.args)
+        )
+    if isinstance(a, (Ref, Deref)):
+        return ast_equal(a.expr, b.expr, compare_labels)
+    if isinstance(a, Assign):
+        return ast_equal(a.target, b.target, compare_labels) and ast_equal(
+            a.value, b.value, compare_labels
+        )
+    raise TypeError(f"unknown expression node {type(a).__name__}")

@@ -1,0 +1,339 @@
+"""Call-by-value reference evaluator with label tracing.
+
+The point of this evaluator is not speed but *ground truth*: it
+records, for every expression occurrence, the set of abstraction
+labels the occurrence actually evaluates to at run time. Standard CFA
+is a conservative approximation of exactly this set (Section 2 of the
+paper), so for every terminating program and every occurrence ``e``::
+
+    runtime_labels(e)  ⊆  L_cfa(e)
+
+which the test suite checks for the standard algorithm, the DTC
+system, and the subtransitive algorithm alike.
+
+Evaluation is fuel-limited so the property-based tests can run
+arbitrary (possibly divergent) generated programs safely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro._util import ensure_recursion_limit
+from repro.errors import EvaluationError, FuelExhausted
+from repro.lang.ast import (
+    App,
+    Assign,
+    Case,
+    Con,
+    Deref,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Letrec,
+    Lit,
+    Prim,
+    Program,
+    Proj,
+    Record,
+    Ref,
+    Var,
+)
+
+
+class Value:
+    """Base class of runtime values (ints/bools/unit are raw Python)."""
+
+    __slots__ = ()
+
+
+class Closure(Value):
+    """A function value: a labelled abstraction paired with its
+    environment."""
+
+    __slots__ = ("lam", "env")
+
+    def __init__(self, lam: Lam, env: Dict[str, object]):
+        self.lam = lam
+        self.env = env
+
+    @property
+    def label(self) -> str:
+        return self.lam.label
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<closure {self.lam.label}>"
+
+
+class RecordValue(Value):
+    """A record value ``(v1, ..., vn)``."""
+
+    __slots__ = ("fields",)
+
+    def __init__(self, fields: Tuple[object, ...]):
+        self.fields = fields
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"({', '.join(map(render_value, self.fields))})"
+
+
+class ConValue(Value):
+    """A datatype value ``C(v1, ..., vn)``."""
+
+    __slots__ = ("cname", "args")
+
+    def __init__(self, cname: str, args: Tuple[object, ...]):
+        self.cname = cname
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return render_value(self)
+
+
+class RefCell(Value):
+    """A mutable reference cell."""
+
+    __slots__ = ("contents",)
+
+    def __init__(self, contents: object):
+        self.contents = contents
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ref {render_value(self.contents)}>"
+
+
+def render_value(value: object) -> str:
+    """Human-readable rendering of a runtime value."""
+    if value is None:
+        return "()"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, Closure):
+        return f"<fn {value.lam.label}>"
+    if isinstance(value, RecordValue):
+        return "(" + ", ".join(render_value(f) for f in value.fields) + ")"
+    if isinstance(value, ConValue):
+        if not value.args:
+            return value.cname
+        inner = ", ".join(render_value(a) for a in value.args)
+        return f"{value.cname}({inner})"
+    if isinstance(value, RefCell):
+        return f"ref {render_value(value.contents)}"
+    return repr(value)
+
+
+class LabelTrace:
+    """Per-occurrence record of the abstraction labels observed at run
+    time: ``trace[nid]`` is the set of labels expression ``nid``
+    evaluated to."""
+
+    def __init__(self) -> None:
+        self.observed: Dict[int, Set[str]] = {}
+
+    def record(self, expr: Expr, value: object) -> None:
+        if isinstance(value, Closure):
+            self.observed.setdefault(expr.nid, set()).add(value.label)
+
+    def labels_at(self, expr: Expr) -> Set[str]:
+        """Labels observed at occurrence ``expr`` (empty if none)."""
+        return set(self.observed.get(expr.nid, ()))
+
+    def __len__(self) -> int:
+        return len(self.observed)
+
+
+class EvalResult:
+    """Outcome of a (terminating) evaluation."""
+
+    def __init__(
+        self,
+        value: object,
+        trace: LabelTrace,
+        output: List[str],
+        steps: int,
+    ):
+        self.value = value
+        self.trace = trace
+        self.output = output
+        self.steps = steps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EvalResult {render_value(self.value)} steps={self.steps}>"
+
+
+class _Evaluator:
+    def __init__(self, fuel: int):
+        self.fuel = fuel
+        self.trace = LabelTrace()
+        self.output: List[str] = []
+        self.steps = 0
+
+    def burn(self) -> None:
+        self.steps += 1
+        if self.steps > self.fuel:
+            raise FuelExhausted(self.fuel)
+
+    def eval(self, expr: Expr, env: Dict[str, object]) -> object:
+        self.burn()
+        value = self._eval(expr, env)
+        self.trace.record(expr, value)
+        return value
+
+    def _eval(self, expr: Expr, env: Dict[str, object]) -> object:
+        if isinstance(expr, Var):
+            try:
+                return env[expr.name]
+            except KeyError:
+                raise EvaluationError(
+                    f"unbound variable {expr.name!r} at runtime"
+                ) from None
+        if isinstance(expr, Lam):
+            return Closure(expr, env)
+        if isinstance(expr, App):
+            fn = self.eval(expr.fn, env)
+            arg = self.eval(expr.arg, env)
+            if not isinstance(fn, Closure):
+                raise EvaluationError(
+                    f"applied a non-function: {render_value(fn)}"
+                )
+            inner = dict(fn.env)
+            inner[fn.lam.param] = arg
+            return self.eval(fn.lam.body, inner)
+        if isinstance(expr, Let):
+            bound = self.eval(expr.bound, env)
+            inner = dict(env)
+            inner[expr.name] = bound
+            return self.eval(expr.body, inner)
+        if isinstance(expr, Letrec):
+            inner = dict(env)
+            closure = Closure(expr.bound, inner)
+            inner[expr.name] = closure
+            self.trace.record(expr.bound, closure)
+            return self.eval(expr.body, inner)
+        if isinstance(expr, Record):
+            return RecordValue(
+                tuple(self.eval(f, env) for f in expr.fields)
+            )
+        if isinstance(expr, Proj):
+            rec = self.eval(expr.expr, env)
+            if not isinstance(rec, RecordValue):
+                raise EvaluationError(
+                    f"projection from a non-record: {render_value(rec)}"
+                )
+            if expr.index > len(rec.fields):
+                raise EvaluationError(
+                    f"projection #{expr.index} out of range for "
+                    f"{len(rec.fields)}-record"
+                )
+            return rec.fields[expr.index - 1]
+        if isinstance(expr, Con):
+            return ConValue(
+                expr.cname, tuple(self.eval(a, env) for a in expr.args)
+            )
+        if isinstance(expr, Case):
+            scrutinee = self.eval(expr.scrutinee, env)
+            if not isinstance(scrutinee, ConValue):
+                raise EvaluationError(
+                    f"case on a non-datatype value: "
+                    f"{render_value(scrutinee)}"
+                )
+            for branch in expr.branches:
+                if branch.cname == scrutinee.cname:
+                    inner = dict(env)
+                    inner.update(zip(branch.params, scrutinee.args))
+                    return self.eval(branch.body, inner)
+            raise EvaluationError(
+                f"no case branch matches constructor {scrutinee.cname!r}"
+            )
+        if isinstance(expr, If):
+            cond = self.eval(expr.cond, env)
+            if not isinstance(cond, bool):
+                raise EvaluationError(
+                    f"if condition is not a bool: {render_value(cond)}"
+                )
+            branch = expr.then if cond else expr.orelse
+            return self.eval(branch, env)
+        if isinstance(expr, Lit):
+            return expr.value
+        if isinstance(expr, Prim):
+            args = [self.eval(a, env) for a in expr.args]
+            return self.apply_prim(expr.name, args)
+        if isinstance(expr, Ref):
+            return RefCell(self.eval(expr.expr, env))
+        if isinstance(expr, Deref):
+            cell = self.eval(expr.expr, env)
+            if not isinstance(cell, RefCell):
+                raise EvaluationError(
+                    f"dereferenced a non-ref: {render_value(cell)}"
+                )
+            return cell.contents
+        if isinstance(expr, Assign):
+            cell = self.eval(expr.target, env)
+            value = self.eval(expr.value, env)
+            if not isinstance(cell, RefCell):
+                raise EvaluationError(
+                    f"assigned to a non-ref: {render_value(cell)}"
+                )
+            cell.contents = value
+            return None
+        raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+    def apply_prim(self, name: str, args: List[object]) -> object:
+        if name == "print":
+            self.output.append(render_value(args[0]))
+            return None
+        if name == "not":
+            self._want_bool(name, args[0])
+            return not args[0]
+        left, right = args
+        if name in ("add", "sub", "mul", "less", "leq"):
+            self._want_int(name, left)
+            self._want_int(name, right)
+        if name == "add":
+            return left + right
+        if name == "sub":
+            return left - right
+        if name == "mul":
+            return left * right
+        if name == "less":
+            return left < right
+        if name == "leq":
+            return left <= right
+        if name == "eq":
+            if isinstance(left, int) and isinstance(right, int):
+                return left == right
+            raise EvaluationError("eq compares integers only")
+        raise EvaluationError(f"unknown primitive {name!r}")
+
+    def _want_int(self, name: str, value: object) -> None:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise EvaluationError(
+                f"primitive {name!r} expects an int, got "
+                f"{render_value(value)}"
+            )
+
+    def _want_bool(self, name: str, value: object) -> None:
+        if not isinstance(value, bool):
+            raise EvaluationError(
+                f"primitive {name!r} expects a bool, got "
+                f"{render_value(value)}"
+            )
+
+
+def evaluate(program: Program, fuel: int = 100_000) -> EvalResult:
+    """Run ``program`` to a value under call-by-value semantics.
+
+    Raises :class:`FuelExhausted` if more than ``fuel`` evaluation
+    steps are needed, and :class:`EvaluationError` on dynamic type
+    errors (which cannot occur for programs accepted by the type
+    checker).
+    """
+    ensure_recursion_limit()
+    evaluator = _Evaluator(fuel)
+    value = evaluator.eval(program.root, {})
+    return EvalResult(value, evaluator.trace, evaluator.output, evaluator.steps)

@@ -1,0 +1,247 @@
+"""Explicit ``let``-expansion.
+
+Section 5 of the paper bounds the polymorphic case through "the
+induced collection of monotypes in the let-expansion of a program",
+and Section 7 defines the goal of the polyvariant analysis as
+"equivalent to doing a monomorphic analysis of the let-expanded P,
+without doing the explicit let-expansion".
+
+This module *does* the explicit expansion, so tests can validate both
+claims: it rewrites ``let x = e1 in e2`` into ``e2[e1/x]`` with a
+fresh copy of ``e1`` (fresh abstraction labels) per occurrence of
+``x``, and returns a map from copied labels back to their originals.
+
+``letrec`` bindings are recursive and are never expanded.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro._util import ensure_recursion_limit
+from repro.errors import AnalysisBudgetExceeded
+from repro.lang.ast import (
+    App,
+    Assign,
+    Branch,
+    Case,
+    Con,
+    Deref,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Letrec,
+    Lit,
+    Prim,
+    Program,
+    Proj,
+    Record,
+    Ref,
+    Var,
+)
+
+
+def _copy(expr: Expr, relabel: Callable[[str], str]) -> Expr:
+    """Deep-copy ``expr``, renaming abstraction labels via ``relabel``."""
+    if isinstance(expr, Var):
+        return Var(expr.name)
+    if isinstance(expr, Lam):
+        label = relabel(expr.label) if expr.label is not None else None
+        return Lam(expr.param, _copy(expr.body, relabel), label)
+    if isinstance(expr, App):
+        return App(_copy(expr.fn, relabel), _copy(expr.arg, relabel))
+    if isinstance(expr, Let):
+        return Let(
+            expr.name,
+            _copy(expr.bound, relabel),
+            _copy(expr.body, relabel),
+        )
+    if isinstance(expr, Letrec):
+        return Letrec(
+            expr.name,
+            _copy(expr.bound, relabel),
+            _copy(expr.body, relabel),
+        )
+    if isinstance(expr, Record):
+        return Record([_copy(f, relabel) for f in expr.fields])
+    if isinstance(expr, Proj):
+        return Proj(expr.index, _copy(expr.expr, relabel))
+    if isinstance(expr, Con):
+        return Con(expr.cname, [_copy(a, relabel) for a in expr.args])
+    if isinstance(expr, Case):
+        return Case(
+            _copy(expr.scrutinee, relabel),
+            [
+                Branch(b.cname, b.params, _copy(b.body, relabel))
+                for b in expr.branches
+            ],
+        )
+    if isinstance(expr, If):
+        return If(
+            _copy(expr.cond, relabel),
+            _copy(expr.then, relabel),
+            _copy(expr.orelse, relabel),
+        )
+    if isinstance(expr, Lit):
+        return Lit(expr.value)
+    if isinstance(expr, Prim):
+        return Prim(expr.name, [_copy(a, relabel) for a in expr.args])
+    if isinstance(expr, Ref):
+        return Ref(_copy(expr.expr, relabel))
+    if isinstance(expr, Deref):
+        return Deref(_copy(expr.expr, relabel))
+    if isinstance(expr, Assign):
+        return Assign(
+            _copy(expr.target, relabel), _copy(expr.value, relabel)
+        )
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+class _Expander:
+    def __init__(self, size_budget: int):
+        self.size_budget = size_budget
+        self.produced = 0
+        self.copy_counter = 0
+        self.label_origin: Dict[str, str] = {}
+
+    def charge(self, amount: int = 1) -> None:
+        self.produced += amount
+        if self.produced > self.size_budget:
+            raise AnalysisBudgetExceeded(
+                "let-expansion size", self.produced, self.size_budget
+            )
+
+    def expand(self, expr: Expr) -> Expr:
+        self.charge()
+        if isinstance(expr, Let):
+            bound = self.expand(expr.bound)
+            body = self.expand(expr.body)
+            return self.substitute(body, expr.name, bound)
+        if isinstance(expr, Var):
+            return Var(expr.name)
+        if isinstance(expr, Lam):
+            return Lam(expr.param, self.expand(expr.body), expr.label)
+        if isinstance(expr, App):
+            return App(self.expand(expr.fn), self.expand(expr.arg))
+        if isinstance(expr, Letrec):
+            return Letrec(
+                expr.name, self.expand(expr.bound), self.expand(expr.body)
+            )
+        if isinstance(expr, Record):
+            return Record([self.expand(f) for f in expr.fields])
+        if isinstance(expr, Proj):
+            return Proj(expr.index, self.expand(expr.expr))
+        if isinstance(expr, Con):
+            return Con(expr.cname, [self.expand(a) for a in expr.args])
+        if isinstance(expr, Case):
+            return Case(
+                self.expand(expr.scrutinee),
+                [
+                    Branch(b.cname, b.params, self.expand(b.body))
+                    for b in expr.branches
+                ],
+            )
+        if isinstance(expr, If):
+            return If(
+                self.expand(expr.cond),
+                self.expand(expr.then),
+                self.expand(expr.orelse),
+            )
+        if isinstance(expr, Lit):
+            return Lit(expr.value)
+        if isinstance(expr, Prim):
+            return Prim(expr.name, [self.expand(a) for a in expr.args])
+        if isinstance(expr, Ref):
+            return Ref(self.expand(expr.expr))
+        if isinstance(expr, Deref):
+            return Deref(self.expand(expr.expr))
+        if isinstance(expr, Assign):
+            return Assign(self.expand(expr.target), self.expand(expr.value))
+        raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+    def substitute(self, body: Expr, name: str, bound: Expr) -> Expr:
+        """Replace each free occurrence of ``name`` in ``body`` with a
+        freshly-relabelled copy of ``bound``.
+
+        The program is alpha-renamed (all binders distinct), so no
+        occurrence of ``name`` in ``body`` can be shadowed.
+        """
+
+        def make_copy() -> Expr:
+            self.copy_counter += 1
+            suffix = self.copy_counter
+
+            def relabel(label: str) -> str:
+                fresh = f"{label}@{suffix}"
+                origin = self.label_origin.get(label, label)
+                self.label_origin[fresh] = origin
+                return fresh
+
+            copy = _copy(bound, relabel)
+            self.charge(sum(1 for _ in copy.walk()))
+            return copy
+
+        def go(expr: Expr) -> Expr:
+            if isinstance(expr, Var):
+                return make_copy() if expr.name == name else Var(expr.name)
+            if isinstance(expr, Lam):
+                return Lam(expr.param, go(expr.body), expr.label)
+            if isinstance(expr, App):
+                return App(go(expr.fn), go(expr.arg))
+            if isinstance(expr, Let):
+                return Let(expr.name, go(expr.bound), go(expr.body))
+            if isinstance(expr, Letrec):
+                return Letrec(expr.name, go(expr.bound), go(expr.body))
+            if isinstance(expr, Record):
+                return Record([go(f) for f in expr.fields])
+            if isinstance(expr, Proj):
+                return Proj(expr.index, go(expr.expr))
+            if isinstance(expr, Con):
+                return Con(expr.cname, [go(a) for a in expr.args])
+            if isinstance(expr, Case):
+                return Case(
+                    go(expr.scrutinee),
+                    [
+                        Branch(b.cname, b.params, go(b.body))
+                        for b in expr.branches
+                    ],
+                )
+            if isinstance(expr, If):
+                return If(go(expr.cond), go(expr.then), go(expr.orelse))
+            if isinstance(expr, Lit):
+                return Lit(expr.value)
+            if isinstance(expr, Prim):
+                return Prim(expr.name, [go(a) for a in expr.args])
+            if isinstance(expr, Ref):
+                return Ref(go(expr.expr))
+            if isinstance(expr, Deref):
+                return Deref(go(expr.expr))
+            if isinstance(expr, Assign):
+                return Assign(go(expr.target), go(expr.value))
+            raise TypeError(
+                f"unknown expression node {type(expr).__name__}"
+            )
+
+        return go(body)
+
+
+def let_expand(
+    program: Program, size_budget: int = 1_000_000
+) -> Tuple[Program, Dict[str, str]]:
+    """Fully let-expand ``program``.
+
+    Returns the expanded program and a map from each copied
+    abstraction label to the original label it descends from
+    (labels that were not copied map to themselves implicitly).
+
+    Raises :class:`AnalysisBudgetExceeded` when the expansion would
+    exceed ``size_budget`` nodes — let-expansion can be exponential,
+    which is exactly why the paper's Section 7 avoids doing it
+    explicitly.
+    """
+    ensure_recursion_limit()
+    expander = _Expander(size_budget)
+    root = expander.expand(program.root)
+    expanded = Program(root, list(program.datatypes.values()), rename=True)
+    return expanded, dict(expander.label_origin)

@@ -1,0 +1,53 @@
+"""The primitive table for the mini-ML language.
+
+The paper's effects analysis (Section 8) assumes "all side-effecting
+primitives are fully applied"; this module fixes, for each primitive,
+its arity and whether it is side-effecting. Type signatures live in
+:mod:`repro.types.infer` (which owns the type language) and the
+dynamic semantics in :mod:`repro.lang.eval`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple
+
+
+class PrimSpec(NamedTuple):
+    """Static description of a primitive operator."""
+
+    name: str
+    arity: int
+    effectful: bool
+    infix: str = ""  # concrete infix spelling, "" for prefix primitives
+
+
+#: All primitives, keyed by name. ``print`` is the canonical
+#: side-effecting primitive the effects analysis hunts for.
+PRIMITIVES: Dict[str, PrimSpec] = {
+    spec.name: spec
+    for spec in [
+        PrimSpec("add", 2, False, "+"),
+        PrimSpec("sub", 2, False, "-"),
+        PrimSpec("mul", 2, False, "*"),
+        PrimSpec("less", 2, False, "<"),
+        PrimSpec("leq", 2, False, "<="),
+        PrimSpec("eq", 2, False, "=="),
+        PrimSpec("not", 1, False),
+        PrimSpec("print", 1, True),
+    ]
+}
+
+#: Infix spelling -> primitive name (used by the parser and printer).
+INFIX_TO_PRIM: Dict[str, str] = {
+    spec.infix: spec.name for spec in PRIMITIVES.values() if spec.infix
+}
+
+#: Prefix (non-infix) primitive names.
+PREFIX_PRIMS = frozenset(
+    spec.name for spec in PRIMITIVES.values() if not spec.infix
+)
+
+
+def is_effectful(name: str) -> bool:
+    """True if primitive ``name`` is side-effecting."""
+    return PRIMITIVES[name].effectful

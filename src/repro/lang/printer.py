@@ -1,0 +1,185 @@
+"""Precedence-aware pretty-printer for mini-ML.
+
+:func:`pretty` produces concrete syntax that re-parses to a
+structurally identical term (the round-trip property is exercised by
+the test suite). Abstraction labels are printed as ``fn[label] x =>``
+when present so analyses' label references survive a round trip.
+"""
+
+from __future__ import annotations
+
+from repro._util import ensure_recursion_limit
+from repro.lang.ast import (
+    App,
+    Assign,
+    Case,
+    Con,
+    DatatypeDecl,
+    Deref,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Letrec,
+    Lit,
+    Prim,
+    Program,
+    Proj,
+    Record,
+    Ref,
+    Var,
+)
+from repro.lang.prims import PRIMITIVES
+from repro.types.types import TData, TFun, TRecord, TRef, Type
+
+# Precedence levels, loosest to tightest.
+_EXPR = 0  # fn / let / letrec / if / case / :=
+_CMP = 1
+_ADD = 2
+_MUL = 3
+_APP = 4
+_PREFIX = 5
+_ATOM = 6
+
+_INFIX_LEVEL = {
+    "less": _CMP,
+    "leq": _CMP,
+    "eq": _CMP,
+    "add": _ADD,
+    "sub": _ADD,
+    "mul": _MUL,
+}
+
+
+def pretty(expr: Expr, show_labels: bool = True) -> str:
+    """Render ``expr`` as concrete syntax."""
+    ensure_recursion_limit()
+    return _render(expr, _EXPR, show_labels)
+
+
+def pretty_program(program: Program, show_labels: bool = True) -> str:
+    """Render a whole program, datatype declarations included."""
+    parts = [
+        _render_datadecl(decl) for decl in program.datatypes.values()
+    ]
+    parts.append(pretty(program.root, show_labels))
+    return "\n".join(parts)
+
+
+def _paren(text: str, needed: bool) -> str:
+    return f"({text})" if needed else text
+
+
+def _render(expr: Expr, level: int, labels: bool) -> str:
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Lit):
+        if expr.value is None:
+            return "()"
+        if expr.value is True:
+            return "true"
+        if expr.value is False:
+            return "false"
+        return str(expr.value)
+    if isinstance(expr, Lam):
+        tag = f"[{expr.label}]" if labels and expr.label is not None else ""
+        body = _render(expr.body, _EXPR, labels)
+        return _paren(f"fn{tag} {expr.param} => {body}", level > _EXPR)
+    if isinstance(expr, Let):
+        bound = _render(expr.bound, _EXPR, labels)
+        body = _render(expr.body, _EXPR, labels)
+        return _paren(
+            f"let {expr.name} = {bound} in {body}", level > _EXPR
+        )
+    if isinstance(expr, Letrec):
+        bound = _render(expr.bound, _EXPR, labels)
+        body = _render(expr.body, _EXPR, labels)
+        return _paren(
+            f"letrec {expr.name} = {bound} in {body}", level > _EXPR
+        )
+    if isinstance(expr, If):
+        cond = _render(expr.cond, _EXPR, labels)
+        then = _render(expr.then, _EXPR, labels)
+        orelse = _render(expr.orelse, _EXPR, labels)
+        return _paren(
+            f"if {cond} then {then} else {orelse}", level > _EXPR
+        )
+    if isinstance(expr, Case):
+        scrutinee = _render(expr.scrutinee, _EXPR, labels)
+        arms = []
+        for branch in expr.branches:
+            pattern = branch.cname
+            if branch.params:
+                pattern += "(" + ", ".join(branch.params) + ")"
+            arms.append(
+                f"{pattern} => {_render(branch.body, _EXPR, labels)}"
+            )
+        body = " | ".join(arms)
+        # `case ... end` is self-delimiting on the right, but in
+        # operator/operand position it still needs parentheses (the
+        # parser only accepts `case` where a full expression starts).
+        return _paren(
+            f"case {scrutinee} of {body} end", level > _EXPR
+        )
+    if isinstance(expr, Assign):
+        target = _render(expr.target, _CMP, labels)
+        value = _render(expr.value, _EXPR, labels)
+        return _paren(f"{target} := {value}", level > _EXPR)
+    if isinstance(expr, App):
+        fn = _render(expr.fn, _APP, labels)
+        arg = _render(expr.arg, _PREFIX, labels)
+        return _paren(f"{fn} {arg}", level > _APP)
+    if isinstance(expr, Prim):
+        spec = PRIMITIVES[expr.name]
+        if spec.infix:
+            own = _INFIX_LEVEL[expr.name]
+            # Comparison is non-associative; + - * are left-associative.
+            left_level = own if own != _CMP else own + 1
+            left = _render(expr.args[0], left_level, labels)
+            right = _render(expr.args[1], own + 1, labels)
+            return _paren(f"{left} {spec.infix} {right}", level > own)
+        operand = _render(expr.args[0], _PREFIX, labels)
+        return _paren(f"{expr.name} {operand}", level > _PREFIX)
+    if isinstance(expr, Ref):
+        operand = _render(expr.expr, _PREFIX, labels)
+        return _paren(f"ref {operand}", level > _PREFIX)
+    if isinstance(expr, Deref):
+        operand = _render(expr.expr, _PREFIX, labels)
+        return _paren(f"!{operand}", level > _PREFIX)
+    if isinstance(expr, Proj):
+        operand = _render(expr.expr, _PREFIX, labels)
+        return _paren(f"#{expr.index} {operand}", level > _PREFIX)
+    if isinstance(expr, Record):
+        inner = ", ".join(_render(f, _EXPR, labels) for f in expr.fields)
+        return f"({inner})"
+    if isinstance(expr, Con):
+        if not expr.args:
+            return expr.cname
+        inner = ", ".join(_render(a, _EXPR, labels) for a in expr.args)
+        return f"{expr.cname}({inner})"
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def _render_type(ty: Type, nested: bool = False) -> str:
+    if isinstance(ty, TFun):
+        text = f"{_render_type(ty.param, True)} -> {_render_type(ty.result)}"
+        return f"({text})" if nested else text
+    if isinstance(ty, TRecord):
+        inner = ", ".join(_render_type(f) for f in ty.fields)
+        return f"({inner})"
+    if isinstance(ty, TRef):
+        return f"{_render_type(ty.content, True)} ref"
+    if isinstance(ty, TData):
+        return ty.name
+    return str(ty)
+
+
+def _render_datadecl(decl: DatatypeDecl) -> str:
+    arms = []
+    for cname, argtypes in decl.constructors.items():
+        if argtypes:
+            types = " * ".join(_render_type(t, True) for t in argtypes)
+            arms.append(f"{cname} of {types}")
+        else:
+            arms.append(cname)
+    return f"datatype {decl.name} = " + " | ".join(arms) + ";"

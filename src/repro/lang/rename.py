@@ -1,0 +1,186 @@
+"""Alpha-renaming and scope checking.
+
+The analysis (Section 3 of the paper) assumes "programs are renamed to
+ensure that bound variables are distinct"; :func:`alpha_rename`
+establishes that invariant by rebuilding the term with fresh, distinct
+binder names. :func:`check_scopes` verifies closedness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.errors import ScopeError
+from repro.lang.ast import (
+    App,
+    Assign,
+    Branch,
+    Case,
+    Con,
+    Deref,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Letrec,
+    Lit,
+    Prim,
+    Proj,
+    Record,
+    Ref,
+    Var,
+)
+
+
+class _Renamer:
+    """Rebuilds an expression with globally distinct binder names.
+
+    Names are kept human-readable: the first binder called ``x`` stays
+    ``x``; later ones become ``x_1``, ``x_2``, ...
+
+    ``used`` may be shared across invocations (the incremental
+    analysis session threads one pool through every definition so
+    binders stay distinct session-wide).
+    """
+
+    def __init__(self, used: Optional[Set[str]] = None) -> None:
+        self._used: Set[str] = used if used is not None else set()
+
+    def fresh(self, base: str) -> str:
+        if base not in self._used:
+            self._used.add(base)
+            return base
+        counter = 1
+        while f"{base}_{counter}" in self._used:
+            counter += 1
+        name = f"{base}_{counter}"
+        self._used.add(name)
+        return name
+
+    def rename(self, expr: Expr, env: Dict[str, str]) -> Expr:
+        out = self._rename(expr, env)
+        out.line, out.column = expr.line, expr.column
+        return out
+
+    def _rename(self, expr: Expr, env: Dict[str, str]) -> Expr:
+        if isinstance(expr, Var):
+            if expr.name not in env:
+                raise ScopeError(f"unbound variable {expr.name!r}")
+            return Var(env[expr.name])
+        if isinstance(expr, Lam):
+            fresh = self.fresh(expr.param)
+            body = self.rename(expr.body, {**env, expr.param: fresh})
+            return Lam(fresh, body, expr.label)
+        if isinstance(expr, App):
+            return App(self.rename(expr.fn, env), self.rename(expr.arg, env))
+        if isinstance(expr, Let):
+            bound = self.rename(expr.bound, env)
+            fresh = self.fresh(expr.name)
+            body = self.rename(expr.body, {**env, expr.name: fresh})
+            return Let(fresh, bound, body)
+        if isinstance(expr, Letrec):
+            fresh = self.fresh(expr.name)
+            inner = {**env, expr.name: fresh}
+            bound = self.rename(expr.bound, inner)
+            body = self.rename(expr.body, inner)
+            return Letrec(fresh, bound, body)
+        if isinstance(expr, Record):
+            return Record([self.rename(f, env) for f in expr.fields])
+        if isinstance(expr, Proj):
+            return Proj(expr.index, self.rename(expr.expr, env))
+        if isinstance(expr, Con):
+            return Con(expr.cname, [self.rename(a, env) for a in expr.args])
+        if isinstance(expr, Case):
+            scrutinee = self.rename(expr.scrutinee, env)
+            branches = []
+            for branch in expr.branches:
+                fresh_params = [self.fresh(p) for p in branch.params]
+                inner = dict(env)
+                inner.update(zip(branch.params, fresh_params))
+                branches.append(
+                    Branch(
+                        branch.cname,
+                        fresh_params,
+                        self.rename(branch.body, inner),
+                    )
+                )
+            return Case(scrutinee, branches)
+        if isinstance(expr, If):
+            return If(
+                self.rename(expr.cond, env),
+                self.rename(expr.then, env),
+                self.rename(expr.orelse, env),
+            )
+        if isinstance(expr, Lit):
+            return Lit(expr.value)
+        if isinstance(expr, Prim):
+            return Prim(expr.name, [self.rename(a, env) for a in expr.args])
+        if isinstance(expr, Ref):
+            return Ref(self.rename(expr.expr, env))
+        if isinstance(expr, Deref):
+            return Deref(self.rename(expr.expr, env))
+        if isinstance(expr, Assign):
+            return Assign(
+                self.rename(expr.target, env), self.rename(expr.value, env)
+            )
+        raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def alpha_rename(
+    expr: Expr,
+    free: Optional[Dict[str, str]] = None,
+    used: Optional[Set[str]] = None,
+) -> Expr:
+    """Return a copy of ``expr`` in which all bound variables are
+    distinct (and human-readable).
+
+    ``free`` maps variable names that may occur free (e.g. session
+    globals) to the names to use for them; ``used`` is an optional
+    shared pool of already-taken binder names.
+    """
+    return _Renamer(used).rename(expr, dict(free) if free else {})
+
+
+def check_scopes(expr: Expr) -> None:
+    """Raise :class:`ScopeError` unless ``expr`` is closed."""
+
+    def go(node: Expr, env: Set[str]) -> None:
+        if isinstance(node, Var):
+            if node.name not in env:
+                raise ScopeError(f"unbound variable {node.name!r}")
+            return
+        if isinstance(node, Lam):
+            go(node.body, env | {node.param})
+            return
+        if isinstance(node, Let):
+            go(node.bound, env)
+            go(node.body, env | {node.name})
+            return
+        if isinstance(node, Letrec):
+            inner = env | {node.name}
+            go(node.bound, inner)
+            go(node.body, inner)
+            return
+        if isinstance(node, Case):
+            go(node.scrutinee, env)
+            for branch in node.branches:
+                go(branch.body, env | set(branch.params))
+            return
+        for child in node.children():
+            go(child, env)
+
+    go(expr, set())
+
+
+def bound_variables(expr: Expr) -> Set[str]:
+    """All variable names bound anywhere in ``expr``."""
+    names: Set[str] = set()
+    for node in expr.walk():
+        if isinstance(node, Lam):
+            names.add(node.param)
+        elif isinstance(node, (Let, Letrec)):
+            names.add(node.name)
+        elif isinstance(node, Case):
+            for branch in node.branches:
+                names.update(branch.params)
+    return names

@@ -1,0 +1,72 @@
+"""Type system for the mini-ML language.
+
+The subtransitive algorithm never *looks at* types — the paper is
+explicit that types are "used only to establish termination (and the
+linear-time complexity bounds in the bounded-type case)" — but the
+reproduction needs them anyway:
+
+* to classify programs into the bounded-type classes ``P_k``
+  (Section 4) that the complexity theorem quantifies over;
+* to measure the paper's empirical constant (average type-tree size,
+  reported as "typically around 2 or 3");
+* to type datatype constructor signatures and drive the node
+  congruences of Section 6.
+
+:mod:`repro.types.infer` implements let-polymorphic Hindley-Milner
+inference (algorithm W with generalisation levels);
+:mod:`repro.types.measure` implements tree size / order / arity and
+the ``P_k`` classification.
+"""
+
+from repro.types.infer import InferenceResult, infer_types
+from repro.types.measure import (
+    arity_of,
+    bounded_type_report,
+    is_bounded_type,
+    order_of,
+    type_size,
+)
+from repro.types.types import (
+    BOOL,
+    INT,
+    STRING,
+    TCon,
+    TData,
+    TFun,
+    TRecord,
+    TRef,
+    TScheme,
+    TVar,
+    Type,
+    UNIT,
+    free_type_vars,
+    occurs_in,
+    prune,
+)
+from repro.types.unify import unify
+
+__all__ = [
+    "BOOL",
+    "INT",
+    "STRING",
+    "InferenceResult",
+    "TCon",
+    "TData",
+    "TFun",
+    "TRecord",
+    "TRef",
+    "TScheme",
+    "TVar",
+    "Type",
+    "UNIT",
+    "arity_of",
+    "bounded_type_report",
+    "free_type_vars",
+    "infer_types",
+    "is_bounded_type",
+    "occurs_in",
+    "order_of",
+    "prune",
+    "type_size",
+    "unify",
+]

@@ -1,0 +1,139 @@
+"""Type-tree measures and the bounded-type classes ``P_k``.
+
+Section 4 of the paper: "for monotyped programs, we simply bound the
+tree-size of a program's types by some constant k. Equivalently, we
+could bound a program's order and arity." Section 5 adopts
+McAllester's definition for polymorphic programs: the monotypes of
+each expression *in the let-expansion* all have size <= k. Because
+:mod:`repro.types.infer` annotates each occurrence with its
+per-occurrence instantiation, those are exactly the let-expansion
+monotypes, so the measures here work unchanged for polymorphic
+programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple, Optional
+
+from repro.lang.ast import Program
+from repro.types.infer import InferenceResult, infer_types
+from repro.types.types import TData, TFun, TRecord, TRef, TVar, Type, prune
+
+
+def type_size(ty: Type) -> int:
+    """Tree size of a type (number of nodes).
+
+    Named datatypes count as leaves: they are recursive, so unfolding
+    would be infinite; the paper handles them separately via the node
+    congruences of Section 6.
+    """
+    ty = prune(ty)
+    if isinstance(ty, (TVar, TData)):
+        return 1
+    return 1 + sum(type_size(child) for child in ty.children())
+
+
+def type_depth(ty: Type) -> int:
+    """Tree depth of a type (leaves have depth 1; named datatypes are
+    leaves). Bounds the operator-tower depth the subtransitive engine
+    may need: every node it must consider corresponds to a position in
+    some program type tree (paper Section 4)."""
+    ty = prune(ty)
+    if isinstance(ty, (TVar, TData)):
+        return 1
+    children = ty.children()
+    if not children:
+        return 1
+    return 1 + max(type_depth(child) for child in children)
+
+
+def max_type_depth(
+    program: Program, inference: Optional[InferenceResult] = None
+) -> int:
+    """The deepest type tree over all occurrences of ``program``."""
+    if inference is None:
+        inference = infer_types(program)
+    return max(
+        (type_depth(inference.type_of(node)) for node in program.nodes),
+        default=1,
+    )
+
+
+def order_of(ty: Type) -> int:
+    """Functional order: 0 for base types, and
+    ``max(order(param) + 1, order(result))`` for arrows."""
+    ty = prune(ty)
+    if isinstance(ty, TFun):
+        return max(order_of(ty.param) + 1, order_of(ty.result))
+    if isinstance(ty, TRecord):
+        return max((order_of(f) for f in ty.fields), default=0)
+    if isinstance(ty, TRef):
+        return order_of(ty.content)
+    return 0
+
+
+def arity_of(ty: Type) -> int:
+    """Curried arity: the paper defines arity "so that currying
+    increases argument count rather than order" — e.g. curried
+    ``(int -> int) -> int list -> int list`` has arity 2."""
+    ty = prune(ty)
+    count = 0
+    while isinstance(ty, TFun):
+        count += 1
+        ty = prune(ty.result)
+    return count
+
+
+class BoundedTypeReport(NamedTuple):
+    """Summary of a program's type-size profile.
+
+    ``max_size`` is the bound ``k`` such that the program lies in
+    ``P_k``; ``avg_size`` is the paper's empirical constant ``k_avg``
+    ("the average size of the type trees at each node"), which the
+    paper reports is "typically around 2 or 3".
+    """
+
+    max_size: int
+    avg_size: float
+    max_order: int
+    max_arity: int
+    node_count: int
+
+    def within(self, k: int) -> bool:
+        """True if the program lies in the class ``P_k``."""
+        return self.max_size <= k
+
+
+def bounded_type_report(
+    program: Program, inference: Optional[InferenceResult] = None
+) -> BoundedTypeReport:
+    """Measure the type trees at every occurrence of ``program``.
+
+    Runs inference if a result is not supplied; propagates
+    :class:`TypeInferenceError` for untypeable programs.
+    """
+    if inference is None:
+        inference = infer_types(program)
+    sizes: Dict[int, int] = {}
+    max_order = 0
+    max_arity = 0
+    for node in program.nodes:
+        ty = inference.type_of(node)
+        sizes[node.nid] = type_size(ty)
+        max_order = max(max_order, order_of(ty))
+        max_arity = max(max_arity, arity_of(ty))
+    total = sum(sizes.values())
+    count = max(len(sizes), 1)
+    return BoundedTypeReport(
+        max_size=max(sizes.values(), default=0),
+        avg_size=total / count,
+        max_order=max_order,
+        max_arity=max_arity,
+        node_count=len(sizes),
+    )
+
+
+def is_bounded_type(program: Program, k: int) -> bool:
+    """True if every occurrence's monotype has tree size <= ``k``
+    (i.e. the program is in the paper's class ``P_k``)."""
+    return bounded_type_report(program).within(k)

@@ -1,0 +1,264 @@
+"""Type representations for the mini-ML language.
+
+The paper's complexity result is parameterised by the *tree size* of the
+types occurring in a program (Section 4): a program is in the class
+``P_k`` when every expression's monotype has tree size at most ``k``.
+This module defines the type terms themselves; inference lives in
+:mod:`repro.types.infer` and the size measures in
+:mod:`repro.types.measure`.
+
+Types are immutable and structurally hashable *except* for
+:class:`TVar`, which is a mutable inference variable using identity
+semantics (the standard union-find-by-path-compression representation
+for algorithm W).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Optional, Tuple
+
+
+class Type:
+    """Base class of all type terms."""
+
+    __slots__ = ()
+
+    def walk(self) -> Iterator["Type"]:
+        """Yield this type and all subterms, preorder, following
+        resolved inference variables."""
+        resolved = prune(self)
+        yield resolved
+        for child in resolved.children():
+            yield from child.walk()
+
+    def children(self) -> Tuple["Type", ...]:
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return str(self)
+
+
+class TCon(Type):
+    """A base type constant such as ``int``, ``bool`` or ``unit``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, TCon) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("TCon", self.name))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Shared base type instances.
+INT = TCon("int")
+BOOL = TCon("bool")
+UNIT = TCon("unit")
+STRING = TCon("string")
+
+
+class TFun(Type):
+    """A function type ``param -> result``."""
+
+    __slots__ = ("param", "result")
+
+    def __init__(self, param: Type, result: Type):
+        self.param = param
+        self.result = result
+
+    def children(self) -> Tuple[Type, ...]:
+        return (self.param, self.result)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, TFun)
+            and prune(other.param) == prune(self.param)
+            and prune(other.result) == prune(self.result)
+        )
+
+    def __hash__(self) -> int:
+        return hash(("TFun", prune(self.param), prune(self.result)))
+
+    def __str__(self) -> str:
+        param = prune(self.param)
+        if isinstance(param, TFun):
+            return f"({param}) -> {prune(self.result)}"
+        return f"{param} -> {prune(self.result)}"
+
+
+class TRecord(Type):
+    """A record (tuple) type ``(t1, ..., tn)``."""
+
+    __slots__ = ("fields",)
+
+    def __init__(self, fields: Tuple[Type, ...]):
+        self.fields = tuple(fields)
+
+    def children(self) -> Tuple[Type, ...]:
+        return self.fields
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, TRecord)
+            and len(other.fields) == len(self.fields)
+            and all(
+                prune(a) == prune(b)
+                for a, b in zip(self.fields, other.fields)
+            )
+        )
+
+    def __hash__(self) -> int:
+        return hash(("TRecord", tuple(prune(f) for f in self.fields)))
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(prune(f)) for f in self.fields)
+        return f"({inner})"
+
+
+class TData(Type):
+    """A named (possibly recursive) datatype, e.g. ``intlist``.
+
+    Datatypes in this reproduction are monomorphic: the declaration
+    fixes the argument types of every constructor (Section 6 of the
+    paper treats an ML datatype declaration as defining a collection of
+    multi-arity data constructors).
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, TData) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("TData", self.name))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class TRef(Type):
+    """A mutable reference cell type ``t ref``."""
+
+    __slots__ = ("content",)
+
+    def __init__(self, content: Type):
+        self.content = content
+
+    def children(self) -> Tuple[Type, ...]:
+        return (self.content,)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, TRef) and prune(other.content) == prune(
+            self.content
+        )
+
+    def __hash__(self) -> int:
+        return hash(("TRef", prune(self.content)))
+
+    def __str__(self) -> str:
+        content = prune(self.content)
+        if isinstance(content, TFun):
+            return f"({content}) ref"
+        return f"{content} ref"
+
+
+_tvar_counter = itertools.count()
+
+
+class TVar(Type):
+    """A mutable unification variable (identity-based).
+
+    ``instance`` is the union-find parent pointer: ``None`` while the
+    variable is free, otherwise the type it was unified with. ``level``
+    implements Remy-style generalisation levels for efficient
+    let-polymorphism.
+    """
+
+    __slots__ = ("uid", "instance", "level")
+
+    def __init__(self, level: int = 0):
+        self.uid = next(_tvar_counter)
+        self.instance: Optional[Type] = None
+        self.level = level
+
+    def __eq__(self, other) -> bool:
+        return self is other
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __str__(self) -> str:
+        if self.instance is not None:
+            return str(prune(self))
+        return f"'t{self.uid}"
+
+
+class TScheme:
+    """A polymorphic type scheme ``forall a1..an . body``."""
+
+    __slots__ = ("quantified", "body")
+
+    def __init__(self, quantified: Tuple[TVar, ...], body: Type):
+        self.quantified = tuple(quantified)
+        self.body = body
+
+    @property
+    def is_mono(self) -> bool:
+        return not self.quantified
+
+    def __str__(self) -> str:
+        if not self.quantified:
+            return str(self.body)
+        names = " ".join(str(v) for v in self.quantified)
+        return f"forall {names}. {self.body}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return str(self)
+
+
+def prune(ty: Type) -> Type:
+    """Follow instantiated type variables to the representative type.
+
+    Performs path compression, so repeated calls are effectively O(1).
+    """
+    while isinstance(ty, TVar) and ty.instance is not None:
+        # Path-compress: point directly at the representative.
+        nxt = ty.instance
+        if isinstance(nxt, TVar) and nxt.instance is not None:
+            ty.instance = nxt.instance
+        ty = nxt
+    return ty
+
+
+def occurs_in(var: TVar, ty: Type) -> bool:
+    """Return True if ``var`` occurs in ``ty`` (after pruning)."""
+    ty = prune(ty)
+    if ty is var:
+        return True
+    return any(occurs_in(var, child) for child in ty.children())
+
+
+def free_type_vars(ty: Type) -> "list[TVar]":
+    """Free unification variables of ``ty``, in first-occurrence order."""
+    seen: "dict[int, TVar]" = {}
+
+    def go(t: Type) -> None:
+        t = prune(t)
+        if isinstance(t, TVar):
+            seen.setdefault(t.uid, t)
+            return
+        for child in t.children():
+            go(child)
+
+    go(ty)
+    return list(seen.values())

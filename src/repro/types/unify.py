@@ -1,0 +1,91 @@
+"""First-order unification with generalisation levels.
+
+Standard Robinson unification over the type language, with two extras
+needed by algorithm-W-with-levels:
+
+* binding a variable performs the occurs check (rejecting recursive
+  types — the paper notes its algorithm "may not terminate" for
+  recursively typed programs, so the type checker must reject them);
+* binding a variable at level ``l`` lowers every variable in the bound
+  type to at most ``l``, preserving the soundness of level-based
+  generalisation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OccursCheckError, UnificationError
+from repro.types.types import (
+    TCon,
+    TData,
+    TFun,
+    TRecord,
+    TRef,
+    TVar,
+    Type,
+    occurs_in,
+    prune,
+)
+
+
+def _lower_levels(ty: Type, level: int) -> None:
+    """Clamp the level of every free variable in ``ty`` to ``level``."""
+    ty = prune(ty)
+    if isinstance(ty, TVar):
+        if ty.level > level:
+            ty.level = level
+        return
+    for child in ty.children():
+        _lower_levels(child, level)
+
+
+def bind(var: TVar, ty: Type) -> None:
+    """Bind unification variable ``var`` to ``ty`` (with occurs check)."""
+    ty = prune(ty)
+    if ty is var:
+        return
+    if occurs_in(var, ty):
+        raise OccursCheckError(var, ty)
+    _lower_levels(ty, var.level)
+    var.instance = ty
+
+
+def unify(left: Type, right: Type) -> None:
+    """Make ``left`` and ``right`` equal by instantiating variables.
+
+    Raises :class:`UnificationError` (or :class:`OccursCheckError`)
+    when the types clash.
+    """
+    left = prune(left)
+    right = prune(right)
+    if left is right:
+        return
+    if isinstance(left, TVar):
+        bind(left, right)
+        return
+    if isinstance(right, TVar):
+        bind(right, left)
+        return
+    if isinstance(left, TCon) and isinstance(right, TCon):
+        if left.name != right.name:
+            raise UnificationError(left, right)
+        return
+    if isinstance(left, TData) and isinstance(right, TData):
+        if left.name != right.name:
+            raise UnificationError(left, right)
+        return
+    if isinstance(left, TFun) and isinstance(right, TFun):
+        unify(left.param, right.param)
+        unify(left.result, right.result)
+        return
+    if isinstance(left, TRecord) and isinstance(right, TRecord):
+        if len(left.fields) != len(right.fields):
+            raise UnificationError(
+                left, right, "record arities differ"
+            )
+        for a, b in zip(left.fields, right.fields):
+            unify(a, b)
+        return
+    if isinstance(left, TRef) and isinstance(right, TRef):
+        unify(left.content, right.content)
+        return
+    raise UnificationError(left, right)

@@ -1,0 +1,37 @@
+"""Benchmark workloads.
+
+* :mod:`repro.workloads.cubic` — the paper's Section 10 parameterised
+  benchmark family "that illustrates the cubic behavior of the
+  standard CFA algorithm" (Table 1);
+* :mod:`repro.workloads.synthetic` — deterministic mini-ML programs
+  standing in for the paper's SML benchmarks ``life`` (~150 lines) and
+  ``lexgen`` (~1180 lines), with comparable size and higher-order
+  structure (Table 2);
+* :mod:`repro.workloads.generators` — the introduction's join-point
+  stressor and a seeded random well-typed program generator used by
+  the property-based tests.
+"""
+
+from repro.workloads.church import church_numeral, make_church_program
+from repro.workloads.cubic import make_cubic_program, make_cubic_source
+from repro.workloads.generators import (
+    make_joinpoint_program,
+    random_typed_program,
+)
+from repro.workloads.synthetic import (
+    make_lexgen_like,
+    make_life_like,
+    make_synthetic_program,
+)
+
+__all__ = [
+    "church_numeral",
+    "make_church_program",
+    "make_cubic_program",
+    "make_cubic_source",
+    "make_joinpoint_program",
+    "make_lexgen_like",
+    "make_life_like",
+    "make_synthetic_program",
+    "random_typed_program",
+]

@@ -1,0 +1,86 @@
+"""Church-encoding stress workload.
+
+Church numerals are the classic higher-order stress test: numeral
+``n`` is ``fn s => fn z => s (s ... (s z))``, and arithmetic on
+numerals is function composition at increasingly rich types. The
+workload exercises exactly the machinery the cubic family does not:
+
+* deep *types* (numerals at type ``(int -> int) -> int -> int``,
+  arithmetic one order up), probing the type-template depth cap;
+* long ``ran``/``dom`` chains through curried applications;
+* heavy reuse of one polymorphic successor across the whole program.
+
+All programs are closed, well-typed and evaluate to an integer, so
+every analysis/evaluator oracle in the test suite applies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.lang import builders as b
+from repro.lang.ast import Expr, Program
+
+
+def church_numeral(n: int, label_prefix: str = "c") -> Expr:
+    """The Church numeral ``n`` as ``fn s => fn z => s^n z``."""
+    if n < 0:
+        raise ValueError(f"Church numerals are nonnegative, got {n}")
+    body: Expr = b.var("z")
+    for _ in range(n):
+        body = b.app(b.var("s"), body)
+    return b.lam(
+        "s",
+        b.lam("z", body, label=f"{label_prefix}{n}_inner"),
+        label=f"{label_prefix}{n}",
+    )
+
+
+def make_church_program(n: int) -> Program:
+    """Sum 1..n with Church arithmetic, then read the total back.
+
+    The program builds ``add`` over numerals, folds it across the
+    numerals ``1..n``, and converts the result to a machine integer by
+    applying it to ``fn x => x + 1`` and ``0``.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one numeral, got {n}")
+    bindings: List[Tuple[str, Expr]] = []
+    # add = fn m => fn p => fn s => fn z => m s (p s z)
+    bindings.append(
+        (
+            "add",
+            b.lam(
+                "m",
+                b.lam(
+                    "p",
+                    b.lam(
+                        "s",
+                        b.lam(
+                            "z",
+                            b.app(
+                                b.app(b.var("m"), b.var("s")),
+                                b.app(b.var("p"), b.var("s"), b.var("z")),
+                            ),
+                            label="add_z",
+                        ),
+                        label="add_s",
+                    ),
+                    label="add_p",
+                ),
+                label="add",
+            ),
+        )
+    )
+    for i in range(1, n + 1):
+        bindings.append((f"n{i}", church_numeral(i, label_prefix=f"k{i}_")))
+    total = b.var("n1")
+    for i in range(2, n + 1):
+        total = b.app(b.var("add"), total, b.var(f"n{i}"))
+    bindings.append(("total", total))
+    bindings.append(
+        ("step", b.lam("x", b.prim("add", b.var("x"), b.lit(1)),
+                       label="step"))
+    )
+    body = b.app(b.var("total"), b.var("step"), b.lit(0))
+    return b.program(b.lets(bindings, body))

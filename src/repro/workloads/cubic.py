@@ -1,0 +1,85 @@
+"""The paper's cubic-behaviour benchmark family (Section 10, Table 1).
+
+"The benchmark of size 1 consists of::
+
+    fun fs x = x
+    fun bs x = x
+    fun f1 x = x
+    fun b1 x = x
+    val x1 = b1 (fs f1)
+    val y1 = (bs b1) f1
+
+and the benchmark of size n consists of the first two lines of the
+above code and n copies of the last four lines, with f1, b1, x1 and y1
+appropriately renamed."
+
+Why it is cubic for the standard algorithm: every ``f_i`` flows into
+``fs``'s parameter, so ``fs``'s result joins all n of them; each
+``b_i`` then receives that n-element set, and ``(bs b_i) f_i``
+scatters it again — Θ(n^2) label-set entries each maintained with
+Θ(n) work. The program is nonetheless bounded-type (every instantiated
+monotype has tree size <= 7), so LC' runs in linear time on it.
+
+The ``y_i`` applications ``(bs b_i) f_i`` are the benchmark's
+*non-trivial* call sites (operator neither an identifier bound to a
+known function nor an abstraction) — there are n of them, each with an
+O(n) answer, giving the paper's quadratic query-all phase.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.lang import builders as b
+from repro.lang.ast import Expr, Program
+
+
+def _identity(label: str) -> Expr:
+    return b.lam("x", b.var("x"), label=label)
+
+
+def make_cubic_program(n: int) -> Program:
+    """Build the size-``n`` member of the family as an AST."""
+    if n < 1:
+        raise ValueError(f"benchmark size must be >= 1, got {n}")
+    bindings: List[Tuple[str, Expr]] = [
+        ("fs", _identity("fs")),
+        ("bs", _identity("bs")),
+    ]
+    for i in range(1, n + 1):
+        bindings.append((f"f{i}", _identity(f"f{i}")))
+        bindings.append((f"b{i}", _identity(f"b{i}")))
+        # val xi = bi (fs fi)
+        bindings.append(
+            (
+                f"x{i}",
+                b.app(b.var(f"b{i}"), b.app(b.var("fs"), b.var(f"f{i}"))),
+            )
+        )
+        # val yi = (bs bi) fi   — the non-trivial call site.
+        bindings.append(
+            (
+                f"y{i}",
+                b.app(
+                    b.app(b.var("bs"), b.var(f"b{i}")), b.var(f"f{i}")
+                ),
+            )
+        )
+    return b.program(b.lets(bindings, b.unit()))
+
+
+def make_cubic_source(n: int) -> str:
+    """The same benchmark as concrete syntax (for parser-level runs)."""
+    if n < 1:
+        raise ValueError(f"benchmark size must be >= 1, got {n}")
+    lines = [
+        "let fs = fn[fs] x => x in",
+        "let bs = fn[bs] x => x in",
+    ]
+    for i in range(1, n + 1):
+        lines.append(f"let f{i} = fn[f{i}] x => x in")
+        lines.append(f"let b{i} = fn[b{i}] x => x in")
+        lines.append(f"let x{i} = b{i} (fs f{i}) in")
+        lines.append(f"let y{i} = (bs b{i}) f{i} in")
+    lines.append("()")
+    return "\n".join(lines)

@@ -1,0 +1,291 @@
+"""Program generators: the join-point stressor and random typed terms.
+
+:func:`make_joinpoint_program` reproduces the introduction's
+motivating fragment::
+
+    fun f x = ...
+    ... (f x1) ... (f x2) ...
+
+"the label set collected for x is the union of the label sets
+collected for x1 and x2. Since the number of calls to function f can
+linearly increase with program size, the information collected for x
+can grow linearly — in effect, x acts like a join point ... Worse, if
+x is returned then all of the information joined by x can flow back to
+the call sites of the function f."
+
+:func:`random_typed_program` generates seeded, *well-typed*, closed
+programs by goal-directed construction over a small monotype pool —
+the fuel for every property-based test in the suite (all the analyses
+must agree / be ordered on whatever it produces).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.lang import builders as b
+from repro.lang.ast import DatatypeDecl, Expr, Program
+from repro.types.types import (
+    BOOL,
+    INT,
+    TData,
+    TFun,
+    TRecord,
+    TRef,
+    Type,
+    UNIT,
+)
+
+INTLIST = TData("intlist")
+
+#: The datatype declaration every generated datatype program shares.
+INTLIST_DECL_TYPES = {"Nil": (), "Cons": (INT, INTLIST)}
+
+
+def intlist_decl() -> DatatypeDecl:
+    return DatatypeDecl("intlist", dict(INTLIST_DECL_TYPES))
+
+
+def make_joinpoint_program(n: int, returning: bool = False) -> Program:
+    """The introduction's join-point program with ``n`` call sites.
+
+    ``f``'s parameter joins ``n`` distinct abstractions. With
+    ``returning=True``, ``f`` returns its argument, so the joined set
+    also flows back out to every call site (the worse case the paper
+    describes).
+    """
+    if n < 1:
+        raise ValueError(f"need at least one call site, got {n}")
+    if returning:
+        f_def = b.lam("x", b.var("x"), label="f")
+    else:
+        f_def = b.lam("x", b.app(b.var("x"), b.lit(0)), label="f")
+    bindings: List[Tuple[str, Expr]] = [("f", f_def)]
+    for i in range(1, n + 1):
+        bindings.append(
+            (f"g{i}", b.lam("y", b.prim("add", b.var("y"), b.lit(i)),
+                            label=f"g{i}"))
+        )
+        bindings.append((f"r{i}", b.app(b.var("f"), b.var(f"g{i}"))))
+    return b.program(b.lets(bindings, b.unit()))
+
+
+class _RandomGen:
+    """Goal-directed random generation of well-typed closed terms."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        use_datatypes: bool,
+        use_refs: bool,
+        use_effects: bool,
+    ):
+        self.rng = rng
+        self.use_datatypes = use_datatypes
+        self.use_refs = use_refs
+        self.use_effects = use_effects
+        self.counter = 0
+        #: Small pool of argument types for synthesised applications.
+        self.pool: List[Type] = [INT, BOOL, TFun(INT, INT)]
+        if use_datatypes:
+            self.pool.append(INTLIST)
+        if use_refs:
+            self.pool.append(TRef(TFun(INT, INT)))
+        self.pool.append(TRecord((INT, TFun(INT, INT))))
+
+    def fresh(self, base: str) -> str:
+        self.counter += 1
+        return f"{base}{self.counter}"
+
+    # -- atoms ---------------------------------------------------------------
+
+    def atom(self, ty: Type, env: List[Tuple[str, Type]]) -> Expr:
+        """A small canonical inhabitant of ``ty``."""
+        for name, bound_ty in self.rng.sample(env, len(env)):
+            if bound_ty == ty:
+                return b.var(name)
+        if ty == INT:
+            return b.lit(self.rng.randrange(10))
+        if ty == BOOL:
+            return b.lit(self.rng.random() < 0.5)
+        if ty == UNIT:
+            return b.unit()
+        if isinstance(ty, TFun):
+            param = self.fresh("a")
+            inner = env + [(param, ty.param)]
+            return b.lam(param, self.atom(ty.result, inner))
+        if isinstance(ty, TRecord):
+            return b.record(*(self.atom(f, env) for f in ty.fields))
+        if isinstance(ty, TData):
+            return b.con("Nil")
+        if isinstance(ty, TRef):
+            return b.ref(self.atom(ty.content, env))
+        raise TypeError(f"cannot make an atom of type {ty}")
+
+    # -- general generation -----------------------------------------------------
+
+    def gen(self, ty: Type, env: List[Tuple[str, Type]], fuel: int) -> Expr:
+        if fuel <= 0:
+            return self.atom(ty, env)
+        expr = self._gen(ty, env, fuel)
+        if self.use_effects and self.rng.random() < 0.08:
+            # Sprinkle a side effect without changing the type.
+            expr = b.seq(
+                b.prim("print", self.atom(INT, env)), expr
+            )
+        return expr
+
+    def _gen(self, ty: Type, env: List[Tuple[str, Type]], fuel: int) -> Expr:
+        rng = self.rng
+        options = ["atom", "let", "if"]
+        matching = [name for name, t in env if t == ty]
+        if matching:
+            options += ["var", "var"]
+        options += ["app"]
+        if isinstance(ty, TFun):
+            options += ["lam", "lam", "lam"]
+            if fuel > 4:
+                options += ["letrec"]
+        if ty == INT:
+            options += ["arith", "arith", "proj"]
+        if ty == BOOL:
+            options += ["cmp", "not"]
+        if ty == UNIT and self.use_effects:
+            options += ["print", "assign" if self.use_refs else "print"]
+        if isinstance(ty, TRecord):
+            options += ["record", "record"]
+        if isinstance(ty, TData):
+            options += ["cons", "cons", "nil"]
+        if isinstance(ty, TRef):
+            options += ["ref"]
+        if self.use_datatypes and fuel > 3:
+            options += ["case"]
+        if self.use_refs and fuel > 3:
+            options += ["deref"]
+        choice = rng.choice(options)
+        spend = rng.randrange(1, 3)
+        fuel -= spend
+
+        if choice == "atom":
+            return self.atom(ty, env)
+        if choice == "var":
+            return b.var(rng.choice(matching))
+        if choice == "let":
+            bound_ty = rng.choice(self.pool)
+            name = self.fresh("v")
+            bound = self.gen(bound_ty, env, fuel // 2)
+            body = self.gen(ty, env + [(name, bound_ty)], fuel)
+            return b.let(name, bound, body)
+        if choice == "if":
+            return b.ife(
+                self.gen(BOOL, env, fuel // 2),
+                self.gen(ty, env, fuel),
+                self.gen(ty, env, fuel // 2),
+            )
+        if choice == "app":
+            arg_ty = rng.choice(self.pool)
+            fn = self.gen(TFun(arg_ty, ty), env, fuel // 2)
+            arg = self.gen(arg_ty, env, fuel // 2)
+            return b.app(fn, arg)
+        if choice == "lam":
+            assert isinstance(ty, TFun)
+            param = self.fresh("x")
+            body = self.gen(ty.result, env + [(param, ty.param)], fuel)
+            return b.lam(param, body)
+        if choice == "letrec":
+            assert isinstance(ty, TFun)
+            name = self.fresh("rec")
+            param = self.fresh("x")
+            inner_env = env + [(name, ty), (param, ty.param)]
+            # A guarded recursive call keeps most runs terminating.
+            recursive = b.app(b.var(name), self.atom(ty.param, inner_env))
+            base = self.gen(ty.result, inner_env, fuel // 2)
+            body = b.ife(self.gen(BOOL, inner_env, 1), base, recursive)
+            lam = b.lam(param, body)
+            return b.letrec(name, lam, self.gen(ty, env + [(name, ty)], fuel // 2))
+        if choice == "arith":
+            op = rng.choice(["add", "sub", "mul"])
+            return b.prim(
+                op,
+                self.gen(INT, env, fuel // 2),
+                self.gen(INT, env, fuel // 2),
+            )
+        if choice == "proj":
+            rec_ty = TRecord((INT, TFun(INT, INT)))
+            return b.proj(1, self.gen(rec_ty, env, fuel // 2))
+        if choice == "cmp":
+            op = rng.choice(["less", "leq", "eq"])
+            return b.prim(
+                op,
+                self.gen(INT, env, fuel // 2),
+                self.gen(INT, env, fuel // 2),
+            )
+        if choice == "not":
+            return b.prim("not", self.gen(BOOL, env, fuel // 2))
+        if choice == "print":
+            return b.prim("print", self.gen(INT, env, fuel // 2))
+        if choice == "assign":
+            cell_ty = TRef(TFun(INT, INT))
+            return b.assign(
+                self.gen(cell_ty, env, fuel // 2),
+                self.gen(TFun(INT, INT), env, fuel // 2),
+            )
+        if choice == "record":
+            assert isinstance(ty, TRecord)
+            share = max(1, fuel // max(len(ty.fields), 1))
+            return b.record(
+                *(self.gen(f, env, share) for f in ty.fields)
+            )
+        if choice == "cons":
+            return b.con(
+                "Cons",
+                self.gen(INT, env, fuel // 2),
+                self.gen(INTLIST, env, fuel // 2),
+            )
+        if choice == "nil":
+            return b.con("Nil")
+        if choice == "ref":
+            assert isinstance(ty, TRef)
+            return b.ref(self.gen(ty.content, env, fuel))
+        if choice == "case":
+            h = self.fresh("h")
+            t = self.fresh("t")
+            return b.case(
+                self.gen(INTLIST, env, fuel // 2),
+                ("Nil", (), self.gen(ty, env, fuel // 2)),
+                (
+                    "Cons",
+                    (h, t),
+                    self.gen(ty, env + [(h, INT), (t, INTLIST)], fuel // 2),
+                ),
+            )
+        if choice == "deref":
+            cell_ty = TRef(ty) if not isinstance(ty, TRef) else TRef(INT)
+            if isinstance(ty, TRef):
+                return b.ref(self.gen(ty.content, env, fuel))
+            return b.deref(self.gen(cell_ty, env, fuel // 2))
+        raise AssertionError(f"unhandled choice {choice}")
+
+
+def random_typed_program(
+    seed: int,
+    fuel: int = 30,
+    goal: Optional[Type] = None,
+    use_datatypes: bool = True,
+    use_refs: bool = True,
+    use_effects: bool = True,
+) -> Program:
+    """A seeded random well-typed closed program.
+
+    The same seed always yields the same program. ``fuel`` loosely
+    controls size (roughly 2-4 AST nodes per fuel unit). Programs may
+    diverge (guarded ``letrec``), so evaluate them with bounded fuel.
+    """
+    rng = random.Random(seed)
+    gen = _RandomGen(rng, use_datatypes, use_refs, use_effects)
+    if goal is None:
+        goal = rng.choice([INT, TFun(INT, INT), INT, BOOL])
+    root = gen.gen(goal, [], fuel)
+    datatypes = [intlist_decl()] if use_datatypes else []
+    return b.program(root, datatypes)

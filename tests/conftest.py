@@ -1,0 +1,7 @@
+"""Test-session configuration."""
+
+from repro._util import ensure_recursion_limit
+
+# The language front end recurses over deep ASTs; raise the limit once
+# up front so hypothesis does not observe a mid-test change.
+ensure_recursion_limit()

@@ -1,0 +1,118 @@
+"""Tests for the called-once analysis (paper abstract, item 3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.called_once import called_once
+from repro.core.lc import build_subtransitive_graph
+from repro.core.queries import SubtransitiveCFA
+from repro.lang import parse
+from repro.workloads.generators import random_typed_program
+
+
+class TestClassification:
+    def test_called_once(self):
+        prog = parse("(fn[f] x => x) 1")
+        result = called_once(prog)
+        assert result.classify("f") == "once"
+        assert result.unique_site("f") is prog.applications[0]
+
+    def test_never_called(self):
+        prog = parse("let dead = fn[dead] x => x in 0")
+        result = called_once(prog)
+        assert result.classify("dead") == "never"
+        assert "dead" in result.never_called
+
+    def test_called_from_two_sites(self):
+        src = "let f = fn[f] x => x in (f 1, f 2)"
+        prog = parse(src)
+        result = called_once(prog)
+        assert result.classify("f") == "many"
+        assert result.unique_site("f") is None
+
+    def test_one_site_reached_by_flow(self):
+        # g is called once, through a variable.
+        src = "let g = fn[g] x => x in let h = g in h 1"
+        prog = parse(src)
+        result = called_once(prog)
+        assert result.classify("g") == "once"
+
+    def test_escaping_function_counted_per_site(self):
+        # f flows to a single application site via the higher-order
+        # call, plus the site applying call itself.
+        src = (
+            "let call = fn[call] f => f 1 in "
+            "call (fn[inner] x => x)"
+        )
+        prog = parse(src)
+        result = called_once(prog)
+        assert result.classify("inner") == "once"
+        assert result.classify("call") == "once"
+
+    def test_shared_site_both_once(self):
+        # Two functions, one site each reaching the same site: both
+        # are called-once even though the site is polymorphic.
+        src = (
+            "let pick = if true then fn[a] x => x else fn[b] y => y in "
+            "pick 1"
+        )
+        prog = parse(src)
+        result = called_once(prog)
+        assert result.classify("a") == "once"
+        assert result.classify("b") == "once"
+        assert result.unique_site("a") is result.unique_site("b")
+
+    def test_recursive_function_many(self):
+        # A recursive function is called from its external site and
+        # its internal recursive site.
+        src = (
+            "letrec go = fn[go] n => if n < 1 then 0 else go (n - 1) "
+            "in go 3"
+        )
+        prog = parse(src)
+        result = called_once(prog)
+        assert result.classify("go") == "many"
+
+    def test_unknown_label_raises(self):
+        from repro.errors import ScopeError
+
+        prog = parse("fn[f] x => x")
+        with pytest.raises(ScopeError):
+            called_once(prog).classify("ghost")
+
+
+class TestInlineCandidates:
+    def test_candidates_listing(self):
+        src = "let f = fn[f] x => x in f 1"
+        prog = parse(src)
+        result = called_once(prog)
+        candidates = result.inline_candidates()
+        assert len(candidates) == 1
+        lam, site = candidates[0]
+        assert lam.label == "f"
+        assert site is prog.applications[0]
+
+
+class TestAgainstExactOracle:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_generated_matches_exhaustive_count(self, seed):
+        prog = random_typed_program(seed, fuel=18)
+        sub = build_subtransitive_graph(prog)
+        exact = SubtransitiveCFA(sub)
+        result = called_once(prog, sub=sub)
+        for lam in prog.abstractions:
+            sites = [
+                s
+                for s in prog.applications
+                if lam.label in exact.may_call(s)
+            ]
+            expected = (
+                "never"
+                if not sites
+                else "once" if len(sites) == 1 else "many"
+            )
+            assert result.classify(lam.label) == expected, (
+                seed,
+                lam.label,
+            )

@@ -1,0 +1,178 @@
+"""Tests for the linear-time effects analysis (paper Section 8)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.effects import effects_analysis, effects_analysis_baseline
+from repro.cfa.standard import analyze_standard
+from repro.lang import parse
+from repro.workloads.generators import random_typed_program
+
+
+def analyse(src):
+    prog = parse(src)
+    return prog, effects_analysis(prog)
+
+
+class TestBaseMarking:
+    def test_print_is_effectful(self):
+        prog, eff = analyse("print 1")
+        assert eff.is_effectful(prog.root)
+
+    def test_assignment_is_effectful(self):
+        prog, eff = analyse("(ref 1) := 2")
+        assert eff.is_effectful(prog.root)
+
+    def test_pure_arithmetic(self):
+        prog, eff = analyse("1 + 2 * 3")
+        assert not eff.is_effectful(prog.root)
+        assert eff.red_nids == frozenset()
+
+    def test_ref_allocation_is_pure(self):
+        prog, eff = analyse("ref 1")
+        assert not eff.is_effectful(prog.root)
+
+    def test_deref_is_pure(self):
+        prog, eff = analyse("!(ref 1)")
+        assert not eff.is_effectful(prog.root)
+
+
+class TestStructuralPropagation:
+    def test_child_reddens_parent(self):
+        prog, eff = analyse("1 + print 2")
+        assert eff.is_effectful(prog.root)
+
+    def test_lambda_blocks_structural_redness(self):
+        # Building a printing closure is pure.
+        prog, eff = analyse("fn[noisy] x => print x")
+        assert not eff.is_effectful(prog.root)
+
+    def test_record_with_effectful_field(self):
+        prog, eff = analyse("(print 1, 2)")
+        assert eff.is_effectful(prog.root)
+
+    def test_if_with_effectful_branch(self):
+        prog, eff = analyse("if true then print 1 else ()")
+        assert eff.is_effectful(prog.root)
+
+    def test_let_with_effectful_bound(self):
+        prog, eff = analyse("let u = print 1 in 2")
+        assert eff.is_effectful(prog.root)
+
+
+class TestFlowPropagation:
+    def test_calling_effectful_function(self):
+        prog, eff = analyse("(fn[noisy] x => print x) 1")
+        assert eff.is_effectful(prog.root)
+
+    def test_calling_pure_function(self):
+        prog, eff = analyse("(fn[quiet] x => x + 1) 1")
+        assert not eff.is_effectful(prog.root)
+
+    def test_effect_through_variable(self):
+        prog, eff = analyse(
+            "let f = fn[noisy] x => print x in f 1"
+        )
+        assert eff.is_effectful(prog.root)
+
+    def test_effect_through_higher_order_flow(self):
+        src = (
+            "let call = fn[call] f => f 1 in "
+            "call (fn[noisy] x => print x)"
+        )
+        prog, eff = analyse(src)
+        assert eff.is_effectful(prog.root)
+
+    def test_pure_call_not_polluted_by_other_function(self):
+        src = (
+            "let q = fn[quiet] x => x in "
+            "let n = fn[noisy] y => print y in q 1"
+        )
+        prog, eff = analyse(src)
+        assert not eff.is_effectful(prog.root)
+
+    def test_conflated_callees_pollute(self):
+        # Monovariant: both callees possible at the shared site.
+        src = (
+            "let pick = if true then fn[quiet] x => x "
+            "else fn[noisy] y => print y in pick 1"
+        )
+        prog, eff = analyse(src)
+        assert eff.is_effectful(prog.root)
+
+    def test_effect_through_ref_stored_function(self):
+        src = (
+            "let c = ref (fn[quiet] x => x) in "
+            "let u = c := (fn[noisy] y => print y) in (!c) 1"
+        )
+        prog, eff = analyse(src)
+        body = prog.root.body.body  # the (!c) 1 application
+        assert eff.is_effectful(body)
+
+    def test_recursion_with_effects(self):
+        src = (
+            "letrec go = fn[go] n => if n < 1 then () "
+            "else let u = print n in go (n - 1) in go 3"
+        )
+        prog, eff = analyse(src)
+        assert eff.is_effectful(prog.root)
+
+
+class TestPureApplications:
+    def test_listing(self):
+        src = (
+            "let q = fn[quiet] x => x in "
+            "let n = fn[noisy] y => print y in "
+            "let a = q 1 in n 2"
+        )
+        prog, eff = analyse(src)
+        pure = eff.pure_applications()
+        assert len(pure) == 1
+        assert len(prog.applications) == 2
+
+
+class TestBaselineEquality:
+    """The paper: the linear colouring "computes exactly the same
+    effects information" as the quadratic CFA consumer."""
+
+    SOURCES = [
+        "print 1",
+        "fn x => print x",
+        "(fn x => print x) 1",
+        "let f = fn x => print x in f 1",
+        "let call = fn f => f 1 in call (fn x => print x)",
+        (
+            "let c = ref (fn q => q) in "
+            "let u = c := (fn y => print y) in (!c) 1"
+        ),
+        (
+            "letrec go = fn n => if n < 1 then () "
+            "else let u = print n in go (n - 1) in go 3"
+        ),
+        (
+            "let compose = fn f => fn g => fn x => f (g x) in "
+            "compose (fn a => print a) (fn b => b + 1) 7"
+        ),
+    ]
+
+    @pytest.mark.parametrize("src", SOURCES)
+    def test_equal_red_sets(self, src):
+        prog = parse(src)
+        linear = effects_analysis(prog)
+        baseline = effects_analysis_baseline(prog, analyze_standard(prog))
+        assert linear.red_nids == baseline.red_nids
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_generated_equal(self, seed):
+        # Feed the baseline the *same* CFA the linear pass runs on
+        # (the subtransitive one), so the comparison isolates the
+        # consumer: linear colouring == quadratic call-graph walk.
+        from repro.core.queries import analyze_subtransitive
+
+        prog = random_typed_program(seed, fuel=20)
+        linear = effects_analysis(prog)
+        baseline = effects_analysis_baseline(
+            prog, analyze_subtransitive(prog)
+        )
+        assert linear.red_nids == baseline.red_nids, seed

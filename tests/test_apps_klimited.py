@@ -1,0 +1,113 @@
+"""Tests for linear-time k-limited CFA (paper Section 9)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.klimited import MANY, k_limited_cfa
+from repro.core.lc import build_subtransitive_graph
+from repro.core.queries import SubtransitiveCFA
+from repro.lang import parse
+from repro.workloads.generators import random_typed_program
+
+
+class TestBasics:
+    def test_single_callee(self):
+        prog = parse("(fn[f] x => x) 1")
+        klim = k_limited_cfa(prog, k=1)
+        assert klim.may_call(prog.applications[0]) == {"f"}
+
+    def test_k_must_be_positive(self):
+        prog = parse("fn x => x")
+        with pytest.raises(ValueError):
+            k_limited_cfa(prog, k=0)
+
+    def test_two_callees_within_k(self):
+        src = (
+            "let pick = if true then fn[a] x => x else fn[b] y => y in "
+            "pick 1"
+        )
+        prog = parse(src)
+        klim = k_limited_cfa(prog, k=2)
+        assert klim.may_call(prog.applications[0]) == {"a", "b"}
+
+    def test_two_callees_beyond_k(self):
+        src = (
+            "let pick = if true then fn[a] x => x else fn[b] y => y in "
+            "pick 1"
+        )
+        prog = parse(src)
+        klim = k_limited_cfa(prog, k=1)
+        assert klim.may_call(prog.applications[0]) is MANY
+        assert klim.is_many(prog.applications[0])
+
+    def test_no_callees_is_empty_set(self):
+        prog = parse("let dead = fn[d] x => x in 1 2".replace("1 2", "(fn[u] z => z) 0"))
+        klim = k_limited_cfa(prog, k=1)
+        assert klim.labels_of(prog.root.body.arg) == frozenset()
+
+    def test_labels_of_var(self):
+        prog = parse("(fn[f] x => x) (fn[g] y => y)")
+        klim = k_limited_cfa(prog, k=1)
+        assert klim.labels_of_var("x") == {"g"}
+
+    def test_reuses_prebuilt_graph(self):
+        prog = parse("(fn[f] x => x) 1")
+        sub = build_subtransitive_graph(prog)
+        klim = k_limited_cfa(prog, k=1, sub=sub)
+        assert klim.may_call(prog.applications[0]) == {"f"}
+        assert klim.sub is sub
+
+
+class TestMonomorphicSites:
+    def test_monomorphic_site_detection(self):
+        src = (
+            "let id = fn[id] x => x in "
+            "let pick = if true then fn[a] p => p else fn[b] q => q in "
+            "(id 1, pick 2)"
+        )
+        prog = parse(src)
+        klim = k_limited_cfa(prog, k=1)
+        mono = klim.monomorphic_sites()
+        id_site = prog.applications[0]
+        pick_site = prog.applications[1]
+        assert mono.get(id_site.nid) == "id"
+        assert pick_site.nid not in mono
+
+
+class TestAgreementWithExact:
+    """k-limited agrees with exact L(e) whenever |L(e)| <= k, and
+    reports MANY exactly when |L(e)| > k."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        k=st.integers(min_value=1, max_value=3),
+    )
+    def test_generated_agreement(self, seed, k):
+        prog = random_typed_program(seed, fuel=18)
+        sub = build_subtransitive_graph(prog)
+        exact = SubtransitiveCFA(sub)
+        klim = k_limited_cfa(prog, k=k, sub=sub)
+        for site in prog.applications:
+            full = exact.may_call(site)
+            limited = klim.may_call(site)
+            if len(full) <= k:
+                assert limited == full, (seed, site.nid)
+            else:
+                assert limited is MANY, (seed, site.nid)
+
+    def test_increasing_k_refines(self):
+        src = (
+            "let pick = if true then fn[a] x => x else "
+            "(if false then fn[b] y => y else fn[c] z => z) in pick 1"
+        )
+        prog = parse(src)
+        site = prog.applications[0]
+        assert k_limited_cfa(prog, k=1).may_call(site) is MANY
+        assert k_limited_cfa(prog, k=2).may_call(site) is MANY
+        assert k_limited_cfa(prog, k=3).may_call(site) == {"a", "b", "c"}
+
+    def test_linear_time_counter(self):
+        prog = parse("(fn[f] x => x) 1")
+        klim = k_limited_cfa(prog, k=1)
+        assert klim.seconds >= 0

@@ -1,0 +1,153 @@
+"""Tests for AST construction and the Program container."""
+
+import pytest
+
+from repro.errors import ScopeError, UnknownConstructorError
+from repro.lang import builders as b
+from repro.lang import parse
+from repro.lang.ast import App, Lam, Letrec, Lit, Program, Var
+
+
+class TestNodeBasics:
+    def test_identity_equality(self):
+        a, c = b.lit(1), b.lit(1)
+        assert a != c and a == a
+
+    def test_children_order_is_evaluation_order(self):
+        app = b.app(b.var("f"), b.var("x"))
+        names = [c.name for c in app.children()]
+        assert names == ["f", "x"]
+
+    def test_walk_is_preorder(self):
+        expr = b.app(b.lam("x", b.var("x")), b.lit(1))
+        kinds = [type(n).__name__ for n in expr.walk()]
+        assert kinds == ["App", "Lam", "Var", "Lit"]
+
+    def test_letrec_rejects_non_lambda(self):
+        with pytest.raises(ScopeError):
+            Letrec("f", b.lit(1), b.var("f"))  # type: ignore[arg-type]
+
+    def test_projection_index_must_be_positive(self):
+        with pytest.raises(ScopeError):
+            b.proj(0, b.var("p"))
+
+    def test_literal_rejects_strings(self):
+        with pytest.raises(ScopeError):
+            Lit("nope")
+
+    def test_prim_arity_checked(self):
+        with pytest.raises(ScopeError):
+            b.prim("add", b.lit(1))
+
+    def test_prim_unknown_name(self):
+        with pytest.raises(ScopeError):
+            b.prim("frobnicate", b.lit(1))
+
+
+class TestProgramIndexing:
+    def test_nids_are_dense_preorder(self):
+        prog = parse("(fn x => x) 1")
+        assert [n.nid for n in prog.nodes] == list(range(prog.size))
+
+    def test_size_counts_all_nodes(self):
+        prog = parse("fn x => x")
+        assert prog.size == 2  # Lam + Var
+
+    def test_label_table(self):
+        prog = parse("fn[foo] x => x")
+        assert prog.abstraction("foo") is prog.root
+
+    def test_auto_labels_are_unique(self):
+        prog = parse("(fn x => x) (fn y => y)")
+        assert len(set(prog.labels)) == 2
+
+    def test_auto_labels_avoid_user_labels(self):
+        prog = parse("(fn[l0] x => x) (fn y => y)")
+        assert len(set(prog.labels)) == 2
+        assert "l0" in prog.labels
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ScopeError):
+            parse("(fn[same] x => x) (fn[same] y => y)")
+
+    def test_unknown_label_lookup(self):
+        prog = parse("fn[a] x => x")
+        with pytest.raises(ScopeError):
+            prog.abstraction("zzz")
+
+    def test_binder_lookup(self):
+        prog = parse("let v = 1 in fn p => v")
+        assert prog.binder("v").name == "v"
+        lam = prog.binder("p")
+        assert isinstance(lam, Lam)
+
+    def test_applications_collected(self):
+        prog = parse("(fn a => a) ((fn c => c) 1)")
+        assert len(prog.applications) == 2
+
+    def test_abstractions_in_program_order(self):
+        prog = parse("(fn[one] x => x) (fn[two] y => y)")
+        assert prog.labels == ["one", "two"]
+
+
+class TestScopingAndConstructors:
+    def test_open_term_rejected(self):
+        with pytest.raises(ScopeError):
+            b.program(b.var("ghost"))
+
+    def test_unknown_constructor_rejected(self):
+        with pytest.raises(UnknownConstructorError):
+            b.program(b.con("Mystery"))
+
+    def test_constructor_arity_checked(self):
+        from repro.workloads.generators import intlist_decl
+
+        with pytest.raises(ScopeError):
+            b.program(b.con("Cons", b.lit(1)), [intlist_decl()])
+
+    def test_case_pattern_arity_checked(self):
+        from repro.workloads.generators import intlist_decl
+
+        bad = b.case(b.con("Nil"), ("Cons", ("h",), b.lit(0)))
+        with pytest.raises(ScopeError):
+            b.program(bad, [intlist_decl()])
+
+    def test_duplicate_datatype_rejected(self):
+        from repro.workloads.generators import intlist_decl
+
+        with pytest.raises(ScopeError):
+            Program(b.con("Nil"), [intlist_decl(), intlist_decl()])
+
+    def test_constructor_signature_lookup(self):
+        from repro.workloads.generators import intlist_decl
+        from repro.types.types import INT
+
+        prog = b.program(b.con("Nil"), [intlist_decl()])
+        assert prog.constructor_signature("Cons")[0] == INT
+        with pytest.raises(UnknownConstructorError):
+            prog.constructor_signature("Bogus")
+
+
+class TestNontrivialApplications:
+    def test_known_function_identifier_is_trivial(self):
+        prog = parse("let f = fn x => x in f 1")
+        assert prog.nontrivial_applications() == []
+
+    def test_direct_lambda_is_trivial(self):
+        prog = parse("(fn x => x) 1")
+        assert prog.nontrivial_applications() == []
+
+    def test_computed_operator_is_nontrivial(self):
+        prog = parse(
+            "let f = fn x => x in let g = fn y => y in (f g) 1"
+        )
+        sites = prog.nontrivial_applications()
+        assert len(sites) == 1
+        assert isinstance(sites[0].fn, App)
+
+    def test_parameter_operator_is_nontrivial(self):
+        prog = parse("let h = fn f => f 1 in h (fn x => x)")
+        sites = prog.nontrivial_applications()
+        assert len(sites) == 1
+        assert isinstance(sites[0].fn, Var)
+        assert sites[0].fn.name == "f"

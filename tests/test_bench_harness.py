@@ -1,0 +1,102 @@
+"""Tests for the bench harness utilities."""
+
+import math
+
+import pytest
+
+from repro.bench.harness import (
+    Table,
+    fit_exponent,
+    geometric_sizes,
+    lc_row,
+    time_call,
+)
+from repro.workloads.cubic import make_cubic_program
+
+
+class TestFitExponent:
+    def test_linear_series(self):
+        xs = [10, 20, 40, 80]
+        ys = [3.0 * x for x in xs]
+        assert abs(fit_exponent(xs, ys) - 1.0) < 1e-9
+
+    def test_quadratic_series(self):
+        xs = [10, 20, 40, 80]
+        ys = [0.5 * x * x for x in xs]
+        assert abs(fit_exponent(xs, ys) - 2.0) < 1e-9
+
+    def test_cubic_series(self):
+        xs = [10, 20, 40]
+        ys = [x**3 for x in xs]
+        assert abs(fit_exponent(xs, ys) - 3.0) < 1e-9
+
+    def test_noisy_series_close(self):
+        xs = [10, 20, 40, 80, 160]
+        ys = [x * (1 + 0.05 * (-1) ** i) for i, x in enumerate(xs)]
+        assert abs(fit_exponent(xs, ys) - 1.0) < 0.1
+
+    def test_zero_values_clamped(self):
+        assert math.isfinite(fit_exponent([1, 2, 4], [0.0, 0.0, 0.0]))
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            fit_exponent([1], [1])
+        with pytest.raises(ValueError):
+            fit_exponent([1, 2], [1])
+        with pytest.raises(ValueError):
+            fit_exponent([3, 3], [1, 2])
+
+
+class TestGeometricSizes:
+    def test_doubling(self):
+        assert geometric_sizes(10, 2, 4) == [10, 20, 40, 80]
+
+    def test_fractional_factor(self):
+        sizes = geometric_sizes(100, 1.5, 3)
+        assert sizes == [100, 150, 225]
+
+
+class TestTimeCall:
+    def test_returns_nonnegative(self):
+        assert time_call(lambda: sum(range(100))) >= 0
+
+    def test_repeat_validation(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeat=0)
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(["n", "time"], title="demo")
+        table.add_row(10, 0.5)
+        table.add_row(1000, 12.25)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "n" in lines[1] and "time" in lines[1]
+        assert len(lines) == 5
+
+    def test_row_arity_checked(self):
+        table = Table(["a", "c"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_float_formatting(self):
+        table = Table(["x"])
+        table.add_row(0.0000005)
+        assert "e" in table.render().splitlines()[-1]
+
+
+class TestLcRow:
+    def test_row_fields(self):
+        row = lc_row(make_cubic_program(3), repeat=1)
+        assert set(row) == {
+            "build_seconds",
+            "build_nodes",
+            "close_seconds",
+            "close_nodes",
+            "total_seconds",
+            "total_nodes",
+            "total_edges",
+        }
+        assert row["total_nodes"] == row["build_nodes"] + row["close_nodes"]

@@ -1,0 +1,76 @@
+"""Tests for the programmatic builder DSL."""
+
+import pytest
+
+from repro.lang import builders as b
+from repro.lang import parse_expr
+from repro.lang.ast import App, Let, Letrec, Record
+from repro.lang.compare import ast_equal
+from repro.lang.eval import evaluate
+
+
+class TestBuilders:
+    def test_app_curried(self):
+        expr = b.app(b.var("f"), b.var("x"), b.var("y"))
+        assert ast_equal(expr, parse_expr("f x y"))
+
+    def test_app_requires_argument(self):
+        with pytest.raises(ValueError):
+            b.app(b.var("f"))
+
+    def test_lets_chain(self):
+        expr = b.lets(
+            [("a", b.lit(1)), ("c", b.lit(2))],
+            b.prim("add", b.var("a"), b.var("c")),
+        )
+        assert ast_equal(expr, parse_expr("let a = 1 in let c = 2 in a + c"))
+
+    def test_lam_label(self):
+        assert b.lam("x", b.var("x"), label="me").label == "me"
+
+    def test_record_and_proj(self):
+        expr = b.proj(2, b.record(b.lit(1), b.lit(2)))
+        assert ast_equal(expr, parse_expr("#2 (1, 2)"))
+
+    def test_seq_evaluates_in_order(self):
+        expr = b.seq(
+            b.prim("print", b.lit(1)),
+            b.prim("print", b.lit(2)),
+            b.lit(3),
+        )
+        prog = b.program(expr)
+        result = evaluate(prog)
+        assert result.output == ["1", "2"]
+        assert result.value == 3
+
+    def test_unit(self):
+        assert b.unit().value is None
+
+    def test_datatype_builder(self):
+        from repro.types.types import INT
+
+        decl = b.datatype("pair", MkPair=(INT, INT), Empty=())
+        assert decl.constructors["MkPair"] == (INT, INT)
+        assert decl.constructors["Empty"] == ()
+
+    def test_program_wraps_and_renames(self):
+        expr = b.app(
+            b.lam("x", b.var("x")), b.lam("x", b.var("x"))
+        )
+        prog = b.program(expr)
+        binders = [
+            n.param for n in prog.nodes if type(n).__name__ == "Lam"
+        ]
+        assert len(set(binders)) == 2
+
+    def test_ife_condition_order(self):
+        expr = b.ife(b.lit(True), b.lit(1), b.lit(2))
+        assert ast_equal(expr, parse_expr("if true then 1 else 2"))
+
+    def test_ref_cluster(self):
+        expr = b.deref(b.ref(b.lit(5)))
+        assert ast_equal(expr, parse_expr("!(ref 5)"))
+
+    def test_assign_builder(self):
+        expr = b.assign(b.var("c"), b.lit(1))
+        assert ast_equal(expr, parse_expr("c := 1"))

@@ -1,0 +1,107 @@
+"""Tests for the equality-based (unification) CFA baseline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cfa.equality import analyze_equality
+from repro.cfa.standard import analyze_standard
+from repro.lang import parse
+from repro.workloads.generators import random_typed_program
+
+from tests.helpers import assert_label_subset, sample_programs
+
+
+class TestBasics:
+    def test_simple_application(self):
+        prog = parse("(fn[f] x => x) (fn[g] y => y)")
+        eq = analyze_equality(prog)
+        assert "g" in eq.labels_of(prog.root)
+
+    def test_id_at_two_sites_conflates(self):
+        # The canonical precision loss: id applied to a and b makes
+        # the two arguments flow-equivalent.
+        src = (
+            "let id = fn[id] x => x in "
+            "(id (fn[a] p => p), id (fn[b] q => q))"
+        )
+        prog = parse(src)
+        eq = analyze_equality(prog)
+        first, second = prog.root.body.fields
+        assert eq.labels_of(first) >= {"a", "b"}
+        assert eq.same_class(first, second)
+
+    def test_strictly_less_accurate_example(self):
+        # Standard CFA keeps f and g apart here; unification merges
+        # them through the shared application position.
+        src = (
+            "let apply = fn[apply] f => f 1 in "
+            "let r1 = apply (fn[a] x => x + 1) in "
+            "apply (fn[b] y => y * 2)"
+        )
+        prog = parse(src)
+        std = analyze_standard(prog)
+        eq = analyze_equality(prog)
+        target = prog.node(prog.root.body.bound.arg.nid)  # fn[a]
+        assert std.labels_of_var("f") == {"a", "b"}
+        assert eq.labels_of_var("f") >= {"a", "b"}
+
+    def test_terminates_on_untypeable_program(self):
+        # Self-application breaks HM but not unification-CFA (no
+        # occurs check).
+        prog = parse("(fn[w] x => x x) (fn[w2] y => y y)")
+        eq = analyze_equality(prog)
+        assert "w2" in eq.labels_of(prog.root.arg)
+
+    def test_records_and_datatypes(self):
+        src = (
+            "datatype fl = FNil | FCons of (int -> int) * fl;\n"
+            "case FCons(fn[inc] x => x + 1, FNil) of "
+            "FNil => fn[zero] a => a | FCons(h, t) => h end"
+        )
+        prog = parse(src)
+        eq = analyze_equality(prog)
+        assert {"inc", "zero"} <= eq.labels_of(prog.root)
+
+    def test_refs(self):
+        src = (
+            "let c = ref (fn[init] x => x) in "
+            "let u = c := (fn[later] y => y) in !c"
+        )
+        prog = parse(src)
+        eq = analyze_equality(prog)
+        assert {"init", "later"} <= eq.labels_of(prog.root)
+
+
+class TestSoundnessOrdering:
+    """Equality CFA over-approximates standard CFA pointwise."""
+
+    @pytest.mark.parametrize(
+        "name,prog", list(sample_programs()), ids=lambda p: str(p)[:24]
+    )
+    def test_samples_superset(self, name, prog):
+        assert_label_subset(
+            prog, analyze_standard(prog), analyze_equality(prog), name
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_generated_superset(self, seed):
+        prog = random_typed_program(seed, fuel=18)
+        assert_label_subset(
+            prog,
+            analyze_standard(prog),
+            analyze_equality(prog),
+            f"seed={seed}",
+        )
+
+    def test_loss_is_real_somewhere(self):
+        # On at least one sample the inclusion is strict — otherwise
+        # the baseline would not be "strictly less accurate".
+        strict = False
+        for name, prog in sample_programs():
+            std = analyze_standard(prog)
+            eq = analyze_equality(prog)
+            for node in prog.nodes:
+                if std.labels_of(node) < eq.labels_of(node):
+                    strict = True
+        assert strict

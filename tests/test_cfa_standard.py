@@ -1,0 +1,168 @@
+"""Unit tests for the standard (cubic) inclusion-based CFA."""
+
+import pytest
+
+from repro.cfa.standard import analyze_standard
+from repro.errors import QueryError
+from repro.lang import parse
+from repro.lang.ast import App, Var
+
+DT = "datatype intlist = Nil | Cons of int * intlist;\n"
+
+
+def labels(src, algorithm=analyze_standard):
+    prog = parse(src)
+    return prog, algorithm(prog)
+
+
+class TestCoreLambda:
+    def test_abstraction_contains_its_own_label(self):
+        prog, cfa = labels("fn[me] x => x")
+        assert cfa.labels_of(prog.root) == {"me"}
+
+    def test_application_result(self):
+        prog, cfa = labels("(fn[f] x => x) (fn[g] y => y)")
+        assert cfa.labels_of(prog.root) == {"g"}
+
+    def test_argument_flows_to_parameter(self):
+        prog, cfa = labels("(fn[f] x => x) (fn[g] y => y)")
+        assert cfa.labels_of_var("x") == {"g"}
+
+    def test_paper_example_self_application(self):
+        # (\x.(x x)) (\x'.x') from Section 3.
+        prog, cfa = labels("(fn[f] x => x x) (fn[g] y => y)")
+        assert cfa.labels_of(prog.root) == {"g"}
+        assert cfa.labels_of_var("x") == {"g"}
+
+    def test_monovariance_conflates_call_sites(self):
+        # id applied to two different functions: monovariant analysis
+        # reports both at both result positions.
+        src = (
+            "let id = fn[id] x => x in "
+            "(id (fn[a] p => p), id (fn[b] q => q))"
+        )
+        prog, cfa = labels(src)
+        first, second = prog.root.body.fields  # the record's fields
+        assert cfa.labels_of(first) == {"a", "b"}
+        assert cfa.labels_of(second) == {"a", "b"}
+
+    def test_unapplied_function_body_still_analysed(self):
+        # Standard CFA has no dead-code treatment (Section 1 item 2).
+        src = "let dead = fn[dead] x => (fn[inner] y => y) x in fn[live] z => z"
+        prog, cfa = labels(src)
+        assert cfa.labels_of_var("x") == set()
+        inner_app = prog.applications[0]
+        assert cfa.labels_of(inner_app.fn) == {"inner"}
+
+    def test_may_call(self):
+        prog, cfa = labels("(fn[f] x => x) (fn[g] y => y)")
+        assert cfa.may_call(prog.applications[0]) == {"f"}
+
+    def test_if_joins_branches(self):
+        src = "if true then fn[t] x => x else fn[e] y => y"
+        prog, cfa = labels(src)
+        assert cfa.labels_of(prog.root) == {"t", "e"}
+
+    def test_letrec_flows_into_recursive_uses(self):
+        src = "letrec f = fn[f] x => f in f"
+        prog, cfa = labels(src)
+        assert cfa.labels_of(prog.root) == {"f"}
+        assert cfa.labels_of_var("f") == {"f"}
+
+
+class TestDataFlow:
+    def test_record_projection(self):
+        src = "#1 (fn[a] x => x, fn[b] y => y)"
+        prog, cfa = labels(src)
+        assert cfa.labels_of(prog.root) == {"a"}
+
+    def test_projection_through_variable(self):
+        src = "let p = (fn[a] x => x, fn[b] y => y) in #2 p"
+        prog, cfa = labels(src)
+        assert cfa.labels_of(prog.root) == {"b"}
+
+    def test_out_of_range_projection_is_empty(self):
+        src = "let p = (fn[a] x => x, fn[b] y => y) in #3 p"
+        prog, cfa = labels(src)
+        assert cfa.labels_of(prog.root) == set()
+
+    def test_function_through_datatype(self):
+        src = (
+            "datatype fl = FNil | FCons of (int -> int) * fl;\n"
+            "case FCons(fn[inc] x => x + 1, FNil) of "
+            "FNil => fn[zero] a => a | FCons(h, t) => h end"
+        )
+        prog, cfa = labels(src)
+        assert cfa.labels_of(prog.root) == {"inc", "zero"}
+        assert cfa.labels_of_var("h") == {"inc"}
+
+    def test_case_no_matching_constructor_no_flow(self):
+        src = (
+            DT + "case Nil of Nil => fn[n] x => x "
+            "| Cons(h, t) => fn[c] y => y end"
+        )
+        prog, cfa = labels(src)
+        assert cfa.labels_of_var("h") == set()
+
+    def test_ref_read_write(self):
+        src = (
+            "let c = ref (fn[init] x => x) in "
+            "let u = c := (fn[later] y => y) in !c"
+        )
+        prog, cfa = labels(src)
+        assert cfa.labels_of(prog.root) == {"init", "later"}
+
+    def test_ref_aliasing(self):
+        src = (
+            "let c = ref (fn[init] x => x) in "
+            "let d = c in "
+            "let u = d := (fn[later] y => y) in !c"
+        )
+        prog, cfa = labels(src)
+        assert "later" in cfa.labels_of(prog.root)
+
+    def test_separate_refs_do_not_alias(self):
+        src = (
+            "let c = ref (fn[one] x => x) in "
+            "let d = ref (fn[two] y => y) in !c"
+        )
+        prog, cfa = labels(src)
+        assert cfa.labels_of(prog.root) == {"one"}
+
+    def test_prims_produce_no_labels(self):
+        prog, cfa = labels("print (fn[f] x => x)")
+        assert cfa.labels_of(prog.root) == set()
+
+
+class TestResultInterface:
+    def test_is_label_in(self):
+        prog, cfa = labels("(fn[f] x => x) (fn[g] y => y)")
+        assert cfa.is_label_in("g", prog.root)
+        assert not cfa.is_label_in("f", prog.root)
+
+    def test_expressions_with_label(self):
+        prog, cfa = labels("(fn[f] x => x) (fn[g] y => y)")
+        nids = {e.nid for e in cfa.expressions_with_label("g")}
+        assert prog.root.nid in nids
+        assert prog.root.arg.nid in nids
+
+    def test_all_label_sets_covers_every_node(self):
+        prog, cfa = labels("(fn[f] x => x) (fn[g] y => y)")
+        sets = cfa.all_label_sets()
+        assert set(sets) == {n.nid for n in prog.nodes}
+
+    def test_call_graph(self):
+        prog, cfa = labels("(fn[f] x => x) (fn[g] y => y)")
+        graph = cfa.call_graph()
+        assert graph == {prog.root.nid: frozenset({"f"})}
+
+    def test_foreign_expression_rejected(self):
+        prog, cfa = labels("fn[f] x => x")
+        other = parse("fn[g] y => y")
+        with pytest.raises(QueryError):
+            cfa.labels_of(other.root)
+
+    def test_work_counter_positive(self):
+        prog, cfa = labels("(fn[f] x => x) (fn[g] y => y)")
+        assert cfa.work > 0
+        assert cfa.edge_count > 0

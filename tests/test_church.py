@@ -1,0 +1,92 @@
+"""Tests for the Church-encoding stress workload — deep higher-order
+types through every oracle in the repository."""
+
+import pytest
+
+from repro.cfa.dtc import analyze_dtc
+from repro.cfa.equality import analyze_equality
+from repro.cfa.standard import analyze_standard
+from repro.core.queries import analyze_subtransitive
+from repro.lang import evaluate
+from repro.types.measure import bounded_type_report
+from repro.workloads.church import church_numeral, make_church_program
+
+from tests.helpers import assert_label_subset, assert_same_label_sets
+
+
+class TestConstruction:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            make_church_program(0)
+        with pytest.raises(ValueError):
+            church_numeral(-1)
+
+    def test_numeral_zero(self):
+        import repro.lang.builders as b
+
+        prog = b.program(
+            b.app(
+                church_numeral(0),
+                b.lam("x", b.prim("add", b.var("x"), b.lit(1))),
+                b.lit(0),
+            )
+        )
+        assert evaluate(prog).value == 0
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("n", [1, 2, 4, 6])
+    def test_sums_correctly(self, n):
+        prog = make_church_program(n)
+        assert evaluate(prog).value == n * (n + 1) // 2
+
+
+class TestTyping:
+    def test_typeable_with_moderate_types(self):
+        report = bounded_type_report(make_church_program(4))
+        # Numerals live at (int->int)->int->int (size 7); `add`'s
+        # instantiations are one order up.
+        assert report.max_order >= 2
+        assert report.max_size >= 7
+
+
+class TestAnalysesAgree:
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_subtransitive_equals_standard(self, n):
+        prog = make_church_program(n)
+        assert_same_label_sets(
+            prog,
+            analyze_standard(prog),
+            analyze_subtransitive(prog),
+            f"church-{n}",
+        )
+
+    def test_dtc_agrees(self):
+        prog = make_church_program(3)
+        assert_same_label_sets(
+            prog, analyze_standard(prog), analyze_dtc(prog), "church"
+        )
+
+    def test_equality_superset(self):
+        prog = make_church_program(3)
+        assert_label_subset(
+            prog,
+            analyze_standard(prog),
+            analyze_equality(prog),
+            "church",
+        )
+
+    def test_runtime_soundness(self):
+        prog = make_church_program(3)
+        result = evaluate(prog)
+        cfa = analyze_subtransitive(prog)
+        for node in prog.nodes:
+            assert result.trace.labels_at(node) <= cfa.labels_of(node)
+
+    def test_graph_stays_bounded(self):
+        small = analyze_subtransitive(make_church_program(3))
+        large = analyze_subtransitive(make_church_program(6))
+        small_nodes = small.stats.total_nodes
+        large_nodes = large.stats.total_nodes
+        # Roughly linear growth in n (types are fixed as n grows).
+        assert large_nodes < 4 * small_nodes

@@ -1,0 +1,132 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+DEMO = "let id = fn[id] x => x in id (fn[g] y => y)"
+EFFECTS = "let f = fn[noisy] x => print x in f 1"
+DT = (
+    "datatype intlist = Nil | Cons of int * intlist;\n"
+    "letrec len = fn[len] xs => case xs of Nil => 0 "
+    "| Cons(h, t) => 1 + len t end in len (Cons(1, Nil))"
+)
+
+
+@pytest.fixture()
+def demo_file(tmp_path):
+    path = tmp_path / "demo.ml"
+    path.write_text(DEMO)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_table_output(self, demo_file, capsys):
+        assert main(["analyze", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert "may call" in out
+        assert "id" in out
+
+    def test_json_output(self, demo_file, capsys):
+        assert main(["analyze", demo_file, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["program"]["size"] == 7
+        assert set(document["program"]["labels"]) == {"id", "g"}
+        (site,) = document["call_graph"].values()
+        assert site["callees"] == ["id"]
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["standard", "dtc", "equality", "hybrid", "polyvariant"],
+    )
+    def test_all_algorithms(self, demo_file, capsys, algorithm):
+        assert main(
+            ["analyze", demo_file, "--algorithm", algorithm]
+        ) == 0
+
+    def test_datatype_program(self, tmp_path, capsys):
+        path = tmp_path / "list.ml"
+        path.write_text(DT)
+        assert main(["analyze", str(path)]) == 0
+
+    def test_missing_file(self, capsys):
+        assert main(["analyze", "/nonexistent.ml"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.ml"
+        path.write_text("let = ")
+        assert main(["analyze", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_label_query_lists_occurrences(self, demo_file, capsys):
+        assert main(["query", demo_file, "--label", "g"]) == 0
+        out = capsys.readouterr().out
+        assert "fn y => y" in out
+
+    def test_membership_query(self, demo_file, capsys):
+        assert main(
+            ["query", demo_file, "--label", "id", "--expr", "0"]
+        ) == 0
+        assert capsys.readouterr().out.strip() in ("yes", "no")
+
+    def test_labels_of_query(self, demo_file, capsys):
+        assert main(["query", demo_file, "--expr", "0"]) == 0
+
+    def test_query_without_args_fails(self, demo_file, capsys):
+        assert main(["query", demo_file]) == 1
+
+
+class TestApps:
+    def test_effects(self, tmp_path, capsys):
+        path = tmp_path / "eff.ml"
+        path.write_text(EFFECTS)
+        assert main(["effects", str(path)]) == 0
+        assert "effectful" in capsys.readouterr().out
+
+    def test_klimited(self, demo_file, capsys):
+        assert main(["klimited", demo_file, "-k", "1"]) == 0
+        assert "callees" in capsys.readouterr().out
+
+    def test_called_once(self, demo_file, capsys):
+        assert main(["called-once", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert "once" in out and "never" in out
+
+    def test_typecheck(self, demo_file, capsys):
+        assert main(["typecheck", demo_file]) == 0
+        assert "P_7" in capsys.readouterr().out
+
+    def test_typecheck_rejects_untypeable(self, tmp_path, capsys):
+        path = tmp_path / "omega.ml"
+        path.write_text("(fn x => x x) (fn y => y y)")
+        assert main(["typecheck", str(path)]) == 1
+
+
+class TestEvalAndDot:
+    def test_eval(self, tmp_path, capsys):
+        path = tmp_path / "run.ml"
+        path.write_text("let u = print 1 in 2 + 3")
+        assert main(["eval", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "1" in out and "=> 5" in out
+
+    def test_eval_fuel(self, tmp_path, capsys):
+        path = tmp_path / "loop.ml"
+        path.write_text("letrec f = fn x => f x in f 0")
+        assert main(["eval", str(path), "--fuel", "100"]) == 1
+
+    def test_dot_stdout(self, demo_file, capsys):
+        assert main(["dot", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "doublecircle" in out
+
+    def test_dot_to_file(self, demo_file, tmp_path, capsys):
+        target = tmp_path / "g.dot"
+        assert main(["dot", demo_file, "-o", str(target)]) == 0
+        assert target.read_text().startswith("digraph")

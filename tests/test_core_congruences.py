@@ -1,0 +1,191 @@
+"""Tests for the Section 6 datatype node congruences (≈1 and ≈2)."""
+
+import pytest
+
+from repro.cfa.standard import analyze_standard
+from repro.core.datatypes import (
+    BaseTypeCongruence,
+    TypeCongruence,
+    make_congruence,
+)
+from repro.core.lc import build_subtransitive_graph
+from repro.core.queries import SubtransitiveCFA, analyze_subtransitive
+from repro.lang import parse
+from repro.types.infer import infer_types
+
+from tests.helpers import assert_label_subset
+
+FL = "datatype fl = FNil | FCons of (int -> int) * fl;\n"
+DT = "datatype intlist = Nil | Cons of int * intlist;\n"
+
+
+def run_with(src, congruence_name):
+    prog = parse(src)
+    inference = infer_types(prog)
+    congruence = make_congruence(congruence_name)
+    sub = build_subtransitive_graph(
+        prog, congruence=congruence, inference=inference
+    )
+    return prog, SubtransitiveCFA(sub)
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert isinstance(make_congruence("type"), TypeCongruence)
+        assert isinstance(
+            make_congruence("base-and-type"), BaseTypeCongruence
+        )
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_congruence("fancy")
+
+    def test_type_congruences_require_inference(self):
+        # The engine itself refuses a typed congruence without types;
+        # the build_subtransitive_graph wrapper infers them
+        # automatically instead.
+        from repro.core.lc import LCEngine
+
+        prog = parse(DT + "Nil")
+        with pytest.raises(ValueError):
+            LCEngine(
+                prog, congruence=make_congruence("type"), inference=None
+            )
+        sub = build_subtransitive_graph(
+            prog, congruence=make_congruence("type"), inference=None
+        )
+        assert sub.stats.total_nodes > 0
+
+
+class TestSoundness:
+    """Both congruences over-approximate standard CFA."""
+
+    SOURCES = [
+        FL + (
+            "letrec map = fn[map] f => fn[map2] xs => case xs of "
+            "FNil => FNil | FCons(h, t) => FCons(f h, map f t) end in "
+            "case map (fn[wrap] g => g) "
+            "(FCons(fn[inc] x => x + 1, FCons(fn[dbl] y => y * 2, FNil))) of "
+            "FNil => fn[zero] a => a | FCons(h, t) => h end"
+        ),
+        DT + (
+            "letrec sum = fn[sum] xs => case xs of Nil => 0 "
+            "| Cons(h, t) => h + sum t end in sum (Cons(1, Cons(2, Nil)))"
+        ),
+    ]
+
+    @pytest.mark.parametrize("src", SOURCES)
+    @pytest.mark.parametrize("cong", ["type", "base-and-type"])
+    def test_congruence_superset_of_standard(self, src, cong):
+        prog, sub = run_with(src, cong)
+        std = analyze_standard(prog)
+        assert_label_subset(prog, std, sub, cong)
+
+    @pytest.mark.parametrize("src", SOURCES)
+    def test_c2_at_least_as_precise_as_c1(self, src):
+        prog1, sub1 = run_with(src, "type")
+        prog2, sub2 = run_with(src, "base-and-type")
+        # Compare by nid (same source parses identically).
+        for n1, n2 in zip(prog1.nodes, prog2.nodes):
+            assert sub2.labels_of(n2) <= sub1.labels_of(n1)
+
+
+class TestAccuracyDifference:
+    def test_paper_car_example_under_c1(self):
+        # Section 6: "if we use ≈1 ... there would be edges to both 1
+        # and 2 from car(e)" — with functions instead of ints so
+        # labels are observable: two lists of the same type conflate.
+        src = FL + (
+            "let l1 = FCons(fn[one] x => x, FNil) in "
+            "let l2 = FCons(fn[two] y => y, FNil) in "
+            "case l1 of FNil => fn[z] a => a | FCons(h, t) => h end"
+        )
+        prog1, sub1 = run_with(src, "type")
+        # Under ≈1, l1 and l2 share the class node, so h sees both.
+        assert {"one", "two"} <= sub1.labels_of_var("h")
+
+    def test_paper_car_example_under_c2(self):
+        src = FL + (
+            "let l1 = FCons(fn[one] x => x, FNil) in "
+            "let l2 = FCons(fn[two] y => y, FNil) in "
+            "case l1 of FNil => fn[z] a => a | FCons(h, t) => h end"
+        )
+        prog2, sub2 = run_with(src, "base-and-type")
+        # ≈2 keeps distinct base nodes apart: h sees only 'one'.
+        assert sub2.labels_of_var("h") == {"one"}
+
+    # A nested deconstruction: take the head, the tail, and the
+    # tail's head of a two-element function list.
+    NESTED = FL + (
+        "let l = FCons(fn[one] x => x, FCons(fn[two] y => y, FNil)) in "
+        "case l of FNil => fn[z] a => a "
+        "| FCons(h, t) => case t of FNil => fn[z2] c => c "
+        "| FCons(h2, t2) => h2 end end"
+    )
+
+    def test_c2_keeps_positions_c1_loses(self):
+        # ≈1 merges every fl-typed node into one class, so both list
+        # positions conflate; ≈2 keys classes on the base node and
+        # keeps them apart here — "strictly more accurate".
+        prog1, sub1 = run_with(self.NESTED, "type")
+        assert {"one", "two"} <= sub1.labels_of_var("h")
+        assert {"one", "two"} <= sub1.labels_of_var("h2")
+        prog2, sub2 = run_with(self.NESTED, "base-and-type")
+        assert sub2.labels_of_var("h") == {"one"}
+        assert sub2.labels_of_var("h2") == {"two"}
+
+    def test_c2_terminates_where_exact_diverges(self):
+        # A recursive traversal makes the exact node grammar build
+        # unbounded deconstructor towers; ≈2 collapses them (the whole
+        # point of Section 6).
+        src = FL + (
+            "letrec last = fn[last] xs => case xs of "
+            "FNil => fn[z] a => a "
+            "| FCons(h, t) => case t of FNil => h "
+            "| FCons(h2, t2) => last t end end in "
+            "last (FCons(fn[one] x => x, FCons(fn[two] y => y, FNil)))"
+        )
+        prog = parse(src)
+        from repro.errors import AnalysisBudgetExceeded
+
+        with pytest.raises(AnalysisBudgetExceeded):
+            build_subtransitive_graph(
+                prog,
+                congruence=make_congruence("exact"),
+                inference=infer_types(prog),
+                node_budget=50 * prog.size,
+            )
+        prog2, sub2 = run_with(src, "base-and-type")
+        std = analyze_standard(prog2)
+        assert_label_subset(prog2, std, sub2, "≈2 on recursion")
+
+    def test_class_node_counts_c1_coarser(self):
+        src = self_src = FL + (
+            "let l1 = FCons(fn[one] x => x, FNil) in "
+            "let l2 = FCons(fn[two] y => y, FNil) in "
+            "case l1 of FNil => fn[z] a => a | FCons(h, t) => h end"
+        )
+        prog1, sub1 = run_with(src, "type")
+        prog2, sub2 = run_with(src, "base-and-type")
+        assert (
+            sub1.sub.stats.total_nodes <= sub2.sub.stats.total_nodes
+        )
+
+
+class TestDefaultSelection:
+    def test_datatype_programs_get_congruence_automatically(self):
+        src = DT + (
+            "letrec len = fn[len] xs => case xs of Nil => 0 "
+            "| Cons(h, t) => 1 + len t end in len (Cons(1, Nil))"
+        )
+        prog = parse(src)
+        sub = analyze_subtransitive(prog)  # must terminate
+        std = analyze_standard(prog)
+        assert_label_subset(prog, std, sub, "auto")
+
+    def test_datatype_free_programs_run_exact(self):
+        prog = parse("(fn[f] x => x x) (fn[g] y => y)")
+        sub = analyze_subtransitive(prog)
+        std = analyze_standard(prog)
+        for node in prog.nodes:
+            assert sub.labels_of(node) == std.labels_of(node)

@@ -1,0 +1,80 @@
+"""Tests for the hybrid driver (budgeted LC' + cubic fallback)."""
+
+import pytest
+
+from repro.cfa.standard import analyze_standard
+from repro.core.hybrid import analyze_hybrid
+from repro.lang import parse
+from repro.workloads.generators import random_typed_program
+
+from tests.helpers import assert_same_label_sets
+
+
+class TestEngineSelection:
+    def test_typed_program_uses_subtransitive(self):
+        prog = parse("(fn[f] x => x x) (fn[g] y => y)")
+        hybrid = analyze_hybrid(prog)
+        assert hybrid.engine == "subtransitive"
+
+    def test_untypeable_self_application_falls_back(self):
+        # Omega-ish terms are untypeable; LC' would tower forever.
+        prog = parse("(fn[w] x => x x) (fn[w2] y => y y)")
+        hybrid = analyze_hybrid(prog)
+        assert hybrid.engine == "standard"
+
+    def test_fallback_result_is_correct(self):
+        prog = parse("(fn[w] x => x x) (fn[w2] y => y y)")
+        hybrid = analyze_hybrid(prog)
+        assert hybrid.labels_of(prog.root.arg) == {"w2"}
+        # Self-application: x receives w2, (x x) applies w2 to itself.
+        assert hybrid.labels_of_var("x") == {"w2"}
+
+    def test_y_combinator_terminates(self):
+        # The call-by-value Y combinator: famously untypeable.
+        src = (
+            "fn[outer] f => "
+            "(fn[a] x => f (fn[ea] v => x x v)) "
+            "(fn[b] x2 => f (fn[eb] w => x2 x2 w))"
+        )
+        prog = parse(src)
+        hybrid = analyze_hybrid(prog)
+        assert hybrid.engine == "standard"
+        assert hybrid.labels_of(prog.root) == {"outer"}
+
+
+class TestAgreement:
+    def test_hybrid_matches_standard_either_way(self):
+        for src in [
+            "(fn[f] x => x x) (fn[g] y => y)",
+            "(fn[w] x => x x) (fn[w2] y => y y)",
+        ]:
+            prog = parse(src)
+            assert_same_label_sets(
+                prog, analyze_standard(prog), analyze_hybrid(prog), src
+            )
+
+    def test_generated_programs_stay_subtransitive(self):
+        # Typed generated programs should essentially never fall back.
+        fallbacks = 0
+        for seed in range(20):
+            prog = random_typed_program(seed, fuel=18)
+            if analyze_hybrid(prog).engine != "subtransitive":
+                fallbacks += 1
+        assert fallbacks == 0
+
+
+class TestInterface:
+    def test_delegation(self):
+        prog = parse("(fn[f] x => x) (fn[g] y => y)")
+        hybrid = analyze_hybrid(prog)
+        assert hybrid.may_call(prog.applications[0]) == {"f"}
+        assert hybrid.is_label_in("g", prog.root)
+
+    def test_repr_mentions_engine(self):
+        prog = parse("fn[f] x => x")
+        assert "subtransitive" in repr(analyze_hybrid(prog))
+
+    def test_custom_budget_forces_fallback(self):
+        prog = parse("(fn[f] x => x x) (fn[g] y => y)")
+        hybrid = analyze_hybrid(prog, node_budget=5)
+        assert hybrid.engine == "standard"

@@ -1,0 +1,171 @@
+"""Unit tests for the node grammar and factory."""
+
+import pytest
+
+from repro.core.nodes import (
+    NodeFactory,
+    op_is_contravariant,
+    op_is_covariant,
+)
+from repro.errors import AnalysisBudgetExceeded
+from repro.lang import parse
+
+
+@pytest.fixture()
+def factory():
+    program = parse("(fn[f] x => x) (fn[g] y => y)")
+    return program, NodeFactory(program)
+
+
+class TestVariance:
+    def test_dom_is_contravariant_only(self):
+        assert op_is_contravariant(("dom",))
+        assert not op_is_covariant(("dom",))
+
+    def test_ran_proj_con_are_covariant_only(self):
+        for opkey in [("ran",), ("proj", 1), ("con", "Cons", 2)]:
+            assert op_is_covariant(opkey)
+            assert not op_is_contravariant(opkey)
+
+    def test_cell_is_invariant(self):
+        assert op_is_covariant(("cell",))
+        assert op_is_contravariant(("cell",))
+
+
+class TestInterning:
+    def test_expr_nodes_interned(self, factory):
+        program, fac = factory
+        assert fac.expr_node(program.root) is fac.expr_node(program.root)
+
+    def test_var_nodes_interned(self, factory):
+        _, fac = factory
+        assert fac.var_node("x") is fac.var_node("x")
+        assert fac.var_node("x") is not fac.var_node("y")
+
+    def test_context_distinguishes_instances(self, factory):
+        program, fac = factory
+        plain = fac.expr_node(program.root)
+        instanced = fac.expr_node(program.root, context=(5,))
+        assert plain is not instanced
+        assert instanced.context == (5,)
+
+    def test_op_nodes_interned_via_registration(self, factory):
+        program, fac = factory
+        base = fac.expr_node(program.root)
+        first = fac.op_node(("dom",), base)
+        second = fac.op_node(("dom",), base)
+        assert first is second
+        assert base.ops[("dom",)] is first
+
+    def test_find_op(self, factory):
+        program, fac = factory
+        base = fac.expr_node(program.root)
+        assert fac.find_op(("ran",), base) is None
+        made = fac.op_node(("ran",), base)
+        assert fac.find_op(("ran",), base) is made
+
+    def test_members_recorded(self, factory):
+        program, fac = factory
+        base = fac.expr_node(program.root)
+        node = fac.op_node(("dom",), base)
+        assert (("dom",), base) in node.members
+
+    def test_on_member_hook_fires(self, factory):
+        program, fac = factory
+        calls = []
+        fac.on_member = lambda node, opkey, inner: calls.append(opkey)
+        base = fac.expr_node(program.root)
+        fac.op_node(("dom",), base)
+        assert calls == [("dom",)]
+
+
+class TestDepthAndBudget:
+    def test_depth_increments(self, factory):
+        program, fac = factory
+        base = fac.expr_node(program.root)
+        dom = fac.op_node(("dom",), base)
+        ran = fac.op_node(("ran",), dom)
+        assert base.depth == 0
+        assert dom.depth == 1
+        assert ran.depth == 2
+
+    def test_decon_resets_depth(self):
+        program = parse(
+            "datatype intlist = Nil | Cons of int * intlist;\nNil"
+        )
+        fac = NodeFactory(program)
+        base = fac.expr_node(program.root)
+        dom = fac.op_node(("dom",), base)
+        con = fac.op_node(("con", "Cons", 1), dom)
+        assert con.depth == 1
+
+    def test_depth_cap_suppresses(self, factory):
+        program, _ = factory
+        fac = NodeFactory(program, max_depth=2)
+        base = fac.expr_node(program.root)
+        d1 = fac.op_node(("dom",), base)
+        d2 = fac.op_node(("dom",), d1)
+        d3 = fac.op_node(("dom",), d2)
+        assert d2 is not None
+        assert d3 is None
+        assert fac.depth_truncations == 1
+
+    def test_node_budget(self, factory):
+        program, _ = factory
+        fac = NodeFactory(program, node_budget=2)
+        fac.expr_node(program.root)
+        fac.var_node("x")
+        with pytest.raises(AnalysisBudgetExceeded):
+            fac.var_node("y")
+
+
+class TestDescribe:
+    def test_expr_node_uses_label_for_abstractions(self, factory):
+        program, fac = factory
+        lam = program.abstraction("f")
+        assert fac.expr_node(lam).describe() == "f"
+
+    def test_expr_node_uses_nid_otherwise(self, factory):
+        program, fac = factory
+        assert fac.expr_node(program.root).describe() == "e0"
+
+    def test_operator_rendering(self, factory):
+        program, fac = factory
+        base = fac.expr_node(program.abstraction("f"))
+        dom = fac.op_node(("dom",), base)
+        ran_of_dom = fac.op_node(("ran",), dom)
+        assert ran_of_dom.describe() == "ran(dom(f))"
+
+    def test_context_rendering(self, factory):
+        program, fac = factory
+        node = fac.var_node("x", context=(3, 4))
+        assert node.describe() == "x@3.4"
+
+
+class TestOpTypes:
+    def test_dom_ran_types_follow_function_type(self):
+        program = parse("fn[f] x => x + 1")
+        from repro.types.infer import infer_types
+
+        fac = NodeFactory(program, inference=infer_types(program))
+        base = fac.expr_node(program.root)
+        dom = fac.op_node(("dom",), base)
+        ran = fac.op_node(("ran",), base)
+        assert str(dom.ty) == "int"
+        assert str(ran.ty) == "int"
+
+    def test_con_types_come_from_signature(self):
+        program = parse(
+            "datatype intlist = Nil | Cons of int * intlist;\nNil"
+        )
+        fac = NodeFactory(program)
+        base = fac.expr_node(program.root)
+        head = fac.op_node(("con", "Cons", 1), base)
+        tail = fac.op_node(("con", "Cons", 2), base)
+        assert str(head.ty) == "int"
+        assert str(tail.ty) == "intlist"
+
+    def test_unknown_types_are_none(self, factory):
+        program, fac = factory
+        base = fac.expr_node(program.root)
+        assert fac.op_node(("dom",), base).ty is None

@@ -1,0 +1,211 @@
+"""Tests for the polyvariant analysis (paper Section 7).
+
+The target semantics: "equivalent to doing a monomorphic analysis of
+the let-expanded P, without doing the explicit let-expansion". We
+check exactly that, via the explicit let-expansion oracle.
+"""
+
+import pytest
+
+from repro.cfa.standard import analyze_standard
+from repro.core.polyvariant import (
+    analyze_polyvariant,
+    choose_polyvariant_binders,
+    summarize_fragment,
+)
+from repro.core.queries import analyze_subtransitive
+from repro.errors import AnalysisBudgetExceeded
+from repro.lang import parse
+from repro.lang.letexpand import let_expand
+
+
+def project(labels, origin):
+    """Map copied labels back to their originals."""
+    return frozenset(origin.get(label, label) for label in labels)
+
+
+class TestBinderSelection:
+    def test_lambda_lets_selected(self):
+        prog = parse("let id = fn x => x in id id")
+        assert choose_polyvariant_binders(prog) == {"id"}
+
+    def test_non_lambda_lets_skipped(self):
+        prog = parse("let one = 1 in one + one")
+        assert choose_polyvariant_binders(prog) == frozenset()
+
+    def test_letrec_selected(self):
+        prog = parse("letrec f = fn x => f x in f")
+        assert choose_polyvariant_binders(prog) == {"f"}
+
+
+class TestPrecisionGain:
+    SRC = (
+        "let id = fn[id] x => x in "
+        "(id (fn[a] p => p), id (fn[b] q => q))"
+    )
+
+    def test_monovariant_conflates(self):
+        prog = parse(self.SRC)
+        mono = analyze_subtransitive(prog)
+        first, second = prog.root.body.fields
+        assert mono.labels_of(first) == {"a", "b"}
+
+    def test_polyvariant_separates(self):
+        prog = parse(self.SRC)
+        poly = analyze_polyvariant(prog)
+        first, second = prog.root.body.fields
+        assert poly.labels_of(first) == {"a"}
+        assert poly.labels_of(second) == {"b"}
+
+    def test_polyvariant_at_least_as_precise_everywhere(self):
+        prog = parse(self.SRC)
+        mono = analyze_subtransitive(prog)
+        poly = analyze_polyvariant(prog)
+        for node in prog.nodes:
+            assert poly.labels_of(node) <= mono.labels_of(node)
+
+
+class TestLetExpansionEquivalence:
+    SOURCES = [
+        "let id = fn[id] x => x in (id (fn[a] p => p), id (fn[b] q => q))",
+        "let id = fn[id] x => x in ((id id) id) (fn[k] z => z)",
+        (
+            "let apply = fn[apply] f => fn[ap2] v => f v in "
+            "(apply (fn[a] x => x) (fn[c] w => w), "
+            "apply (fn[b] y => y) (fn[d] u => u))"
+        ),
+        (
+            "let twice = fn[twice] f => fn[tw2] x => f (f x) in "
+            "(twice (fn[a] p => p) (fn[c] w => w), "
+            "twice (fn[b] q => q) (fn[d] u => u))"
+        ),
+    ]
+
+    @pytest.mark.parametrize("src", SOURCES)
+    def test_call_sites_match_expansion(self, src):
+        prog = parse(src)
+        poly = analyze_polyvariant(prog)
+
+        expanded, origin = let_expand(prog)
+        oracle = analyze_standard(expanded)
+
+        # Compare the overall result and the record fields, projected
+        # back to original labels.
+        assert project(
+            oracle.labels_of(expanded.root), origin
+        ) == poly.labels_of(prog.root)
+
+    @pytest.mark.parametrize("src", SOURCES)
+    def test_poly_never_worse_than_expansion(self, src):
+        # Every polyvariant answer is contained in the monovariant
+        # one, and contains the expansion oracle's projection.
+        prog = parse(src)
+        poly = analyze_polyvariant(prog)
+        mono = analyze_subtransitive(prog)
+        assert poly.labels_of(prog.root) <= mono.labels_of(prog.root)
+
+
+class TestRecursionAndBudget:
+    def test_polyvariant_letrec_terminates(self):
+        src = (
+            "letrec f = fn[f] n => if n < 1 then 0 else f (n - 1) in "
+            "(f 3, f 4)"
+        )
+        prog = parse(src)
+        poly = analyze_polyvariant(prog)
+        site = prog.applications[0]
+        assert poly.may_call(site) == {"f"}
+
+    def test_instance_budget_trips(self):
+        # Nested polymorphic lets multiply instances; a tiny budget
+        # must trip rather than hang.
+        src = (
+            "let a = fn x => x in "
+            "let b = fn y => a (a y) in "
+            "let c = fn z => b (b z) in "
+            "(c (fn w => w), c (fn v => v))"
+        )
+        prog = parse(src)
+        with pytest.raises(AnalysisBudgetExceeded):
+            analyze_polyvariant(prog, instance_budget=3)
+
+    def test_explicit_binder_subset(self):
+        prog = parse(self_src := TestPrecisionGain.SRC)
+        poly = analyze_polyvariant(prog, binders=frozenset())
+        # No binders duplicated -> same as monovariant.
+        mono = analyze_subtransitive(prog)
+        for node in prog.nodes:
+            assert poly.labels_of(node) == mono.labels_of(node)
+
+
+class TestPolyvariantQueryInvariants:
+    """The generic query surface stays internally consistent when
+    nodes live under multiple contexts."""
+
+    SRC = (
+        "let id = fn[id] x => x in "
+        "(id (fn[a] p => p), id (fn[b] q => q))"
+    )
+
+    def test_all_label_sets_matches_pointwise(self):
+        prog = parse(self.SRC)
+        poly = analyze_polyvariant(prog)
+        table = poly.all_label_sets()
+        for node in prog.nodes:
+            assert table[node.nid] == poly.labels_of(node), node.nid
+
+    def test_reverse_query_matches_forward(self):
+        prog = parse(self.SRC)
+        poly = analyze_polyvariant(prog)
+        for lam in prog.abstractions:
+            backwards = {
+                e.nid for e in poly.expressions_with_label(lam.label)
+            }
+            forwards = {
+                n.nid
+                for n in prog.nodes
+                if lam.label in poly.labels_of(n)
+            }
+            assert backwards == forwards, lam.label
+
+    def test_is_label_in_consistent(self):
+        prog = parse(self.SRC)
+        poly = analyze_polyvariant(prog)
+        for node in prog.nodes:
+            for label in prog.labels:
+                assert poly.is_label_in(label, node) == (
+                    label in poly.labels_of(node)
+                )
+
+
+class TestSummarisation:
+    def test_paper_compression_example(self):
+        # Section 7: e = \z.((\y.z) nil) compresses to just
+        # ran(e) -> dom(e).
+        src = "(fn[e] z => (fn[y] y1 => z) 0) (fn[arg] w => w)"
+        prog = parse(src)
+        sub = analyze_subtransitive(prog)
+        lam = prog.abstraction("e")
+        summary = summarize_fragment(sub.sub, lam)
+        assert len(summary.critical) == 2
+        by_kind = {
+            node.opkey[0]: node for node in summary.critical
+        }
+        edges = {
+            (src_node.opkey[0], dst_node.opkey[0])
+            for src_node, dst_node in summary.edges
+        }
+        assert ("ran", "dom") in edges
+        # Compression removed the internal nodes (z, the inner app...).
+        assert summary.removed_nodes > 0
+
+    def test_summary_of_simple_identity(self):
+        src = "(fn[id] x => x) (fn[g] y => y)"
+        prog = parse(src)
+        sub = analyze_subtransitive(prog)
+        summary = summarize_fragment(sub.sub, prog.abstraction("id"))
+        edges = {
+            (a.opkey[0], c.opkey[0]) for a, c in summary.edges
+        }
+        # The identity's range is its own domain.
+        assert ("ran", "dom") in edges

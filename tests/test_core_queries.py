@@ -1,0 +1,93 @@
+"""Tests for the reachability query layer (Algorithms 1-2 etc.)."""
+
+import pytest
+
+from repro.core.queries import analyze_subtransitive
+from repro.cfa.standard import analyze_standard
+from repro.errors import QueryError, ScopeError
+from repro.lang import parse
+
+DT = "datatype intlist = Nil | Cons of int * intlist;\n"
+
+
+def both(src):
+    prog = parse(src)
+    return prog, analyze_subtransitive(prog), analyze_standard(prog)
+
+
+class TestAlgorithm1:
+    def test_membership_positive(self):
+        prog, sub, _ = both("(fn[f] x => x) (fn[g] y => y)")
+        assert sub.is_label_in("g", prog.root)
+
+    def test_membership_negative(self):
+        prog, sub, _ = both("(fn[f] x => x) (fn[g] y => y)")
+        assert not sub.is_label_in("f", prog.root)
+
+    def test_unknown_label_raises(self):
+        prog, sub, _ = both("fn[f] x => x")
+        with pytest.raises(ScopeError):
+            sub.is_label_in("nope", prog.root)
+
+
+class TestAlgorithm2:
+    def test_labels_of_matches_standard(self):
+        prog, sub, std = both(
+            "let id = fn[id] x => x in (id id) (fn[k] z => z)"
+        )
+        for node in prog.nodes:
+            assert sub.labels_of(node) == std.labels_of(node)
+
+    def test_labels_of_var(self):
+        prog, sub, _ = both("(fn[f] x => x) (fn[g] y => y)")
+        assert sub.labels_of_var("x") == {"g"}
+
+    def test_tokens_include_records(self):
+        prog, sub, _ = both("let p = (1, 2) in p")
+        assert len(sub.records_of(prog.root)) == 1
+
+    def test_tokens_include_constructors(self):
+        prog, sub, _ = both(DT + "let l = Cons(1, Nil) in l")
+        cons = sub.constructors_of(prog.root)
+        assert {c.cname for c in cons} >= {"Cons"}
+
+
+class TestReverseQuery:
+    def test_expressions_with_label_matches_standard(self):
+        prog, sub, std = both("(fn[f] x => x x) (fn[g] y => y)")
+        for label in prog.labels:
+            ours = {e.nid for e in sub.expressions_with_label(label)}
+            theirs = {e.nid for e in std.expressions_with_label(label)}
+            assert ours == theirs, label
+
+    def test_unknown_label(self):
+        prog, sub, _ = both("fn[f] x => x")
+        with pytest.raises(ScopeError):
+            sub.expressions_with_label("ghost")
+
+
+class TestAllLabelSets:
+    def test_matches_standard_pointwise(self):
+        prog, sub, std = both(
+            "let c = ref (fn[a] x => x) in "
+            "let u = c := (fn[b] y => y) in (!c) 1"
+        )
+        assert sub.all_label_sets() == std.all_label_sets()
+
+    def test_call_graph_matches(self):
+        prog, sub, std = both(
+            "let h = fn[h] f => f 1 in h (fn[inc] x => x + 1)"
+        )
+        assert sub.call_graph() == std.call_graph()
+
+
+class TestErrors:
+    def test_foreign_expression_rejected(self):
+        prog, sub, _ = both("fn[f] x => x")
+        other = parse("fn[g] y => y")
+        with pytest.raises(QueryError):
+            sub.labels_of(other.root)
+
+    def test_stats_exposed(self):
+        prog, sub, _ = both("fn[f] x => x")
+        assert sub.stats.build_nodes > 0

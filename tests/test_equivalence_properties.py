@@ -1,0 +1,162 @@
+"""The flagship property-based tests: the paper's correctness claims
+as executable properties over randomly generated well-typed programs.
+
+* **Proposition 1/2 (exactness)**: LC'-reachability computes exactly
+  standard CFA (checked pointwise, against both the constraint-based
+  and the DTC implementations).
+* **Soundness**: the labels observed by the reference evaluator are
+  contained in every analysis's answer.
+* **Precision ordering**: evaluator ⊆ polyvariant ⊆ monovariant
+  subtransitive ⊆ equality-based.
+* **Linearity witness**: LC' node/edge counts stay within a constant
+  factor of program size on generated programs.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cfa.dtc import analyze_dtc
+from repro.cfa.equality import analyze_equality
+from repro.cfa.standard import analyze_standard
+from repro.core.polyvariant import analyze_polyvariant
+from repro.core.queries import analyze_subtransitive
+from repro.errors import AnalysisBudgetExceeded, EvaluationError, FuelExhausted
+from repro.lang.eval import evaluate
+from repro.workloads.generators import random_typed_program
+
+seeds = st.integers(min_value=0, max_value=1_000_000)
+
+
+@settings(max_examples=80, deadline=None)
+@given(seed=seeds)
+def test_subtransitive_equals_standard_without_datatypes(seed):
+    """Propositions 1-2: exact agreement on the exact node grammar."""
+    prog = random_typed_program(seed, fuel=20, use_datatypes=False)
+    std = analyze_standard(prog)
+    sub = analyze_subtransitive(prog)
+    for node in prog.nodes:
+        assert std.labels_of(node) == sub.labels_of(node), (
+            seed,
+            node.nid,
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds)
+def test_subtransitive_sound_and_tight_with_datatypes(seed):
+    """With datatypes the default congruence may only *add* labels."""
+    prog = random_typed_program(seed, fuel=20, use_datatypes=True)
+    std = analyze_standard(prog)
+    sub = analyze_subtransitive(prog)
+    for node in prog.nodes:
+        assert std.labels_of(node) <= sub.labels_of(node), (
+            seed,
+            node.nid,
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=seeds)
+def test_dtc_equals_standard(seed):
+    prog = random_typed_program(seed, fuel=20)
+    std = analyze_standard(prog)
+    dtc = analyze_dtc(prog)
+    for node in prog.nodes:
+        assert std.labels_of(node) == dtc.labels_of(node), (seed, node.nid)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=seeds)
+def test_equality_cfa_over_approximates(seed):
+    prog = random_typed_program(seed, fuel=20)
+    std = analyze_standard(prog)
+    eq = analyze_equality(prog)
+    for node in prog.nodes:
+        assert std.labels_of(node) <= eq.labels_of(node), (seed, node.nid)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds)
+def test_runtime_soundness(seed):
+    """Every label the evaluator observes is predicted by every
+    analysis (CFA is 'a conservative approximation of the abstractions
+    that can be encountered at each expression')."""
+    prog = random_typed_program(seed, fuel=16)
+    try:
+        result = evaluate(prog, fuel=4_000)
+    except (FuelExhausted, EvaluationError):
+        return  # divergent or value-restriction artefact: skip
+    analyses = [
+        analyze_standard(prog),
+        analyze_subtransitive(prog),
+        analyze_equality(prog),
+    ]
+    for node in prog.nodes:
+        observed = result.trace.labels_at(node)
+        if not observed:
+            continue
+        for analysis in analyses:
+            assert observed <= analysis.labels_of(node), (
+                seed,
+                node.nid,
+                type(analysis).__name__,
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds)
+def test_polyvariant_refines_monovariant(seed):
+    prog = random_typed_program(seed, fuel=16, use_datatypes=False)
+    mono = analyze_subtransitive(prog)
+    try:
+        poly = analyze_polyvariant(prog, instance_budget=2_000)
+    except AnalysisBudgetExceeded:
+        return
+    for node in prog.nodes:
+        assert poly.labels_of(node) <= mono.labels_of(node), (
+            seed,
+            node.nid,
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds)
+def test_lc_size_is_linear_in_program_size(seed):
+    """The subtransitive graph stays within a constant factor of the
+    program size on generated bounded-type programs."""
+    prog = random_typed_program(seed, fuel=25, use_datatypes=False)
+    sub = analyze_subtransitive(prog)
+    stats = sub.stats
+    # Generated programs have small types; 40x is far above the
+    # observed constant (~3) but far below quadratic blow-up.
+    assert stats.total_nodes <= 40 * prog.size + 200, (
+        seed,
+        stats.total_nodes,
+        prog.size,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_reverse_query_consistent_with_forward(seed):
+    """{e : l in L(e)} inverts labels_of."""
+    prog = random_typed_program(seed, fuel=14)
+    sub = analyze_subtransitive(prog)
+    for lam in prog.abstractions[:4]:
+        backwards = {e.nid for e in sub.expressions_with_label(lam.label)}
+        forwards = {
+            node.nid
+            for node in prog.nodes
+            if lam.label in sub.labels_of(node)
+        }
+        assert backwards == forwards, (seed, lam.label)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_all_label_sets_consistent_with_pointwise(seed):
+    prog = random_typed_program(seed, fuel=14)
+    sub = analyze_subtransitive(prog)
+    table = sub.all_label_sets()
+    for node in prog.nodes:
+        assert table[node.nid] == sub.labels_of(node), (seed, node.nid)

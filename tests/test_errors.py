@@ -1,0 +1,75 @@
+"""Tests for the error hierarchy and top-level API surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AnalysisBudgetExceeded,
+    AnalysisError,
+    EvaluationError,
+    FuelExhausted,
+    LexError,
+    OccursCheckError,
+    ParseError,
+    ReproError,
+    ScopeError,
+    SourceError,
+    TypeInferenceError,
+    UnificationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            LexError,
+            ParseError,
+            ScopeError,
+            TypeInferenceError,
+            EvaluationError,
+            AnalysisError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_fuel_is_evaluation_error(self):
+        assert issubclass(FuelExhausted, EvaluationError)
+
+    def test_occurs_is_unification_is_inference(self):
+        assert issubclass(OccursCheckError, UnificationError)
+        assert issubclass(UnificationError, TypeInferenceError)
+
+    def test_budget_is_analysis_error(self):
+        assert issubclass(AnalysisBudgetExceeded, AnalysisError)
+
+    def test_source_errors_carry_position(self):
+        err = ParseError("boom", 3, 7)
+        assert err.line == 3 and err.column == 7
+        assert "3:7" in str(err)
+
+
+class TestAnalyzeFacade:
+    def test_default_is_subtransitive(self):
+        prog = repro.parse("(fn[f] x => x) (fn[g] y => y)")
+        cfa = repro.analyze(prog)
+        assert cfa.labels_of(prog.root) == {"g"}
+
+    @pytest.mark.parametrize(
+        "name", ["standard", "dtc", "equality", "subtransitive",
+                 "hybrid", "polyvariant"]
+    )
+    def test_every_algorithm_runs(self, name):
+        prog = repro.parse("(fn[f] x => x) (fn[g] y => y)")
+        cfa = repro.analyze(prog, algorithm=name)
+        assert "g" in cfa.labels_of(prog.root)
+
+    def test_unknown_algorithm(self):
+        prog = repro.parse("fn[f] x => x")
+        with pytest.raises(ValueError) as excinfo:
+            repro.analyze(prog, algorithm="quantum")
+        assert "quantum" in str(excinfo.value)
+
+    def test_version(self):
+        assert repro.__version__

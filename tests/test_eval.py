@@ -1,0 +1,182 @@
+"""Tests for the reference evaluator and its label tracing."""
+
+import pytest
+
+from repro.errors import EvaluationError, FuelExhausted
+from repro.lang import evaluate, parse
+from repro.lang.eval import Closure, ConValue, RecordValue, render_value
+
+DT = "datatype intlist = Nil | Cons of int * intlist;\n"
+
+
+def run(src, fuel=100_000):
+    return evaluate(parse(src), fuel=fuel)
+
+
+class TestValues:
+    def test_integer_arithmetic(self):
+        assert run("1 + 2 * 3").value == 7
+
+    def test_subtraction(self):
+        assert run("10 - 3 - 2").value == 5
+
+    def test_comparisons(self):
+        assert run("1 < 2").value is True
+        assert run("2 <= 1").value is False
+        assert run("3 == 3").value is True
+
+    def test_not(self):
+        assert run("not (1 < 2)").value is False
+
+    def test_unit(self):
+        assert run("()").value is None
+
+    def test_closure_value(self):
+        result = run("fn[me] x => x")
+        assert isinstance(result.value, Closure)
+        assert result.value.label == "me"
+
+    def test_record_and_projection(self):
+        assert run("#2 (10, 20, 30)").value == 20
+
+    def test_constructors(self):
+        result = run(DT + "Cons(1, Nil)")
+        assert isinstance(result.value, ConValue)
+        assert result.value.cname == "Cons"
+
+    def test_case_dispatch(self):
+        assert run(DT + "case Cons(7, Nil) of Nil => 0 "
+                        "| Cons(h, t) => h end").value == 7
+
+    def test_if(self):
+        assert run("if 1 < 2 then 10 else 20").value == 10
+
+    def test_let(self):
+        assert run("let x = 4 in x * x").value == 16
+
+    def test_letrec_recursion(self):
+        src = (
+            "letrec fact = fn n => if n < 2 then 1 "
+            "else n * fact (n - 1) in fact 5"
+        )
+        assert run(src).value == 120
+
+    def test_refs(self):
+        assert run("let c = ref 1 in let u = c := 41 in !c + 1").value == 42
+
+    def test_ref_aliasing(self):
+        src = (
+            "let c = ref 1 in let d = c in "
+            "let u = d := 9 in !c"
+        )
+        assert run(src).value == 9
+
+    def test_higher_order(self):
+        src = (
+            "let compose = fn f => fn g => fn x => f (g x) in "
+            "compose (fn a => a + 1) (fn b => b * 2) 5"
+        )
+        assert run(src).value == 11
+
+
+class TestEffects:
+    def test_print_collects_output(self):
+        result = run("let u = print 1 in print 2")
+        assert result.output == ["1", "2"]
+
+    def test_print_returns_unit(self):
+        assert run("print 5").value is None
+
+    def test_print_renders_values(self):
+        assert run(DT + "print (Cons(1, Nil))").output == ["Cons(1, Nil)"]
+
+    def test_evaluation_order_left_to_right(self):
+        src = "(fn x => fn y => 0) (print 1) (print 2)"
+        assert run(src).output == ["1", "2"]
+
+
+class TestTrace:
+    def test_trace_records_closure_at_occurrence(self):
+        prog = parse("(fn[f] x => x) (fn[g] y => y)")
+        result = evaluate(prog)
+        assert result.trace.labels_at(prog.root) == {"g"}
+        assert result.trace.labels_at(prog.root.fn) == {"f"}
+
+    def test_trace_through_variable(self):
+        prog = parse("let id = fn[id] x => x in id id")
+        result = evaluate(prog)
+        # Both occurrences of id evaluate to the id closure.
+        occurrences = [
+            n for n in prog.nodes
+            if type(n).__name__ == "Var" and n.name == "id"
+        ]
+        for occ in occurrences:
+            assert result.trace.labels_at(occ) == {"id"}
+
+    def test_letrec_bound_traced(self):
+        prog = parse("letrec f = fn[f] x => x in f 1")
+        result = evaluate(prog)
+        assert result.trace.labels_at(prog.root.bound) == {"f"}
+
+    def test_non_function_values_not_traced(self):
+        prog = parse("1 + 2")
+        result = evaluate(prog)
+        assert len(result.trace) == 0
+
+
+class TestErrors:
+    def test_apply_non_function(self):
+        with pytest.raises(EvaluationError):
+            run("1 2")
+
+    def test_projection_out_of_range(self):
+        with pytest.raises(EvaluationError):
+            run("#3 (1, 2)")
+
+    def test_projection_of_non_record(self):
+        with pytest.raises(EvaluationError):
+            run("#1 5")
+
+    def test_case_on_non_datatype(self):
+        with pytest.raises(EvaluationError):
+            run(DT + "case 5 of Nil => 0 | Cons(h, t) => h end")
+
+    def test_missing_branch(self):
+        with pytest.raises(EvaluationError):
+            run(DT + "case Cons(1, Nil) of Nil => 0 end")
+
+    def test_if_non_bool(self):
+        with pytest.raises(EvaluationError):
+            run("if 1 then 2 else 3")
+
+    def test_deref_non_ref(self):
+        with pytest.raises(EvaluationError):
+            run("!5")
+
+    def test_assign_non_ref(self):
+        with pytest.raises(EvaluationError):
+            run("5 := 6")
+
+    def test_prim_type_errors(self):
+        with pytest.raises(EvaluationError):
+            run("(fn x => x) 1 + true" .replace("x) 1", "x) true"))
+
+    def test_fuel_exhaustion(self):
+        src = "letrec loop = fn x => loop x in loop 0"
+        with pytest.raises(FuelExhausted):
+            run(src, fuel=500)
+
+    def test_fuel_reported(self):
+        src = "letrec loop = fn x => loop x in loop 0"
+        with pytest.raises(FuelExhausted) as excinfo:
+            run(src, fuel=123)
+        assert excinfo.value.fuel == 123
+
+
+class TestRenderValue:
+    def test_renders_all_kinds(self):
+        assert render_value(None) == "()"
+        assert render_value(True) == "true"
+        assert render_value(False) == "false"
+        assert render_value(7) == "7"
+        assert render_value(RecordValue((1, 2))) == "(1, 2)"

@@ -1,0 +1,73 @@
+"""Integration tests: every shipped example runs green.
+
+Examples are the adoption surface; they are executed as subprocesses
+exactly as a user would run them.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, stdin=""):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        input=stdin,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "standard (cubic) CFA agrees pointwise: True" in result.stdout
+        assert "analysis is sound w.r.t. this run: True" in result.stdout
+
+    def test_inlining_advisor(self):
+        result = run_example("inlining_advisor.py")
+        assert result.returncode == 0, result.stderr
+        assert "inline for free" in result.stdout
+        assert "call-site report" in result.stdout
+
+    def test_effects_audit(self):
+        result = run_example("effects_audit.py")
+        assert result.returncode == 0, result.stderr
+        assert "linear colouring == quadratic baseline: True" in result.stdout
+
+    def test_polyvariance_demo(self):
+        result = run_example("polyvariance_demo.py")
+        assert result.returncode == 0, result.stderr
+        assert "let-expansion oracle agrees" in result.stdout
+        assert "ran(e) -> dom(e)" in result.stdout
+
+    def test_scaling_demo_small(self):
+        result = run_example("scaling_demo.py", "40")
+        assert result.returncode == 0, result.stderr
+        assert "empirical scaling exponents" in result.stdout
+
+    def test_incremental_repl_scripted(self):
+        script = (
+            "def inc = fn[inc] x => x + 1\n"
+            "who inc\n"
+            "run inc 41\n"
+            "call inc\n"
+            "stats\n"
+            "quit\n"
+        )
+        result = run_example("incremental_repl.py", stdin=script)
+        assert result.returncode == 0, result.stderr
+        assert "=> 42" in result.stdout
+        assert "defined inc" in result.stdout
+
+    def test_incremental_repl_handles_errors(self):
+        script = "who ghost\ndef broken = (\nrun inc 1\n"
+        result = run_example("incremental_repl.py", stdin=script)
+        assert result.returncode == 0
+        assert "error" in result.stdout

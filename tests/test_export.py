@@ -1,0 +1,86 @@
+"""Tests for DOT/JSON export."""
+
+import json
+
+import pytest
+
+from repro.core.queries import analyze_subtransitive
+from repro.export import graph_to_dot, result_to_json
+from repro.graph.reachability import reachable_from
+from repro.lang import parse
+
+
+@pytest.fixture()
+def analysed():
+    program = parse("let id = fn[id] x => x in id (fn[g] y => y)")
+    return program, analyze_subtransitive(program)
+
+
+class TestDot:
+    def test_valid_skeleton(self, analysed):
+        _, cfa = analysed
+        dot = graph_to_dot(cfa.sub)
+        assert dot.startswith("digraph subtransitive {")
+        assert dot.rstrip().endswith("}")
+
+    def test_every_node_and_edge_present(self, analysed):
+        _, cfa = analysed
+        dot = graph_to_dot(cfa.sub)
+        assert dot.count("->") == cfa.graph.edge_count
+        for node in cfa.factory.nodes:
+            assert f"n{node.uid} [" in dot
+
+    def test_abstractions_highlighted(self, analysed):
+        _, cfa = analysed
+        dot = graph_to_dot(cfa.sub)
+        assert dot.count("doublecircle") == 2  # id and g
+
+    def test_subset_rendering(self, analysed):
+        program, cfa = analysed
+        start = cfa.factory.expr_node(program.root)
+        slice_nodes = reachable_from(cfa.graph, [start])
+        dot = graph_to_dot(cfa.sub, nodes=slice_nodes)
+        assert dot.count(" [label=") == len(slice_nodes)
+
+    def test_title_escaped(self, analysed):
+        _, cfa = analysed
+        dot = graph_to_dot(cfa.sub, title='with "quotes"')
+        assert '\\"quotes\\"' in dot
+
+
+class TestJson:
+    def test_document_structure(self, analysed):
+        program, cfa = analysed
+        document = json.loads(result_to_json(cfa))
+        assert set(document) == {"program", "call_graph", "label_flows"}
+        assert document["program"]["size"] == program.size
+
+    def test_call_graph_contents(self, analysed):
+        program, cfa = analysed
+        document = json.loads(result_to_json(cfa))
+        site = program.applications[0]
+        entry = document["call_graph"][str(site.nid)]
+        assert entry["callees"] == ["id"]
+
+    def test_label_flows_match_queries(self, analysed):
+        program, cfa = analysed
+        document = json.loads(result_to_json(cfa))
+        for label, nids in document["label_flows"].items():
+            expected = sorted(
+                e.nid for e in cfa.expressions_with_label(label)
+            )
+            assert nids == expected
+
+    def test_works_with_standard_algorithm(self):
+        import repro
+
+        program = parse("(fn[f] x => x) (fn[g] y => y)")
+        cfa = repro.analyze(program, algorithm="standard")
+        document = json.loads(result_to_json(cfa))
+        assert document["call_graph"][str(program.root.nid)][
+            "callees"
+        ] == ["f"]
+
+    def test_stable_output(self, analysed):
+        _, cfa = analysed
+        assert result_to_json(cfa) == result_to_json(cfa)

@@ -1,0 +1,149 @@
+"""Tests for the optional extensions beyond the paper's core:
+dead-code-aware standard CFA and the payoff polyvariance policy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cfa.standard import analyze_standard
+from repro.core.polyvariant import (
+    analyze_polyvariant,
+    choose_polyvariant_binders,
+)
+from repro.lang import parse
+from repro.workloads.generators import random_typed_program
+
+from tests.helpers import assert_label_subset
+
+
+class TestDeadCodeAwareCFA:
+    DEAD = (
+        "let dead = fn[dead] x => (fn[inner] y => y) (fn[ghost] g => g) "
+        "in (fn[live] z => z) (fn[arg] w => w)"
+    )
+
+    def test_dead_body_not_analysed(self):
+        prog = parse(self.DEAD)
+        live = analyze_standard(prog, live_only=True)
+        # The application inside the dead function contributes nothing.
+        assert live.labels_of_var("y") == set()
+
+    def test_standard_analyses_dead_code(self):
+        prog = parse(self.DEAD)
+        std = analyze_standard(prog)
+        assert std.labels_of_var("y") != set()
+
+    def test_live_result_still_correct_for_live_code(self):
+        prog = parse(self.DEAD)
+        live = analyze_standard(prog, live_only=True)
+        assert live.labels_of(prog.root) == {"arg"}
+        assert live.labels_of_var("z") == {"arg"}
+
+    def test_live_subset_of_standard(self):
+        prog = parse(self.DEAD)
+        assert_label_subset(
+            prog,
+            analyze_standard(prog, live_only=True),
+            analyze_standard(prog),
+            "live vs full",
+        )
+
+    def test_transitively_reached_bodies_are_analysed(self):
+        src = (
+            "let f = fn[f] x => x 1 in "
+            "let g = fn[g] y => y + 1 in f g"
+        )
+        prog = parse(src)
+        live = analyze_standard(prog, live_only=True)
+        # g's body is live because f applies its argument.
+        site = prog.abstraction("f").body  # x 1
+        assert live.labels_of(site.fn) == {"g"}
+
+    def test_conditionally_dead_function(self):
+        # pick never evaluates the else branch dynamically, but the
+        # analysis is path-insensitive: both branches are live.
+        src = (
+            "let pick = if true then fn[a] x => x else fn[b] y => y "
+            "in pick 1"
+        )
+        prog = parse(src)
+        live = analyze_standard(prog, live_only=True)
+        assert live.labels_of_var("pick") == {"a", "b"}
+
+    def test_work_not_larger_than_standard(self):
+        prog = parse(self.DEAD)
+        live = analyze_standard(prog, live_only=True)
+        std = analyze_standard(prog)
+        assert live.work <= std.work
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_generated_live_subset(self, seed):
+        prog = random_typed_program(seed, fuel=18)
+        assert_label_subset(
+            prog,
+            analyze_standard(prog, live_only=True),
+            analyze_standard(prog),
+            f"seed={seed}",
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_generated_runtime_soundness(self, seed):
+        from repro.errors import EvaluationError, FuelExhausted
+        from repro.lang.eval import evaluate
+
+        prog = random_typed_program(seed, fuel=14)
+        try:
+            result = evaluate(prog, fuel=4_000)
+        except (FuelExhausted, EvaluationError):
+            return
+        live = analyze_standard(prog, live_only=True)
+        for node in prog.nodes:
+            assert result.trace.labels_at(node) <= live.labels_of(
+                node
+            ), (seed, node.nid)
+
+
+class TestPayoffPolicy:
+    SHARED = (
+        "let id = fn[id] x => x in "
+        "let solo = fn[solo] s => s + 1 in "
+        "let r1 = id (fn[a] p => p) in "
+        "let r2 = id (fn[b] q => q) in "
+        "(r1 1, r2 2, solo 3)"
+    )
+
+    def test_payoff_selects_join_points_only(self):
+        prog = parse(self.SHARED)
+        payoff = choose_polyvariant_binders(prog, policy="payoff")
+        # id joins {a, b} across two uses; solo has one use and no join.
+        assert payoff == {"id"}
+
+    def test_syntactic_selects_all_functions(self):
+        prog = parse(self.SHARED)
+        syntactic = choose_polyvariant_binders(prog)
+        assert syntactic == {"id", "solo"}
+
+    def test_unknown_policy(self):
+        prog = parse(self.SHARED)
+        with pytest.raises(ValueError):
+            choose_polyvariant_binders(prog, policy="psychic")
+
+    def test_payoff_polyvariant_matches_full_precision_here(self):
+        prog = parse(self.SHARED)
+        full = analyze_polyvariant(prog)
+        cheap = analyze_polyvariant(
+            prog, binders=choose_polyvariant_binders(prog, "payoff")
+        )
+        for node in prog.nodes:
+            assert cheap.labels_of(node) == full.labels_of(node)
+
+    def test_payoff_duplicates_fewer_fragments(self):
+        prog = parse(self.SHARED)
+        full = analyze_polyvariant(prog)
+        cheap = analyze_polyvariant(
+            prog, binders=choose_polyvariant_binders(prog, "payoff")
+        )
+        assert (
+            cheap.stats.total_nodes <= full.stats.total_nodes
+        )

@@ -1,0 +1,255 @@
+"""Tests for the graph substrate (digraph, reachability, SCC, closure,
+union-find), including cross-checks against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import (
+    Digraph,
+    UnionFind,
+    condensation,
+    reachable_from,
+    reachable_to,
+    reaches,
+    strongly_connected_components,
+    transitive_closure,
+)
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 14), st.integers(0, 14)),
+    max_size=60,
+)
+
+
+def build(edges):
+    g = Digraph()
+    g.add_edges(edges)
+    return g
+
+
+class TestDigraph:
+    def test_empty(self):
+        g = Digraph()
+        assert len(g) == 0
+        assert g.edge_count == 0
+
+    def test_add_edge_returns_new_flag(self):
+        g = Digraph()
+        assert g.add_edge(1, 2) is True
+        assert g.add_edge(1, 2) is False
+        assert g.edge_count == 1
+
+    def test_add_node_idempotent(self):
+        g = Digraph()
+        g.add_node("a")
+        g.add_node("a")
+        assert len(g) == 1
+
+    def test_successors_and_predecessors(self):
+        g = build([(1, 2), (1, 3), (4, 2)])
+        assert g.successors(1) == {2, 3}
+        assert g.predecessors(2) == {1, 4}
+
+    def test_unknown_node_has_empty_neighbourhoods(self):
+        g = Digraph()
+        assert g.successors("ghost") == frozenset()
+        assert g.predecessors("ghost") == frozenset()
+
+    def test_degrees(self):
+        g = build([(1, 2), (1, 3)])
+        assert g.out_degree(1) == 2
+        assert g.in_degree(3) == 1
+
+    def test_has_edge(self):
+        g = build([(1, 2)])
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(2, 1)
+
+    def test_reverse(self):
+        g = build([(1, 2), (2, 3)])
+        r = g.reverse()
+        assert r.has_edge(2, 1) and r.has_edge(3, 2)
+        assert r.node_count == g.node_count
+
+    def test_copy_is_independent(self):
+        g = build([(1, 2)])
+        c = g.copy()
+        c.add_edge(2, 3)
+        assert not g.has_edge(2, 3)
+
+    def test_edges_iteration(self):
+        g = build([(1, 2), (2, 3)])
+        assert set(g.edges()) == {(1, 2), (2, 3)}
+
+    def test_contains(self):
+        g = build([(1, 2)])
+        assert 1 in g and 99 not in g
+
+
+class TestReachability:
+    def test_reachable_from_includes_sources(self):
+        g = build([(1, 2)])
+        assert reachable_from(g, [1]) == {1, 2}
+
+    def test_reachable_from_multiple_sources(self):
+        g = build([(1, 2), (3, 4)])
+        assert reachable_from(g, [1, 3]) == {1, 2, 3, 4}
+
+    def test_reachable_respects_direction(self):
+        g = build([(1, 2)])
+        assert reachable_from(g, [2]) == {2}
+
+    def test_reachable_to(self):
+        g = build([(1, 2), (2, 3)])
+        assert reachable_to(g, [3]) == {1, 2, 3}
+
+    def test_reaches(self):
+        g = build([(1, 2), (2, 3)])
+        assert reaches(g, 1, 3)
+        assert not reaches(g, 3, 1)
+        assert reaches(g, 2, 2)
+
+    def test_custom_follow(self):
+        g = build([(1, 2)])
+        # following predecessors from 2 finds 1.
+        assert reachable_from(g, [2], follow=g.predecessors) == {1, 2}
+
+    @settings(max_examples=50, deadline=None)
+    @given(edges=edge_lists, source=st.integers(0, 14))
+    def test_matches_networkx(self, edges, source):
+        g = build(edges + [(source, source)])
+        ng = nx.DiGraph(edges + [(source, source)])
+        ours = reachable_from(g, [source])
+        theirs = nx.descendants(ng, source) | {source}
+        assert ours == theirs
+
+
+class TestTarjan:
+    def test_single_cycle(self):
+        g = build([(1, 2), (2, 3), (3, 1)])
+        comps = strongly_connected_components(g)
+        assert len(comps) == 1
+        assert set(comps[0]) == {1, 2, 3}
+
+    def test_dag_has_singletons(self):
+        g = build([(1, 2), (2, 3)])
+        comps = strongly_connected_components(g)
+        assert sorted(len(c) for c in comps) == [1, 1, 1]
+
+    def test_reverse_topological_order(self):
+        g = build([(1, 2), (2, 3)])
+        comps = strongly_connected_components(g)
+        order = [c[0] for c in comps]
+        # sinks first
+        assert order.index(3) < order.index(1)
+
+    def test_condensation(self):
+        g = build([(1, 2), (2, 1), (2, 3)])
+        dag, component_of = condensation(g)
+        assert component_of[1] == component_of[2]
+        assert component_of[3] != component_of[1]
+        assert dag.edge_count == 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(edges=edge_lists)
+    def test_matches_networkx(self, edges):
+        g = build(edges)
+        ng = nx.DiGraph(edges)
+        ng.add_nodes_from(g.nodes())
+        ours = {frozenset(c) for c in strongly_connected_components(g)}
+        theirs = {
+            frozenset(c)
+            for c in nx.strongly_connected_components(ng)
+        }
+        assert ours == theirs
+
+
+class TestTransitiveClosure:
+    def test_chain(self):
+        g = build([(1, 2), (2, 3)])
+        tc = transitive_closure(g)
+        assert tc.has_edge(1, 3)
+        assert not tc.has_edge(1, 1)
+
+    def test_cycle_members_reach_themselves(self):
+        g = build([(1, 2), (2, 1)])
+        tc = transitive_closure(g)
+        assert tc.has_edge(1, 1)
+        assert tc.has_edge(2, 2)
+
+    def test_self_loop(self):
+        g = build([(1, 1)])
+        tc = transitive_closure(g)
+        assert tc.has_edge(1, 1)
+
+    def test_reflexive_mode(self):
+        g = build([(1, 2)])
+        tc = transitive_closure(g, reflexive=True)
+        assert tc.has_edge(1, 1) and tc.has_edge(2, 2)
+
+    @settings(max_examples=50, deadline=None)
+    @given(edges=edge_lists)
+    def test_matches_networkx(self, edges):
+        g = build(edges)
+        ng = nx.DiGraph(edges)
+        ng.add_nodes_from(g.nodes())
+        ours = set(transitive_closure(g).edges())
+        theirs = set(nx.transitive_closure(ng).edges())
+        assert ours == theirs
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind()
+        assert not uf.same(1, 2)
+
+    def test_union_then_same(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        assert uf.same(1, 2)
+
+    def test_transitive_union(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert uf.same(1, 3)
+
+    def test_union_count_ignores_redundant(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 1)
+        assert uf.union_count == 1
+
+    def test_groups(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.find("c")
+        groups = uf.groups()
+        sizes = sorted(len(members) for members in groups.values())
+        assert sizes == [1, 2]
+
+    def test_len_counts_registered(self):
+        uf = UnionFind()
+        uf.find("x")
+        uf.union("y", "z")
+        assert len(uf) == 3
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=30
+        )
+    )
+    def test_equivalence_closure_property(self, pairs):
+        uf = UnionFind()
+        for a, c in pairs:
+            uf.union(a, c)
+        # Build the expected equivalence relation with networkx.
+        ng = nx.Graph(pairs)
+        for a in range(10):
+            ng.add_node(a)
+        for comp in nx.connected_components(ng):
+            comp = list(comp)
+            for x in comp[1:]:
+                assert uf.same(comp[0], x)

@@ -1,0 +1,123 @@
+"""Structural invariants of the subtransitive graph and analysis.
+
+These go beyond input/output agreement: they pin down properties of
+the *construction* that the paper's complexity argument relies on.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lc import build_subtransitive_graph
+from repro.core.queries import analyze_subtransitive
+
+from repro.lang import parse
+
+from repro.lang.printer import pretty_program
+from repro.workloads.generators import random_typed_program
+
+seeds = st.integers(min_value=0, max_value=100_000)
+
+
+class TestGraphInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_demanded_iff_op_has_in_edge(self, seed):
+        """An operator node is marked demanded exactly when it has an
+        incoming edge (the LC' demand criterion)."""
+        prog = random_typed_program(seed, fuel=18, use_datatypes=False)
+        sub = build_subtransitive_graph(prog)
+        for node in sub.factory.nodes:
+            if node.kind != "op":
+                continue
+            has_in = sub.graph.in_degree(node) > 0
+            assert node.demanded == has_in, node.describe()
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_every_graph_node_is_factory_made(self, seed):
+        prog = random_typed_program(seed, fuel=18)
+        sub = build_subtransitive_graph(prog)
+        made = set(sub.factory.nodes)
+        for graph_node in sub.graph.nodes():
+            assert graph_node in made
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_build_rule_counts_match_program_shape(self, seed):
+        prog = random_typed_program(seed, fuel=18)
+        sub = build_subtransitive_graph(prog)
+        rules = sub.stats.rule_applications
+        assert rules["ABS-1"] == len(prog.abstractions)
+        assert rules["ABS-2"] == len(prog.abstractions)
+        assert rules["APP-1"] == len(prog.applications)
+        assert rules["APP-2"] == len(prog.applications)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds)
+    def test_analysis_is_deterministic(self, seed):
+        prog = random_typed_program(seed, fuel=16)
+        first = build_subtransitive_graph(prog)
+        second = build_subtransitive_graph(prog)
+        assert first.stats.total_nodes == second.stats.total_nodes
+        assert first.stats.total_edges == second.stats.total_edges
+
+
+class TestLocality:
+    """Adding unrelated code never changes existing answers — the
+    property that makes the incremental session sound."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds)
+    def test_dead_wrapper_preserves_labels(self, seed):
+        prog = random_typed_program(seed, fuel=14, use_datatypes=False)
+        base = analyze_subtransitive(prog)
+
+        # Rebuild from pretty text (Program construction re-renames
+        # and re-indexes, so the original must stay untouched).
+        wrapped = parse(
+            "let completely_unused_zz = fn qzz => qzz in "
+            + pretty_program(prog)
+        )
+        extended = analyze_subtransitive(wrapped)
+
+        # Walk the two trees in lockstep: wrapped.root.body mirrors
+        # prog.root.
+        originals = list(prog.root.walk())
+        mirrored = list(wrapped.root.body.walk())
+        assert len(originals) == len(mirrored)
+        for left, right in zip(originals, mirrored):
+            assert base.labels_of(left) == extended.labels_of(
+                right
+            ), left.nid
+
+
+class TestRoundTripInvariance:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds)
+    def test_pretty_parse_preserves_analysis(self, seed):
+        prog = random_typed_program(seed, fuel=16)
+        again = parse(pretty_program(prog))
+        first = analyze_subtransitive(prog)
+        second = analyze_subtransitive(again)
+        assert prog.size == again.size
+        for left, right in zip(prog.nodes, again.nodes):
+            assert first.labels_of(left) == second.labels_of(right)
+
+
+class TestLabelSanity:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds)
+    def test_abstractions_always_contain_their_own_label(self, seed):
+        prog = random_typed_program(seed, fuel=16)
+        cfa = analyze_subtransitive(prog)
+        for lam in prog.abstractions:
+            assert lam.label in cfa.labels_of(lam)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds)
+    def test_labels_are_subset_of_program_labels(self, seed):
+        prog = random_typed_program(seed, fuel=16)
+        cfa = analyze_subtransitive(prog)
+        universe = set(prog.labels)
+        for node in prog.nodes:
+            assert cfa.labels_of(node) <= universe

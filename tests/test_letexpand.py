@@ -1,0 +1,103 @@
+"""Tests for explicit let-expansion (Sections 5 and 7 oracle)."""
+
+import pytest
+
+from repro.errors import AnalysisBudgetExceeded
+from repro.lang import parse
+from repro.lang.ast import App, Lam, Let, Var
+from repro.lang.eval import evaluate
+from repro.lang.letexpand import let_expand
+
+
+class TestBasicExpansion:
+    def test_single_use(self):
+        prog = parse("let id = fn[id] x => x in id")
+        expanded, origin = let_expand(prog)
+        assert isinstance(expanded.root, Lam)
+        # The copied label traces back to the original.
+        assert origin[expanded.root.label] == "id"
+
+    def test_two_uses_get_two_copies(self):
+        prog = parse("let id = fn[id] x => x in id id")
+        expanded, origin = let_expand(prog)
+        assert isinstance(expanded.root, App)
+        labels = [
+            node.label
+            for node in expanded.root.walk()
+            if isinstance(node, Lam)
+        ]
+        assert len(labels) == 2
+        assert len(set(labels)) == 2
+        assert all(origin[label] == "id" for label in labels)
+
+    def test_unused_binding_disappears(self):
+        prog = parse("let dead = fn[dead] x => x in 42")
+        expanded, _ = let_expand(prog)
+        assert expanded.size == 1
+
+    def test_letrec_not_expanded(self):
+        prog = parse("letrec f = fn[f] x => f x in f 1")
+        expanded, _ = let_expand(prog)
+        from repro.lang.ast import Letrec
+
+        assert isinstance(expanded.root, Letrec)
+
+    def test_nested_lets(self):
+        src = (
+            "let a = fn[a] x => x in "
+            "let b = fn[b] y => a y in b (b 1)"
+        )
+        prog = parse(src)
+        expanded, origin = let_expand(prog)
+        labels = [
+            node.label
+            for node in expanded.root.walk()
+            if isinstance(node, Lam)
+        ]
+        # Two copies of b, each containing a copy of a.
+        assert sorted(origin[l] for l in labels) == ["a", "a", "b", "b"]
+
+    def test_non_function_bindings_expand_too(self):
+        prog = parse("let n = 1 + 2 in n + n")
+        expanded, _ = let_expand(prog)
+        assert isinstance(expanded.root, type(parse("1 + 1").root))
+
+
+class TestSemanticsPreserved:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "let id = fn x => x in (id id) (fn z => z + 1) 41",
+            "let d = fn x => x * 2 in d (d 10)",
+            "let n = 21 in n + n",
+            (
+                "let compose = fn f => fn g => fn x => f (g x) in "
+                "compose (fn a => a + 1) (fn b => b * 2) 5"
+            ),
+        ],
+    )
+    def test_expansion_preserves_value(self, src):
+        prog = parse(src)
+        expanded, _ = let_expand(prog)
+        assert evaluate(prog).value == evaluate(expanded).value
+
+
+class TestBudget:
+    def test_exponential_expansion_trips_budget(self):
+        # The paper's footnote family: f_{i+1} = \x.(f_i (f_i x)) has
+        # exponential let-expansion.
+        depth = 12
+        lines = ["let f0 = fn x => x in"]
+        for i in range(1, depth + 1):
+            lines.append(
+                f"let f{i} = fn y{i} => f{i-1} (f{i-1} y{i}) in"
+            )
+        lines.append(f"f{depth}")
+        prog = parse("\n".join(lines))
+        with pytest.raises(AnalysisBudgetExceeded):
+            let_expand(prog, size_budget=10_000)
+
+    def test_budget_allows_moderate_expansion(self):
+        prog = parse("let id = fn x => x in id id")
+        expanded, _ = let_expand(prog, size_budget=100)
+        assert expanded.size > 0

@@ -1,0 +1,117 @@
+"""Unit tests for the mini-ML lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source) if t.kind != "EOF"]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        assert kinds("") == ["EOF"]
+
+    def test_whitespace_only(self):
+        assert kinds("  \t\n  ") == ["EOF"]
+
+    def test_identifier(self):
+        tokens = tokenize("abc")
+        assert tokens[0] == Token("IDENT", "abc", 1, 1)
+
+    def test_identifier_with_digits_underscore_prime(self):
+        assert values("x_1'") == ["x_1'"]
+
+    def test_constructor_identifier(self):
+        assert kinds("Cons")[:1] == ["CONID"]
+
+    def test_integer(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind == "INT"
+        assert tokens[0].value == "42"
+
+    def test_keywords_are_their_own_kind(self):
+        for kw in ["fn", "let", "letrec", "in", "if", "then", "else",
+                   "case", "of", "end", "datatype", "ref", "true",
+                   "false"]:
+            assert kinds(kw)[0] == kw
+
+    def test_keyword_prefix_is_still_identifier(self):
+        # 'lettuce' starts with 'let' but is one identifier.
+        assert kinds("lettuce")[0] == "IDENT"
+
+    def test_underscore_starts_identifier(self):
+        assert kinds("_x")[0] == "IDENT"
+
+
+class TestSymbols:
+    def test_maximal_munch_arrow(self):
+        assert kinds("=>")[:1] == ["=>"]
+
+    def test_maximal_munch_assign_vs_colon(self):
+        assert kinds(":=")[:1] == [":="]
+
+    def test_eq_vs_eqeq(self):
+        assert kinds("== =")[:2] == ["==", "="]
+
+    def test_leq_vs_less(self):
+        assert kinds("<= <")[:2] == ["<=", "<"]
+
+    def test_all_single_symbols(self):
+        src = "+ - * ( ) , ; | # ! [ ]"
+        expected = src.split()
+        assert kinds(src)[:-1] == expected
+
+    def test_application_like_stream(self):
+        assert values("f (g x)") == ["f", "(", "g", "x", ")"]
+
+
+class TestComments:
+    def test_simple_comment_is_skipped(self):
+        assert values("a (* comment *) b") == ["a", "b"]
+
+    def test_nested_comment(self):
+        assert values("a (* outer (* inner *) still *) b") == ["a", "b"]
+
+    def test_comment_spanning_lines(self):
+        src = "a (* line1\nline2 *) b"
+        tokens = tokenize(src)
+        assert tokens[1].line == 2  # b is on line 2
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a (* never closed")
+
+    def test_unterminated_nested_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("(* outer (* inner *) ")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("ab\n  cd")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_columns_advance_past_symbols(self):
+        tokens = tokenize("x:=y")
+        assert (tokens[1].column, tokens[2].column) == (2, 4)
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("a $ b")
+        assert "$" in str(excinfo.value)
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("ok\n  ?")
+        assert excinfo.value.line == 2
+        assert excinfo.value.column == 3

@@ -1,0 +1,67 @@
+"""Tests for the small supporting modules (prims, _util)."""
+
+import time
+
+import pytest
+
+from repro._util import Stopwatch, ensure_recursion_limit
+from repro.lang.prims import (
+    INFIX_TO_PRIM,
+    PREFIX_PRIMS,
+    PRIMITIVES,
+    is_effectful,
+)
+
+
+class TestPrims:
+    def test_print_is_the_effectful_prim(self):
+        assert is_effectful("print")
+        pure = [n for n in PRIMITIVES if not is_effectful(n)]
+        assert "add" in pure and "not" in pure
+
+    def test_infix_table_covers_all_infix_prims(self):
+        infix_names = {
+            spec.name for spec in PRIMITIVES.values() if spec.infix
+        }
+        assert set(INFIX_TO_PRIM.values()) == infix_names
+
+    def test_prefix_prims_have_no_infix(self):
+        for name in PREFIX_PRIMS:
+            assert not PRIMITIVES[name].infix
+
+    def test_arities(self):
+        assert PRIMITIVES["add"].arity == 2
+        assert PRIMITIVES["print"].arity == 1
+        assert PRIMITIVES["not"].arity == 1
+
+    def test_infix_spellings_unique(self):
+        spellings = [
+            spec.infix for spec in PRIMITIVES.values() if spec.infix
+        ]
+        assert len(spellings) == len(set(spellings))
+
+
+class TestUtil:
+    def test_stopwatch_measures(self):
+        with Stopwatch() as watch:
+            time.sleep(0.01)
+        assert watch.elapsed >= 0.008
+
+    def test_stopwatch_resets_per_use(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        first = watch.elapsed
+        with watch:
+            time.sleep(0.005)
+        assert watch.elapsed >= first
+
+    def test_recursion_limit_only_raises(self):
+        import sys
+
+        before = sys.getrecursionlimit()
+        ensure_recursion_limit(before - 1)
+        assert sys.getrecursionlimit() == before
+        ensure_recursion_limit(before + 10)
+        assert sys.getrecursionlimit() == before + 10
+        sys.setrecursionlimit(max(before, 100_000))

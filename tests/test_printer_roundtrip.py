@@ -1,0 +1,116 @@
+"""Pretty-printer tests, including the parse/print round-trip property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import parse, parse_expr, pretty
+from repro.lang.compare import ast_equal
+from repro.lang.printer import pretty_program
+from repro.workloads.generators import random_typed_program
+
+from tests.helpers import SAMPLE_SOURCES
+
+
+class TestBasicRendering:
+    def test_variable(self):
+        assert pretty(parse_expr("x")) == "x"
+
+    def test_literals(self):
+        for src in ["42", "true", "false", "()"]:
+            assert pretty(parse_expr(src)) == src
+
+    def test_lambda_with_label(self):
+        assert pretty(parse_expr("fn[l] x => x")) == "fn[l] x => x"
+
+    def test_lambda_label_suppressed(self):
+        expr = parse_expr("fn[l] x => x")
+        assert pretty(expr, show_labels=False) == "fn x => x"
+
+    def test_application_spacing(self):
+        assert pretty(parse_expr("f x y")) == "f x y"
+
+    def test_nested_application_parenthesised(self):
+        assert pretty(parse_expr("f (g x)")) == "f (g x)"
+
+    def test_operator_precedence_no_extra_parens(self):
+        assert pretty(parse_expr("1 + 2 * 3")) == "1 + 2 * 3"
+
+    def test_operator_precedence_needed_parens(self):
+        assert pretty(parse_expr("(1 + 2) * 3")) == "(1 + 2) * 3"
+
+    def test_subtraction_associativity_parens(self):
+        assert pretty(parse_expr("1 - (2 - 3)")) == "1 - (2 - 3)"
+        assert pretty(parse_expr("1 - 2 - 3")) == "1 - 2 - 3"
+
+    def test_lambda_argument_parenthesised(self):
+        assert (
+            pretty(parse_expr("f (fn x => x)"), show_labels=False)
+            == "f (fn x => x)"
+        )
+
+    def test_record(self):
+        assert pretty(parse_expr("(1, 2)")) == "(1, 2)"
+
+    def test_deref_assign(self):
+        assert pretty(parse_expr("c := !c")) == "c := !c"
+
+    def test_case_rendering(self):
+        src = (
+            "datatype intlist = Nil | Cons of int * intlist;\n"
+            "case Nil of Nil => 0 | Cons(h, t) => h end"
+        )
+        prog = parse(src)
+        text = pretty(prog.root, show_labels=False)
+        assert text == "case Nil of Nil => 0 | Cons(h, t) => h end"
+
+
+def roundtrip_expr(source: str) -> None:
+    expr = parse_expr(source)
+    again = parse_expr(pretty(expr))
+    assert ast_equal(expr, again), pretty(expr)
+
+
+class TestRoundTripHandWritten:
+    @pytest.mark.parametrize("source", list(SAMPLE_SOURCES.values()))
+    def test_samples_roundtrip_via_program(self, source):
+        prog = parse(source)
+        text = pretty_program(prog)
+        again = parse(text)
+        assert ast_equal(prog.root, again.root)
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "fn x => fn y => x y",
+            "let a = 1 in a := 2",
+            "!(f x)",
+            "ref (fn x => x)",
+            "#1 (#2 p)",
+            "if a then b else if c then d else e",
+            "f (if a then b else c)",
+            "(fn x => x) (fn y => y)",
+            "not (1 < 2)",
+            "print (f 1)",
+            "1 + 2 <= 3 * 4",
+        ],
+    )
+    def test_expression_roundtrip(self, source):
+        roundtrip_expr(source)
+
+
+class TestRoundTripGenerated:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_random_program_roundtrip(self, seed):
+        prog = random_typed_program(seed, fuel=18)
+        text = pretty_program(prog)
+        again = parse(text)
+        assert ast_equal(prog.root, again.root)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_roundtrip_is_idempotent(self, seed):
+        prog = random_typed_program(seed, fuel=14)
+        once = pretty_program(prog)
+        twice = pretty_program(parse(once))
+        assert once == twice

@@ -1,0 +1,131 @@
+"""Tests for alpha-renaming and scope checking."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ScopeError
+from repro.lang import builders as b
+from repro.lang import parse_expr
+from repro.lang.ast import Lam, Let, Var
+from repro.lang.compare import ast_equal
+from repro.lang.rename import alpha_rename, bound_variables, check_scopes
+from repro.workloads.generators import random_typed_program
+
+
+def binder_names(expr):
+    names = []
+    for node in expr.walk():
+        if isinstance(node, Lam):
+            names.append(node.param)
+        elif isinstance(node, Let):
+            names.append(node.name)
+    return names
+
+
+class TestAlphaRename:
+    def test_distinct_binders_after_rename(self):
+        expr = parse_expr("(fn x => x) ((fn x => x) (fn x => x))")
+        renamed = alpha_rename(expr)
+        names = binder_names(renamed)
+        assert len(names) == len(set(names))
+
+    def test_first_occurrence_keeps_its_name(self):
+        expr = parse_expr("fn x => fn x => x")
+        renamed = alpha_rename(expr)
+        assert renamed.param == "x"
+        assert renamed.body.param == "x_1"
+
+    def test_inner_shadowing_rebinds_occurrences(self):
+        expr = parse_expr("fn x => fn x => x")
+        renamed = alpha_rename(expr)
+        assert renamed.body.body.name == renamed.body.param
+
+    def test_outer_occurrence_unaffected_by_shadow(self):
+        expr = parse_expr("fn x => (fn x => x) x")
+        renamed = alpha_rename(expr)
+        outer_param = renamed.param
+        application = renamed.body
+        assert application.arg.name == outer_param
+        assert application.fn.body.name == application.fn.param
+
+    def test_labels_preserved(self):
+        expr = parse_expr("fn[keep] x => x")
+        assert alpha_rename(expr).label == "keep"
+
+    def test_structure_preserved_up_to_names(self):
+        expr = parse_expr("let f = fn x => x in f (fn y => y)")
+        renamed = alpha_rename(expr)
+        # No shadowing here, so names are unchanged entirely.
+        assert ast_equal(expr, renamed)
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(ScopeError):
+            alpha_rename(b.var("free"))
+
+    def test_letrec_binder_visible_in_bound(self):
+        expr = parse_expr("letrec f = fn x => f x in f")
+        renamed = alpha_rename(expr)
+        assert renamed.bound.body.fn.name == renamed.name
+
+    def test_case_params_renamed_apart(self):
+        from repro.lang.parser import parse
+
+        prog_src = (
+            "datatype intlist = Nil | Cons of int * intlist;\n"
+            "case Nil of Cons(h, t) => case Nil of Cons(h, t) => h "
+            "| Nil => 0 end | Nil => 1 end"
+        )
+        prog = parse(prog_src)  # parse() alpha-renames internally
+        names = []
+        from repro.lang.ast import Case
+
+        for node in prog.root.walk():
+            if isinstance(node, Case):
+                for branch in node.branches:
+                    names.extend(branch.params)
+        assert len(names) == len(set(names))
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_rename_idempotent_on_generated(self, seed):
+        prog = random_typed_program(seed, fuel=15)
+        once = alpha_rename(prog.root)
+        twice = alpha_rename(once)
+        assert ast_equal(once, twice)
+
+
+class TestCheckScopes:
+    def test_accepts_closed_terms(self):
+        check_scopes(parse_expr("fn x => x x"))
+
+    def test_rejects_free_variable(self):
+        with pytest.raises(ScopeError):
+            check_scopes(parse_expr("fn x => y"))
+
+    def test_let_bound_not_visible_in_its_own_bound(self):
+        with pytest.raises(ScopeError):
+            check_scopes(b.let("x", b.var("x"), b.lit(1)))
+
+    def test_letrec_bound_visible_in_its_own_bound(self):
+        check_scopes(parse_expr("letrec f = fn x => f x in f"))
+
+    def test_case_binds_pattern_variables(self):
+        expr = b.case(
+            b.con("Nil"), ("Cons", ("h", "t"), b.var("h"))
+        )
+        check_scopes(expr)
+
+    def test_case_pattern_variables_not_visible_in_scrutinee(self):
+        expr = b.case(b.var("h"), ("Cons", ("h", "t"), b.var("h")))
+        with pytest.raises(ScopeError):
+            check_scopes(expr)
+
+
+class TestBoundVariables:
+    def test_collects_all_binder_kinds(self):
+        expr = b.let(
+            "a",
+            b.lam("p", b.var("p")),
+            b.case(b.con("Nil"), ("Cons", ("h", "t"), b.var("h"))),
+        )
+        assert bound_variables(expr) == {"a", "p", "h", "t"}

@@ -1,0 +1,197 @@
+"""Tests for Hindley-Milner inference over the mini-ML language."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TypeInferenceError
+from repro.lang import parse
+from repro.types.infer import infer_types
+from repro.types.types import BOOL, INT, TData, TFun, TRecord, TRef, UNIT
+from repro.workloads.generators import random_typed_program
+
+DT = "datatype intlist = Nil | Cons of int * intlist;\n"
+
+
+def type_of(src):
+    prog = parse(src)
+    return infer_types(prog).type_of(prog.root)
+
+
+class TestBaseForms:
+    def test_int_literal(self):
+        assert type_of("42") == INT
+
+    def test_bool_literal(self):
+        assert type_of("true") == BOOL
+
+    def test_unit_literal(self):
+        assert type_of("()") == UNIT
+
+    def test_identity_function(self):
+        ty = type_of("fn x => x + 1")
+        assert ty == TFun(INT, INT)
+
+    def test_application(self):
+        assert type_of("(fn x => x + 1) 2") == INT
+
+    def test_if_branches_unify(self):
+        assert type_of("if true then 1 else 2") == INT
+
+    def test_if_condition_must_be_bool(self):
+        with pytest.raises(TypeInferenceError):
+            type_of("if 1 then 2 else 3")
+
+    def test_branch_mismatch(self):
+        with pytest.raises(TypeInferenceError):
+            type_of("if true then 1 else false")
+
+    def test_arith_prims(self):
+        assert type_of("1 + 2 * 3 - 4") == INT
+
+    def test_comparison_prims(self):
+        assert type_of("1 < 2") == BOOL
+
+    def test_print_is_polymorphic(self):
+        assert type_of("print 1") == UNIT
+        assert type_of("print (fn x => x + 1)") == UNIT
+
+    def test_self_application_rejected(self):
+        with pytest.raises(TypeInferenceError):
+            type_of("fn x => x x")
+
+    def test_omega_rejected(self):
+        with pytest.raises(TypeInferenceError):
+            type_of("(fn x => x x) (fn y => y y)")
+
+
+class TestLetPolymorphism:
+    def test_let_generalises(self):
+        # id used at two different types.
+        assert type_of("let id = fn x => x in (id (fn y => y)) (id 1)") == INT
+
+    def test_id_id_id(self):
+        # The paper's Section 5 example: fun id x = x; (id id) id.
+        src = "let id = fn x => x in ((id id) id) 1"
+        assert type_of(src) == INT
+
+    def test_lambda_bound_is_monomorphic(self):
+        with pytest.raises(TypeInferenceError):
+            type_of("(fn f => (f 1, f true)) (fn x => x)")
+
+    def test_instantiations_recorded_per_occurrence(self):
+        prog = parse("let id = fn x => x in (id 1, id true)")
+        inference = infer_types(prog)
+        from repro.lang.ast import Var
+
+        uses = [
+            n for n in prog.nodes
+            if isinstance(n, Var) and n.name == "id"
+        ]
+        types = {str(inference.type_of(u)) for u in uses}
+        assert types == {"int -> int", "bool -> bool"}
+
+    def test_letrec_monomorphic_inside(self):
+        src = (
+            "letrec f = fn x => if true then x else f x in (f 1, f 2)"
+        )
+        assert type_of(src) == TRecord((INT, INT))
+
+    def test_letrec_generalised_for_body(self):
+        src = (
+            "letrec f = fn x => if true then x else f x "
+            "in (f 1, f true)"
+        )
+        assert type_of(src) == TRecord((INT, BOOL))
+
+    def test_scheme_recorded(self):
+        prog = parse("let id = fn x => x in id 1")
+        inference = infer_types(prog)
+        assert not inference.schemes["id"].is_mono
+
+
+class TestRecordsRefsData:
+    def test_record_type(self):
+        assert type_of("(1, true)") == TRecord((INT, BOOL))
+
+    def test_projection(self):
+        assert type_of("#2 (1, true)") == BOOL
+
+    def test_projection_out_of_range(self):
+        with pytest.raises(TypeInferenceError):
+            type_of("#3 (1, true)")
+
+    def test_flex_projection_defaults_to_minimal_record(self):
+        # A record constrained only by its projections defaults to the
+        # smallest record the indices require.
+        from repro.types.types import prune
+
+        ty = type_of("fn p => #2 p")
+        assert isinstance(ty, TFun)
+        param = prune(ty.param)
+        assert isinstance(param, TRecord)
+        assert len(param.fields) == 2
+
+    def test_flex_projection_resolved_by_later_use(self):
+        ty = type_of("(fn p => #1 p) (1, true)")
+        assert ty == INT
+
+    def test_projection_of_non_record(self):
+        with pytest.raises(TypeInferenceError):
+            type_of("#1 5")
+
+    def test_ref_types(self):
+        assert type_of("ref 1") == TRef(INT)
+        assert type_of("!(ref 1)") == INT
+        assert type_of("(ref 1) := 2") == UNIT
+
+    def test_assign_content_mismatch(self):
+        with pytest.raises(TypeInferenceError):
+            type_of("(ref 1) := true")
+
+    def test_constructor_types(self):
+        assert type_of(DT + "Cons(1, Nil)") == TData("intlist")
+
+    def test_constructor_argument_mismatch(self):
+        with pytest.raises(TypeInferenceError):
+            type_of(DT + "Cons(true, Nil)")
+
+    def test_case_result(self):
+        src = DT + "case Cons(1, Nil) of Nil => 0 | Cons(h, t) => h end"
+        assert type_of(src) == INT
+
+    def test_case_branch_mismatch(self):
+        src = DT + "case Nil of Nil => 0 | Cons(h, t) => true end"
+        with pytest.raises(TypeInferenceError):
+            type_of(src)
+
+    def test_case_scrutinee_must_match_datatype(self):
+        src = DT + "case 1 of Nil => 0 | Cons(h, t) => h end"
+        with pytest.raises(TypeInferenceError):
+            type_of(src)
+
+    def test_case_params_typed_from_signature(self):
+        prog = parse(
+            DT + "case Nil of Nil => 0 | Cons(h, t) => h end"
+        )
+        inference = infer_types(prog)
+        assert inference.type_of_var("h") == INT
+        assert inference.type_of_var("t") == TData("intlist")
+
+    def test_mixed_datatype_branches_rejected(self):
+        src = (
+            "datatype a = A;\ndatatype b = B;\n"
+            "case A of A => 1 | B => 2 end"
+        )
+        with pytest.raises(TypeInferenceError):
+            type_of(src)
+
+
+class TestGeneratedProgramsAreTypeable:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_generator_only_produces_typeable_programs(self, seed):
+        prog = random_typed_program(seed, fuel=20)
+        inference = infer_types(prog)
+        # Every occurrence got an annotation.
+        for node in prog.nodes:
+            inference.type_of(node)

@@ -1,0 +1,109 @@
+"""Tests for type-tree measures and the bounded-type classes P_k."""
+
+import pytest
+
+from repro.lang import parse
+from repro.types.measure import (
+    arity_of,
+    bounded_type_report,
+    is_bounded_type,
+    order_of,
+    type_size,
+)
+from repro.types.types import BOOL, INT, TData, TFun, TRecord, TRef, TVar
+from repro.workloads.cubic import make_cubic_program
+from repro.workloads.synthetic import make_life_like
+
+
+class TestTypeSize:
+    def test_base_type(self):
+        assert type_size(INT) == 1
+
+    def test_function_type(self):
+        assert type_size(TFun(INT, INT)) == 3
+
+    def test_nested_function(self):
+        # (int -> int) -> int -> int : 7 nodes
+        ty = TFun(TFun(INT, INT), TFun(INT, INT))
+        assert type_size(ty) == 7
+
+    def test_record(self):
+        assert type_size(TRecord((INT, BOOL))) == 3
+
+    def test_datatype_counts_as_leaf(self):
+        assert type_size(TData("intlist")) == 1
+
+    def test_ref(self):
+        assert type_size(TRef(INT)) == 2
+
+    def test_tvar_is_leaf(self):
+        assert type_size(TVar()) == 1
+
+
+class TestOrderAndArity:
+    def test_base_order(self):
+        assert order_of(INT) == 0
+
+    def test_first_order_function(self):
+        assert order_of(TFun(INT, INT)) == 1
+
+    def test_second_order_function(self):
+        assert order_of(TFun(TFun(INT, INT), INT)) == 2
+
+    def test_order_ignores_currying(self):
+        assert order_of(TFun(INT, TFun(INT, INT))) == 1
+
+    def test_paper_map_example(self):
+        # (Int -> Int) -> Int list -> Int list has arity 2, order 2.
+        intlist = TData("intlist")
+        ty = TFun(TFun(INT, INT), TFun(intlist, intlist))
+        assert arity_of(ty) == 2
+        assert order_of(ty) == 2
+
+    def test_arity_of_base(self):
+        assert arity_of(INT) == 0
+
+    def test_order_looks_into_records_and_refs(self):
+        assert order_of(TRecord((TFun(INT, INT), INT))) == 1
+        assert order_of(TRef(TFun(TFun(INT, INT), INT))) == 2
+
+
+class TestBoundedTypeReport:
+    def test_simple_program(self):
+        prog = parse("(fn x => x + 1) 2")
+        report = bounded_type_report(prog)
+        assert report.max_size == 3  # int -> int
+        assert report.max_order == 1
+        assert report.node_count == prog.size
+
+    def test_within(self):
+        prog = parse("fn x => x + 1")
+        report = bounded_type_report(prog)
+        assert report.within(3)
+        assert not report.within(2)
+
+    def test_is_bounded_type(self):
+        prog = parse("1 + 2")
+        assert is_bounded_type(prog, 1)
+
+    def test_polymorphic_sizes_use_instantiations(self):
+        # id instantiated at (int -> int) -> ... makes the max size
+        # grow even though id's definition is tiny.
+        prog = parse("let id = fn x => x in (id (fn y => y + 1)) 3")
+        report = bounded_type_report(prog)
+        assert report.max_size >= 5
+
+    def test_cubic_family_is_uniformly_bounded(self):
+        small = bounded_type_report(make_cubic_program(2))
+        large = bounded_type_report(make_cubic_program(20))
+        # The family is in P_k for a fixed k independent of n.
+        assert small.max_size == large.max_size
+
+    def test_paper_constant_claim_on_realistic_program(self):
+        # "the constant is quite small, typically around 2 or 3."
+        report = bounded_type_report(make_life_like())
+        assert 1.5 <= report.avg_size <= 4.0
+
+    def test_avg_no_larger_than_max(self):
+        report = bounded_type_report(make_cubic_program(3))
+        assert report.avg_size <= report.max_size

@@ -1,0 +1,151 @@
+"""Tests for type representations and unification."""
+
+import pytest
+
+from repro.errors import OccursCheckError, UnificationError
+from repro.types.types import (
+    BOOL,
+    INT,
+    TData,
+    TFun,
+    TRecord,
+    TRef,
+    TScheme,
+    TVar,
+    UNIT,
+    free_type_vars,
+    occurs_in,
+    prune,
+)
+from repro.types.unify import unify
+
+
+class TestTypeBasics:
+    def test_base_type_equality(self):
+        assert INT == INT
+        assert INT != BOOL
+
+    def test_function_type_structural_equality(self):
+        assert TFun(INT, BOOL) == TFun(INT, BOOL)
+        assert TFun(INT, BOOL) != TFun(BOOL, INT)
+
+    def test_record_equality_respects_arity(self):
+        assert TRecord((INT, INT)) != TRecord((INT, INT, INT))
+
+    def test_data_types_by_name(self):
+        assert TData("t") == TData("t")
+        assert TData("t") != TData("u")
+
+    def test_tvar_identity(self):
+        assert TVar() != TVar()
+
+    def test_str_rendering(self):
+        ty = TFun(TFun(INT, INT), TRef(BOOL))
+        assert str(ty) == "(int -> int) -> bool ref"
+
+    def test_record_rendering(self):
+        assert str(TRecord((INT, BOOL))) == "(int, bool)"
+
+    def test_walk_covers_subterms(self):
+        ty = TFun(INT, TRecord((BOOL, UNIT)))
+        seen = list(ty.walk())
+        assert INT in seen and BOOL in seen and UNIT in seen
+
+    def test_scheme_rendering(self):
+        v = TVar()
+        scheme = TScheme((v,), TFun(v, v))
+        assert str(scheme).startswith("forall")
+        assert TScheme((), INT).is_mono
+
+
+class TestPrune:
+    def test_prune_follows_chain(self):
+        a, c = TVar(), TVar()
+        a.instance = c
+        c.instance = INT
+        assert prune(a) == INT
+
+    def test_prune_compresses_path(self):
+        a, c = TVar(), TVar()
+        a.instance = c
+        c.instance = INT
+        prune(a)
+        assert a.instance == INT
+
+
+class TestUnify:
+    def test_unify_var_with_type(self):
+        v = TVar()
+        unify(v, INT)
+        assert prune(v) == INT
+
+    def test_unify_two_vars(self):
+        a, c = TVar(), TVar()
+        unify(a, c)
+        unify(a, BOOL)
+        assert prune(c) == BOOL
+
+    def test_unify_functions_recursively(self):
+        a, c = TVar(), TVar()
+        unify(TFun(a, BOOL), TFun(INT, c))
+        assert prune(a) == INT
+        assert prune(c) == BOOL
+
+    def test_unify_records(self):
+        a = TVar()
+        unify(TRecord((a, INT)), TRecord((BOOL, INT)))
+        assert prune(a) == BOOL
+
+    def test_unify_refs(self):
+        a = TVar()
+        unify(TRef(a), TRef(INT))
+        assert prune(a) == INT
+
+    def test_base_clash(self):
+        with pytest.raises(UnificationError):
+            unify(INT, BOOL)
+
+    def test_data_clash(self):
+        with pytest.raises(UnificationError):
+            unify(TData("a"), TData("c"))
+
+    def test_shape_clash(self):
+        with pytest.raises(UnificationError):
+            unify(TFun(INT, INT), TRecord((INT, INT)))
+
+    def test_record_arity_clash(self):
+        with pytest.raises(UnificationError):
+            unify(TRecord((INT,)), TRecord((INT, INT)))
+
+    def test_occurs_check(self):
+        v = TVar()
+        with pytest.raises(OccursCheckError):
+            unify(v, TFun(v, INT))
+
+    def test_self_unification_is_noop(self):
+        v = TVar()
+        unify(v, v)
+        assert v.instance is None
+
+    def test_levels_lowered_on_bind(self):
+        low = TVar(level=0)
+        high = TVar(level=5)
+        unify(low, TFun(high, INT))
+        assert high.level == 0
+
+
+class TestHelpers:
+    def test_occurs_in(self):
+        v = TVar()
+        assert occurs_in(v, TFun(INT, v))
+        assert not occurs_in(v, TFun(INT, INT))
+
+    def test_free_type_vars_in_order(self):
+        a, c = TVar(), TVar()
+        ty = TFun(a, TFun(c, a))
+        assert free_type_vars(ty) == [a, c]
+
+    def test_free_type_vars_skips_bound(self):
+        a = TVar()
+        a.instance = INT
+        assert free_type_vars(TFun(a, a)) == []

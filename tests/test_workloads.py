@@ -1,0 +1,144 @@
+"""Tests for the benchmark workload generators."""
+
+import pytest
+
+from repro.cfa.standard import analyze_standard
+from repro.core.queries import analyze_subtransitive
+from repro.lang import evaluate, parse
+from repro.lang.compare import ast_equal
+from repro.types.measure import bounded_type_report
+from repro.workloads.cubic import make_cubic_program, make_cubic_source
+from repro.workloads.generators import (
+    make_joinpoint_program,
+    random_typed_program,
+)
+from repro.workloads.synthetic import (
+    make_lexgen_like,
+    make_life_like,
+    make_synthetic_program,
+)
+
+
+class TestCubicFamily:
+    def test_size_grows_linearly(self):
+        small = make_cubic_program(5).size
+        large = make_cubic_program(10).size
+        assert 1.7 < large / small < 2.3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            make_cubic_program(0)
+        with pytest.raises(ValueError):
+            make_cubic_source(0)
+
+    def test_source_and_ast_agree(self):
+        ast_prog = make_cubic_program(2)
+        src_prog = parse(make_cubic_source(2))
+        assert ast_equal(ast_prog.root, src_prog.root)
+
+    def test_family_is_typeable_and_bounded(self):
+        report = bounded_type_report(make_cubic_program(8))
+        assert report.max_size == 15
+
+    def test_family_evaluates(self):
+        prog = make_cubic_program(3)
+        assert evaluate(prog).value is None  # unit
+
+
+class TestJoinpoint:
+    def test_parameter_joins_all_sites(self):
+        prog = make_joinpoint_program(6)
+        cfa = analyze_standard(prog)
+        f = prog.abstraction("f")
+        assert len(cfa.labels_of_var(f.param)) == 6
+
+    def test_returning_variant_flows_back(self):
+        prog = make_joinpoint_program(4, returning=True)
+        cfa = analyze_standard(prog)
+        # Every call site result sees the whole join.
+        site = prog.applications[0]
+        assert len(cfa.labels_of(site)) == 4
+
+    def test_non_returning_variant_does_not_flow_back(self):
+        prog = make_joinpoint_program(4, returning=False)
+        cfa = analyze_standard(prog)
+        site = [
+            s for s in prog.applications
+            if getattr(s.fn, "name", "") == "f"
+        ][0]
+        assert cfa.labels_of(site) == set()
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            make_joinpoint_program(0)
+
+
+class TestSynthetic:
+    def test_styles_validated(self):
+        with pytest.raises(ValueError):
+            make_synthetic_program(3, "webserver")
+
+    def test_life_like_scale(self):
+        prog = make_life_like()
+        assert 1000 <= prog.size <= 2000
+
+    def test_lexgen_like_scale(self):
+        prog = make_lexgen_like()
+        assert 3000 <= prog.size <= 4500
+
+    def test_both_are_typeable_with_small_types(self):
+        for prog in (make_life_like(), make_lexgen_like()):
+            report = bounded_type_report(prog)
+            assert report.avg_size < 4.0
+
+    def test_life_like_evaluates_and_prints(self):
+        result = evaluate(make_life_like(), fuel=2_000_000)
+        assert len(result.output) > 0
+
+    def test_lexgen_has_lower_higher_order_density(self):
+        life = make_life_like()
+        lexgen = make_lexgen_like()
+        life_density = len(life.abstractions) / life.size
+        lexgen_density = len(lexgen.abstractions) / lexgen.size
+        assert lexgen_density < life_density
+
+    def test_analyses_agree_on_life_like(self):
+        prog = make_life_like()
+        std = analyze_standard(prog)
+        sub = analyze_subtransitive(prog)
+        for node in prog.nodes:
+            assert std.labels_of(node) <= sub.labels_of(node)
+
+    def test_blocks_scale_linearly(self):
+        small = make_synthetic_program(5, "life").size
+        large = make_synthetic_program(10, "life").size
+        assert 1.5 < large / small < 2.5
+
+
+class TestRandomGenerator:
+    def test_deterministic(self):
+        a = random_typed_program(7, fuel=15)
+        c = random_typed_program(7, fuel=15)
+        assert ast_equal(a.root, c.root)
+
+    def test_different_seeds_differ(self):
+        a = random_typed_program(1, fuel=15)
+        c = random_typed_program(2, fuel=15)
+        assert not ast_equal(a.root, c.root)
+
+    def test_feature_toggles(self):
+        prog = random_typed_program(
+            11, fuel=25, use_datatypes=False, use_refs=False,
+            use_effects=False,
+        )
+        from repro.lang.ast import Assign, Con, Prim, Ref
+
+        for node in prog.nodes:
+            assert not isinstance(node, (Con, Ref, Assign))
+            if isinstance(node, Prim):
+                assert not node.effectful
+
+    def test_fuel_controls_size(self):
+        small = random_typed_program(3, fuel=5).size
+        large = random_typed_program(3, fuel=60).size
+        assert large > small
