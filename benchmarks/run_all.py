@@ -2,14 +2,21 @@
 
 Usage::
 
-    python benchmarks/run_all.py [--quick]
+    python benchmarks/run_all.py [--quick] [--metrics PATH | --no-metrics]
 
 Prints the reproduction of each experiment indexed in DESIGN.md (E1 -
 E12), in order. ``--quick`` shrinks the sweeps for a fast smoke run.
 EXPERIMENTS.md records a reference run of this script.
+
+Every run also writes a machine-readable metrics document (default
+``BENCH_metrics.json``; see docs/OBSERVABILITY.md): all experiment
+rows plus an instrumented LC' engine run over the cubic family, in
+the ``repro.metrics/1`` schema. This is the perf-regression baseline
+future optimisation PRs diff against.
 """
 
-import sys
+import argparse
+import json
 
 from repro._util import ensure_recursion_limit
 
@@ -29,15 +36,69 @@ import bench_table2_ml_programs
 
 from repro.bench import fit_exponent
 
+#: Schema tag of the benchmark metrics document.
+BENCH_SCHEMA = "repro.bench-metrics/1"
 
-def main(quick: bool = False) -> None:
+
+def _jsonable(value):
+    """Recursively coerce a measurement payload to JSON-safe values.
+
+    Bench modules return rows in slightly different shapes (lists of
+    dicts, summary dicts keyed by name, tuples of exponents); anything
+    that is not a container or scalar is stringified.
+    """
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(key): _jsonable(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return str(value)
+
+
+def engine_metrics_document(quick: bool = False):
+    """An instrumented LC' run over the cubic family, including the
+    Table 1 query sweep, as a validated ``repro.metrics/1`` document."""
+    from repro.core.queries import analyze_subtransitive
+    from repro.obs import collect_metrics, validate_metrics
+    from repro.workloads.cubic import make_cubic_program
+
+    program = make_cubic_program(40 if quick else 80)
+    cfa = analyze_subtransitive(program)
+    for site in program.nontrivial_applications():
+        cfa.may_call(site)
+    return validate_metrics(collect_metrics(cfa))
+
+
+def write_metrics(path, experiments, quick: bool) -> None:
+    document = {
+        "schema": BENCH_SCHEMA,
+        "quick": quick,
+        "experiments": experiments,
+        "engine_metrics": engine_metrics_document(quick),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote metrics document to {path}")
+
+
+def main(quick: bool = False, metrics_path=None) -> None:
     ensure_recursion_limit()
+    experiments = {}
+
+    def record(key, title, rows):
+        experiments[key] = {
+            "title": title,
+            "rows": _jsonable(rows),
+        }
 
     print("=" * 72)
     print("E1 — Table 1: cubic family")
     print("=" * 72)
     sizes = [10, 20, 40, 80] if quick else [10, 20, 40, 80, 160]
     table, rows = bench_table1_cubic_family.run_report(sizes=sizes)
+    record("E1", "Table 1: cubic family", rows)
     print(table.render())
     ns = [r["size"] for r in rows]
     print(
@@ -52,83 +113,124 @@ def main(quick: bool = False) -> None:
     print("\n" + "=" * 72)
     print("E2 — Table 2: ML-like programs")
     print("=" * 72)
-    table, _ = bench_table2_ml_programs.run_report()
+    table, rows = bench_table2_ml_programs.run_report()
+    record("E2", "Table 2: ML-like programs", rows)
     print(table.render())
 
     print("\n" + "=" * 72)
     print("E3 — Section 2 complexity table")
     print("=" * 72)
-    table, _ = bench_complexity_table.run_report(
+    table, rows = bench_complexity_table.run_report(
         sizes=[8, 16, 32] if quick else [8, 16, 32, 64]
     )
+    record("E3", "Section 2 complexity table", rows)
     print(table.render())
 
     print("\n" + "=" * 72)
     print("E4 — Section 8: effects analysis")
     print("=" * 72)
-    table, _ = bench_apps_effects.run_report(
+    table, rows = bench_apps_effects.run_report(
         sizes=[8, 16, 32] if quick else [8, 16, 32, 64]
     )
+    record("E4", "Section 8: effects analysis", rows)
     print(table.render())
 
     print("\n" + "=" * 72)
     print("E5 — Section 9: k-limited CFA + called-once")
     print("=" * 72)
-    table, _ = bench_apps_klimited.run_report(
+    table, rows = bench_apps_klimited.run_report(
         sizes=[8, 16, 32] if quick else [8, 16, 32, 64]
     )
+    record("E5", "Section 9: k-limited CFA + called-once", rows)
     print(table.render())
 
     print("\n" + "=" * 72)
     print("E6 — constant factors")
     print("=" * 72)
-    table, _ = bench_constant_factor.run_report()
+    table, rows = bench_constant_factor.run_report()
+    record("E6", "constant factors", rows)
     print(table.render())
 
     print("\n" + "=" * 72)
     print("E7 — intro join-point example")
     print("=" * 72)
-    table, _ = bench_joinpoint.run_report(
+    table, rows = bench_joinpoint.run_report(
         sizes=[8, 16, 32] if quick else [8, 16, 32, 64]
     )
+    record("E7", "intro join-point example", rows)
     print(table.render())
 
     print("\n" + "=" * 72)
     print("E8 — ablation: demand-driven vs eager")
     print("=" * 72)
-    table, _ = bench_ablation_demand.run_report()
+    table, rows = bench_ablation_demand.run_report()
+    record("E8", "ablation: demand-driven vs eager", rows)
     print(table.render())
 
     print("\n" + "=" * 72)
     print("E9 — ablation: datatype congruences")
     print("=" * 72)
-    table, _ = bench_ablation_congruence.run_report()
+    table, rows = bench_ablation_congruence.run_report()
+    record("E9", "ablation: datatype congruences", rows)
     print(table.render())
 
     print("\n" + "=" * 72)
     print("E10 — Section 7: polyvariance")
     print("=" * 72)
-    table, _ = bench_polyvariant.run_report()
+    table, rows = bench_polyvariant.run_report()
+    record("E10", "Section 7: polyvariance", rows)
     print(table.render())
 
     print("\n" + "=" * 72)
     print("E11 — equality-based CFA comparison")
     print("=" * 72)
-    table, _ = bench_equality_cfa.run_report()
+    table, rows = bench_equality_cfa.run_report()
+    record("E11", "equality-based CFA comparison", rows)
     print(table.render())
 
     print("\n" + "=" * 72)
     print("E12 — hybrid driver")
     print("=" * 72)
-    table, _ = bench_hybrid.run_report()
+    table, rows = bench_hybrid.run_report()
+    record("E12", "hybrid driver", rows)
     print(table.render())
 
     print("\n" + "=" * 72)
     print("E13 (extra) — front-end decomposition (traversal cost)")
     print("=" * 72)
-    table, _ = bench_frontend.run_report()
+    table, rows = bench_frontend.run_report()
+    record("E13", "front-end decomposition (traversal cost)", rows)
     print(table.render())
+
+    if metrics_path is not None:
+        write_metrics(metrics_path, experiments, quick)
+
+
+def _parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        description="regenerate every paper table/figure reproduction"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="shrink sweeps for a smoke run"
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default="BENCH_metrics.json",
+        help="where to write the metrics document "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="skip writing the metrics document",
+    )
+    return parser.parse_args(argv)
 
 
 if __name__ == "__main__":
-    main(quick="--quick" in sys.argv)
+    _args = _parse_args()
+    main(
+        quick=_args.quick,
+        metrics_path=None if _args.no_metrics else _args.metrics,
+    )

@@ -3,6 +3,7 @@
 Usage (also available as ``python -m repro``)::
 
     repro analyze  prog.ml [--algorithm subtransitive] [--json]
+                   [--metrics out.json] [--trace out.jsonl]
     repro query    prog.ml --label inc [--expr NID]
     repro effects  prog.ml
     repro klimited prog.ml -k 2
@@ -28,6 +29,12 @@ from repro.bench import Table
 from repro.errors import ReproError
 from repro.export import graph_to_dot, result_to_json
 from repro.lang import parse, pretty
+from repro.obs import (
+    Tracer,
+    collect_metrics,
+    metrics_to_json,
+    validate_metrics,
+)
 from repro.types import bounded_type_report
 
 
@@ -40,27 +47,61 @@ def _read_program(path: str):
     return parse(source)
 
 
+#: Algorithms whose drivers accept ``registry``/``tracer`` plumbing
+#: and whose results carry LC' statistics for the metrics document.
+_INSTRUMENTED_ALGORITHMS = ("subtransitive", "hybrid", "polyvariant")
+
+
 def _cmd_analyze(args) -> int:
     program = _read_program(args.file)
-    cfa = repro.analyze(program, algorithm=args.algorithm)
-    if args.json:
-        print(result_to_json(cfa))
-        return 0
-    table = Table(["site", "source", "may call"])
-    for site in program.applications:
-        table.add_row(
-            site.nid,
-            pretty(site, show_labels=False),
-            ", ".join(sorted(cfa.may_call(site))) or "-",
-        )
-    print(table.render())
-    stats = getattr(cfa, "stats", None)
-    if stats is not None:
-        print(
-            f"\ngraph: {stats.build_nodes} build + "
-            f"{stats.close_nodes} close nodes, "
-            f"{stats.total_edges} edges"
-        )
+    tracer = None
+    kwargs = {}
+    if args.metrics or args.trace:
+        if args.algorithm not in _INSTRUMENTED_ALGORITHMS:
+            print(
+                "error: --metrics/--trace require one of: "
+                + ", ".join(_INSTRUMENTED_ALGORITHMS),
+                file=sys.stderr,
+            )
+            return 1
+        if args.trace:
+            tracer = Tracer(sink=args.trace)
+            kwargs["tracer"] = tracer
+    try:
+        cfa = repro.analyze(program, algorithm=args.algorithm, **kwargs)
+        if args.json:
+            print(result_to_json(cfa))
+        else:
+            table = Table(["site", "source", "may call"])
+            for site in program.applications:
+                table.add_row(
+                    site.nid,
+                    pretty(site, show_labels=False),
+                    ", ".join(sorted(cfa.may_call(site))) or "-",
+                )
+            print(table.render())
+            stats = getattr(cfa, "stats", None)
+            if stats is not None:
+                print(
+                    f"\ngraph: {stats.build_nodes} build + "
+                    f"{stats.close_nodes} close nodes, "
+                    f"{stats.total_edges} edges"
+                )
+        if args.metrics:
+            # Collected after the queries above so the document's
+            # query section reflects the work this invocation did.
+            document = validate_metrics(collect_metrics(cfa))
+            with open(args.metrics, "w", encoding="utf-8") as handle:
+                handle.write(metrics_to_json(document) + "\n")
+            print(f"wrote metrics to {args.metrics}", file=sys.stderr)
+    finally:
+        if tracer is not None:
+            tracer.close()
+            print(
+                f"wrote trace to {args.trace} "
+                f"({tracer.event_count} events)",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -195,6 +236,16 @@ def build_parser() -> argparse.ArgumentParser:
         ],
     )
     p.add_argument("--json", action="store_true", help="JSON output")
+    p.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write a repro.metrics/1 JSON document to PATH",
+    )
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a JSONL engine-event trace to PATH",
+    )
     p.set_defaults(run=_cmd_analyze)
 
     p = sub.add_parser("query", help="reachability queries")
@@ -242,9 +293,6 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-    except FileNotFoundError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
     except BrokenPipeError:
         # Output was piped into a consumer that closed early (head,
         # less, ...): exit quietly like other well-behaved CLIs.
@@ -253,6 +301,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         except Exception:
             pass
         return 0
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

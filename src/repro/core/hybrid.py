@@ -41,9 +41,13 @@ class HybridResult:
         self,
         engine: str,
         result: Union[SubtransitiveCFA, StandardCFAResult],
+        fallback_reason: Optional[str] = None,
     ):
         self.engine = engine
         self.result = result
+        #: Why the LC' attempt was abandoned (``None`` when it won):
+        #: ``"budget"`` or ``"inference"``.
+        self.fallback_reason = fallback_reason
 
     def __getattr__(self, name):
         return getattr(self.result, name)
@@ -56,21 +60,43 @@ def analyze_hybrid(
     program: Program,
     budget_factor: int = HYBRID_BUDGET_FACTOR,
     node_budget: Optional[int] = None,
+    registry=None,
+    tracer=None,
 ) -> HybridResult:
     """Try LC' with a linear node budget; fall back to the cubic
     standard algorithm if the budget trips.
 
     Always terminates: LC' either reaches a fixpoint within budget
     (and is exact — Propositions 1-2 hold regardless of typing) or the
-    standard algorithm provides the answer.
+    standard algorithm provides the answer. ``registry``/``tracer``
+    (see :mod:`repro.obs`) instrument the LC' attempt; a fallback is
+    recorded on the registry (``hybrid.fallbacks``) and the tracer, so
+    metrics consumers can see the abandoned attempt's budget burn.
     """
     if node_budget is None:
         node_budget = budget_factor * max(program.size, 16)
     try:
-        result = analyze_subtransitive(program, node_budget=node_budget)
+        result = analyze_subtransitive(
+            program,
+            node_budget=node_budget,
+            registry=registry,
+            tracer=tracer,
+        )
         return HybridResult("subtransitive", result)
-    except (AnalysisBudgetExceeded, TypeInferenceError):
+    except (AnalysisBudgetExceeded, TypeInferenceError) as error:
         # Budget trip: unbounded dom/ran towers (untypeable program).
         # Inference failure: a datatype-using program we cannot pick a
         # congruence for. Either way the cubic algorithm is total.
-        return HybridResult("standard", analyze_standard(program))
+        reason = (
+            "budget"
+            if isinstance(error, AnalysisBudgetExceeded)
+            else "inference"
+        )
+        if registry is not None:
+            registry.counter("hybrid.fallbacks").inc()
+        if tracer is not None:
+            tracer.emit("budget", resource="hybrid", action="fallback",
+                        reason=reason)
+        return HybridResult(
+            "standard", analyze_standard(program), fallback_reason=reason
+        )

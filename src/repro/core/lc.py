@@ -37,10 +37,12 @@ in the build phase" — is directly measurable from
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Optional, Tuple
+from collections.abc import Mapping
+from typing import Deque, Dict, FrozenSet, Optional, Set, Tuple
 
-from repro._util import Stopwatch, ensure_recursion_limit
+from repro._util import ensure_recursion_limit
 from repro.errors import AnalysisBudgetExceeded
+from repro.obs.metrics import MetricsRegistry
 from repro.graph.digraph import Digraph
 from repro.lang.ast import (
     App,
@@ -79,10 +81,63 @@ from repro.core.nodes import (
 DEFAULT_BUDGET_FACTOR = 64
 
 
-class LCStatistics:
-    """Build/close accounting for one LC' run."""
+#: The named LC' rules, in presentation order (build rules first).
+RULE_NAMES = (
+    "ABS-1",
+    "ABS-2",
+    "APP-1",
+    "APP-2",
+    "CLOSE-COV",
+    "CLOSE-CONTRA",
+)
 
-    def __init__(self) -> None:
+
+class _RuleCounters(Mapping):
+    """Dict-shaped live view over the registry-backed rule counters.
+
+    Reads always reflect the engine's current counts; ``dict(view)``
+    snapshots them. The rule set is fixed (:data:`RULE_NAMES`), so the
+    view rejects writes to unknown rules.
+    """
+
+    __slots__ = ("_counters",)
+
+    def __init__(self, counters) -> None:
+        self._counters = counters
+
+    def __getitem__(self, key: str) -> int:
+        return self._counters[key].value
+
+    def __setitem__(self, key: str, value: int) -> None:
+        self._counters[key].value = value
+
+    def __iter__(self):
+        return iter(self._counters)
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return repr(dict(self))
+
+
+class LCStatistics:
+    """Build/close accounting for one LC' run.
+
+    Rule-application counts live in a :class:`~repro.obs.metrics.
+    MetricsRegistry` (one per run, under ``rules.*``) and are exposed
+    through :attr:`rule_applications` for compatibility. Build rules
+    (``ABS-*``/``APP-*``) count once per program construct, matching
+    the paper's per-syntax accounting; the closure rules
+    (``CLOSE-COV``/``CLOSE-CONTRA``) count only firings whose
+    conclusion edge was actually added, so in a batch run their total
+    equals ``close_edges`` exactly (duplicate conclusions and
+    depth-capped endpoints are tallied separately under
+    ``edges.duplicate`` / ``edges.dropped``).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.build_nodes = 0
         self.build_edges = 0
         self.close_nodes = 0
@@ -90,14 +145,11 @@ class LCStatistics:
         self.build_seconds = 0.0
         self.close_seconds = 0.0
         self.demanded_nodes = 0
-        self.rule_applications: Dict[str, int] = {
-            "ABS-1": 0,
-            "ABS-2": 0,
-            "APP-1": 0,
-            "APP-2": 0,
-            "CLOSE-COV": 0,
-            "CLOSE-CONTRA": 0,
+        self._rules = {
+            name: self.registry.counter(f"rules.{name}")
+            for name in RULE_NAMES
         }
+        self.rule_applications = _RuleCounters(self._rules)
 
     @property
     def total_nodes(self) -> int:
@@ -134,11 +186,15 @@ class SubtransitiveGraph:
         factory: NodeFactory,
         graph: Digraph,
         stats: LCStatistics,
+        close_edges: FrozenSet[Tuple[Node, Node]] = frozenset(),
     ):
         self.program = program
         self.factory = factory
         self.graph = graph
         self.stats = stats
+        #: Edges first added by a closure-rule firing (as opposed to a
+        #: build rule); :func:`repro.export.graph_to_dot` styles them.
+        self.close_edges = close_edges
 
     def node_of(self, expr: Expr, context: Context = ()) -> Node:
         """The graph node of an expression occurrence."""
@@ -167,6 +223,8 @@ class LCEngine:
         polyvariant_lets: Optional[frozenset] = None,
         instance_budget: int = 10_000,
         max_depth: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer=None,
     ):
         if congruence is not None and congruence.requires_types:
             if inference is None:
@@ -178,10 +236,27 @@ class LCEngine:
             node_budget = DEFAULT_BUDGET_FACTOR * max(program.size, 16)
         self.program = program
         self.factory = NodeFactory(
-            program, congruence, inference, node_budget, max_depth
+            program, congruence, inference, node_budget, max_depth,
+            tracer=tracer,
         )
         self.graph = Digraph()
-        self.stats = LCStatistics()
+        self.stats = LCStatistics(registry)
+        #: Optional :class:`repro.obs.trace.Tracer`; ``None`` (the
+        #: default) is the no-op mode — every emission site guards on
+        #: it, so uninstrumented runs pay one pointer test.
+        self.tracer = tracer
+        #: Edges whose first insertion came from a closure rule.
+        self.close_edge_set: Set[Tuple[Node, Node]] = set()
+        # Hot-path counter bindings (one attribute lookup per firing).
+        rules = self.stats._rules
+        self._c_abs1 = rules["ABS-1"]
+        self._c_abs2 = rules["ABS-2"]
+        self._c_app1 = rules["APP-1"]
+        self._c_app2 = rules["APP-2"]
+        self._c_close_cov = rules["CLOSE-COV"]
+        self._c_close_contra = rules["CLOSE-CONTRA"]
+        self._c_dup_edges = self.stats.registry.counter("edges.duplicate")
+        self._c_dropped_edges = self.stats.registry.counter("edges.dropped")
         self.pending: Deque[Tuple[Node, Node]] = deque()
         #: Names of let/letrec bindings analysed polyvariantly
         #: (Section 7); empty/None for the monovariant analysis.
@@ -200,23 +275,67 @@ class LCEngine:
     def run(self) -> SubtransitiveGraph:
         """Build + close; returns the finished graph."""
         ensure_recursion_limit()
-        with Stopwatch() as watch:
+        registry = self.stats.registry
+        tracer = self.tracer
+        build_timer = registry.timer("phase.build")
+        if tracer is not None:
+            tracer.emit("phase", phase="build", action="start")
+        with build_timer:
             self.build()
-        self.stats.build_seconds = watch.elapsed
+        self.stats.build_seconds = build_timer.last_seconds
         self.stats.build_nodes = self.factory.node_count
         self.stats.build_edges = self.graph.edge_count
-        with Stopwatch() as watch:
+        if tracer is not None:
+            tracer.emit(
+                "phase",
+                phase="build",
+                action="end",
+                nodes=self.stats.build_nodes,
+                edges=self.stats.build_edges,
+            )
+        close_timer = registry.timer("phase.close")
+        if tracer is not None:
+            tracer.emit("phase", phase="close", action="start")
+        with close_timer:
             self.close()
-        self.stats.close_seconds = watch.elapsed
+        self.stats.close_seconds = close_timer.last_seconds
         self.stats.close_nodes = (
             self.factory.node_count - self.stats.build_nodes
         )
         self.stats.close_edges = (
             self.graph.edge_count - self.stats.build_edges
         )
+        self._export_gauges()
+        if tracer is not None:
+            tracer.emit(
+                "phase",
+                phase="close",
+                action="end",
+                nodes=self.stats.close_nodes,
+                edges=self.stats.close_edges,
+            )
         return SubtransitiveGraph(
-            self.program, self.factory, self.graph, self.stats
+            self.program,
+            self.factory,
+            self.graph,
+            self.stats,
+            frozenset(self.close_edge_set),
         )
+
+    def _export_gauges(self) -> None:
+        """Publish node/budget/graph levels into the registry (called
+        once per run — keeps gauge writes off the hot path)."""
+        registry = self.stats.registry
+        factory = self.factory
+        registry.gauge("nodes.created").set(factory.node_count)
+        if factory.node_budget is not None:
+            registry.gauge("nodes.budget").set(factory.node_budget)
+        registry.gauge("nodes.depth_truncations").set(
+            factory.depth_truncations
+        )
+        registry.gauge("nodes.demanded").set(self.stats.demanded_nodes)
+        registry.gauge("graph.nodes").set(self.graph.node_count)
+        registry.gauge("graph.edges").set(self.graph.edge_count)
 
     # -- build phase ---------------------------------------------------------
 
@@ -264,15 +383,23 @@ class LCEngine:
             self._edge(
                 mkvar(node.param, ctx), mkop(("dom",), lam_node)
             )
-            self.stats.rule_applications["ABS-1"] += 1
+            self._c_abs1.value += 1
             self._edge(mkop(("ran",), lam_node), make(node.body, ctx))
-            self.stats.rule_applications["ABS-2"] += 1
+            self._c_abs2.value += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "rule", rule="ABS", site=node.nid, phase="build"
+                )
         elif isinstance(node, App):
             fn_node = make(node.fn, ctx)
             self._edge(mkop(("dom",), fn_node), make(node.arg, ctx))
-            self.stats.rule_applications["APP-1"] += 1
+            self._c_app1.value += 1
             self._edge(make(node, ctx), mkop(("ran",), fn_node))
-            self.stats.rule_applications["APP-2"] += 1
+            self._c_app2.value += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "rule", rule="APP", site=node.nid, phase="build"
+                )
         elif isinstance(node, (Let, Letrec)):
             if node.name not in self._poly_bound:
                 self._edge(mkvar(node.name, ctx), make(node.bound, ctx))
@@ -353,21 +480,51 @@ class LCEngine:
             )
         self._build_expr(bound, inner_ctx)
 
-    def _edge(self, src: Optional[Node], dst: Optional[Node]) -> None:
-        # None endpoints come from depth-capped operator creation; no
-        # well-typed flow needs the suppressed node, so the edge is
-        # dropped (the stats record the truncation).
+    def _edge(
+        self,
+        src: Optional[Node],
+        dst: Optional[Node],
+        close: bool = False,
+    ) -> bool:
+        """Insert ``src -> dst``; returns True iff the edge was new.
+
+        ``close`` marks the edge as a closure-rule conclusion for
+        provenance (DOT styling, close-edge accounting). None
+        endpoints come from depth-capped operator creation; no
+        well-typed flow needs the suppressed node, so the edge is
+        dropped (``edges.dropped`` records the truncation).
+        """
         if src is None or dst is None or src is dst:
-            return
+            self._c_dropped_edges.value += 1
+            return False
         if self.graph.add_edge(src, dst):
             self.pending.append((src, dst))
+            if close:
+                self.close_edge_set.add((src, dst))
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "edge",
+                    src=src.describe(),
+                    dst=dst.describe(),
+                    phase="close" if close else "build",
+                )
+            return True
+        self._c_dup_edges.value += 1
+        return False
 
     # -- close phase ---------------------------------------------------------
 
     def close(self) -> None:
-        """Run the demand-driven closure rules to fixpoint."""
+        """Run the demand-driven closure rules to fixpoint.
+
+        A rule counter is bumped only when the conclusion edge is
+        actually added: firings whose conclusion already exists (or
+        whose operator node is depth-capped away) do not change the
+        graph and must not inflate the Table 1/2 accounting.
+        """
         pending = self.pending
-        rules = self.stats.rule_applications
+        cov = self._c_close_cov
+        contra = self._c_close_contra
         mkop = self.factory.op_node
         while pending:
             src, dst = pending.popleft()
@@ -375,14 +532,14 @@ class LCEngine:
             # fire for every demanded covariant operator over src.
             for opkey, opnode in list(src.ops.items()):
                 if opnode.demanded and op_is_covariant(opkey):
-                    rules["CLOSE-COV"] += 1
-                    self._edge(opnode, mkop(opkey, dst))
+                    if self._edge(opnode, mkop(opkey, dst), close=True):
+                        cov.value += 1
             # Premise-1 of the contravariant rule: fire for every
             # demanded contravariant operator over dst.
             for opkey, opnode in list(dst.ops.items()):
                 if opnode.demanded and op_is_contravariant(opkey):
-                    rules["CLOSE-CONTRA"] += 1
-                    self._edge(opnode, mkop(opkey, src))
+                    if self._edge(opnode, mkop(opkey, src), close=True):
+                        contra.value += 1
             # Premise-2: the edge's target just became demanded.
             if dst.kind == "op" and not dst.demanded:
                 self._demand(dst)
@@ -392,22 +549,29 @@ class LCEngine:
         over the premise edges that arrived earlier."""
         node.demanded = True
         self.stats.demanded_nodes += 1
+        if self.tracer is not None:
+            self.tracer.emit("demand", node=node.describe())
         for opkey, inner in node.members:
             self._sweep_member(node, opkey, inner)
 
     def _sweep_member(
         self, node: Node, opkey: OpKey, inner: Node
     ) -> None:
-        rules = self.stats.rule_applications
+        cov = self._c_close_cov
+        contra = self._c_close_contra
         mkop = self.factory.op_node
+        if self.tracer is not None:
+            self.tracer.emit(
+                "sweep", node=node.describe(), inner=inner.describe()
+            )
         if op_is_covariant(opkey):
             for dst in list(self.graph.successors(inner)):
-                rules["CLOSE-COV"] += 1
-                self._edge(node, mkop(opkey, dst))
+                if self._edge(node, mkop(opkey, dst), close=True):
+                    cov.value += 1
         if op_is_contravariant(opkey):
             for src in list(self.graph.predecessors(inner)):
-                rules["CLOSE-CONTRA"] += 1
-                self._edge(node, mkop(opkey, src))
+                if self._edge(node, mkop(opkey, src), close=True):
+                    contra.value += 1
 
     def register_member_sweep(
         self, node: Node, opkey: OpKey, inner: Node
@@ -472,6 +636,8 @@ def build_subtransitive_graph(
     inference: Optional[InferenceResult] = None,
     node_budget: Optional[int] = None,
     polyvariant_lets: Optional[frozenset] = None,
+    registry: Optional[MetricsRegistry] = None,
+    tracer=None,
 ) -> SubtransitiveGraph:
     """Run LC' on ``program`` and return the subtransitive graph.
 
@@ -510,5 +676,7 @@ def build_subtransitive_graph(
         max_depth=default_max_depth(program, inference)
         if inference is not None
         else None,
+        registry=registry,
+        tracer=tracer,
     )
     return engine.run()

@@ -166,11 +166,15 @@ class NodeFactory:
         inference: Optional[InferenceResult] = None,
         node_budget: Optional[int] = None,
         max_depth: Optional[int] = None,
+        tracer=None,
     ):
         self.program = program
         self.congruence = congruence
         self.inference = inference
         self.node_budget = node_budget
+        #: Optional :class:`repro.obs.trace.Tracer` for budget events;
+        #: ``None`` keeps node creation on the uninstrumented path.
+        self.tracer = tracer
         #: Operator towers deeper than this are never materialised.
         #: Section 4 bounds the nodes that need considering by the
         #: positions of the program's type trees; flows in a typed
@@ -196,6 +200,14 @@ class NodeFactory:
             self.node_budget is not None
             and len(self.nodes) >= self.node_budget
         ):
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "budget",
+                    resource="node",
+                    used=len(self.nodes),
+                    budget=self.node_budget,
+                    action="exhausted",
+                )
             raise AnalysisBudgetExceeded(
                 "node", len(self.nodes) + 1, self.node_budget
             )
@@ -293,6 +305,14 @@ class NodeFactory:
         new_depth = 1 if opkey[0] == "con" else inner.depth + 1
         if new_depth > self.max_depth:
             self.depth_truncations += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "budget",
+                    resource="depth",
+                    depth=new_depth,
+                    budget=self.max_depth,
+                    action="truncated",
+                )
             return None
         ty = self._op_type(opkey, inner)
         node: Optional[Node] = None

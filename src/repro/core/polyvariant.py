@@ -95,6 +95,8 @@ def analyze_polyvariant(
     binders: Optional[FrozenSet[str]] = None,
     instance_budget: int = 10_000,
     node_budget: Optional[int] = None,
+    registry=None,
+    tracer=None,
 ) -> SubtransitiveCFA:
     """Polyvariant subtransitive CFA.
 
@@ -112,6 +114,8 @@ def analyze_polyvariant(
         node_budget=node_budget,
         polyvariant_lets=binders,
         instance_budget=instance_budget,
+        registry=registry,
+        tracer=tracer,
     )
     return SubtransitiveCFA(engine.run())
 

@@ -51,6 +51,22 @@ class SubtransitiveCFA(CFAResult):
         self.sub = sub
         self.graph = sub.graph
         self.factory = sub.factory
+        # Query accounting shares the engine run's registry so one
+        # metrics document covers build, close and query phases.
+        registry = sub.stats.registry
+        self._c_queries = registry.counter("queries.count")
+        self._c_visited = registry.counter("queries.visited_nodes")
+
+    @property
+    def query_count(self) -> int:
+        """Reachability traversals answered so far."""
+        return self._c_queries.value
+
+    @property
+    def query_visited_nodes(self) -> int:
+        """Total nodes visited across all traversals (the demand-
+        driven cost actually paid, summed)."""
+        return self._c_visited.value
 
     # -- internals ---------------------------------------------------------
 
@@ -88,7 +104,10 @@ class SubtransitiveCFA(CFAResult):
                 yield node
 
     def _reachable(self, starts: Iterable[Node]) -> Set[Node]:
-        return reachable_from(self.graph, starts)
+        reached = reachable_from(self.graph, starts)
+        self._c_queries.inc()
+        self._c_visited.inc(len(reached))
+        return reached
 
     @staticmethod
     def _tokens_in(nodes: Iterable[Node]) -> Set[ValueToken]:
@@ -122,15 +141,19 @@ class SubtransitiveCFA(CFAResult):
         seen: Set[Node] = set()
         queue = deque(self._start_nodes(expr.nid))
         seen.update(queue)
-        while queue:
-            node = queue.popleft()
-            if node in target_nodes:
-                return True
-            for succ in self.graph.successors(node):
-                if succ not in seen:
-                    seen.add(succ)
-                    queue.append(succ)
-        return False
+        try:
+            while queue:
+                node = queue.popleft()
+                if node in target_nodes:
+                    return True
+                for succ in self.graph.successors(node):
+                    if succ not in seen:
+                        seen.add(succ)
+                        queue.append(succ)
+            return False
+        finally:
+            self._c_queries.inc()
+            self._c_visited.inc(len(seen))
 
     def expressions_with_label(self, label: str) -> List[Expr]:
         """The paper's third query, via *reverse* reachability from
@@ -140,6 +163,8 @@ class SubtransitiveCFA(CFAResult):
         backwards = reachable_from(
             self.graph, starts, follow=self.graph.predecessors
         )
+        self._c_queries.inc()
+        self._c_visited.inc(len(backwards))
         nids: Set[int] = set()
         for node in backwards:
             if node.kind == "expr" and node.expr is not None:
@@ -195,8 +220,14 @@ def analyze_subtransitive(
     inference=None,
     node_budget: Optional[int] = None,
     polyvariant_lets: Optional[frozenset] = None,
+    registry=None,
+    tracer=None,
 ) -> SubtransitiveCFA:
-    """Convenience: run LC' and wrap the result in the query layer."""
+    """Convenience: run LC' and wrap the result in the query layer.
+
+    ``registry``/``tracer`` (see :mod:`repro.obs`) instrument the run;
+    both default to off.
+    """
     from repro.core.lc import build_subtransitive_graph
 
     sub = build_subtransitive_graph(
@@ -205,5 +236,7 @@ def analyze_subtransitive(
         inference=inference,
         node_budget=node_budget,
         polyvariant_lets=polyvariant_lets,
+        registry=registry,
+        tracer=tracer,
     )
     return SubtransitiveCFA(sub)

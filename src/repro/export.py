@@ -38,7 +38,9 @@ def graph_to_dot(
     ``nodes`` restricts the rendering (e.g. to a reachable slice);
     by default the whole graph is emitted. Abstraction nodes are drawn
     as double circles, operator nodes as boxes, and everything else as
-    ellipses.
+    ellipses. Edge provenance is styled: build edges are solid, edges
+    first derived by a closure rule (``sub.close_edges``, recorded by
+    the instrumented engine) are dashed and grey.
     """
     selected: Optional[Set[Node]] = set(nodes) if nodes is not None else None
 
@@ -62,9 +64,16 @@ def graph_to_dot(
         else:
             shape = "ellipse"
         lines.append(f'  n{node.uid} [label="{label}", shape={shape}];')
+    close_edges = getattr(sub, "close_edges", frozenset())
     for src, dst in sub.graph.edges():
         if included(src) and included(dst):
-            lines.append(f"  n{src.uid} -> n{dst.uid};")
+            if (src, dst) in close_edges:
+                lines.append(
+                    f"  n{src.uid} -> n{dst.uid} "
+                    '[style=dashed, color=gray40];'
+                )
+            else:
+                lines.append(f"  n{src.uid} -> n{dst.uid};")
     lines.append("}")
     return "\n".join(lines)
 

@@ -1,0 +1,46 @@
+"""Observability for the LC' engine: metrics, tracing, stable export.
+
+The paper's empirical claims are numbers — build-vs-close node/edge
+counts (Tables 1-2), linear scaling, per-rule firing counts — and as
+this reproduction grows toward production scale, every performance PR
+must prove its win against the same numbers. This package is the
+single home for that accounting:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
+  gauges and monotonic-clock timers; one registry per engine run;
+* :mod:`repro.obs.trace` — :class:`Tracer`, a structured event
+  recorder (rule firings, demand sweeps, budget consumption) with a
+  bounded ring buffer and an optional JSONL sink; opt-in, ``None`` by
+  default so the hot path pays one pointer test;
+* :mod:`repro.obs.export` — the versioned JSON metrics document
+  (:data:`SCHEMA`), :func:`collect_metrics` to produce it from any
+  analysis result, and :func:`validate_metrics`, the structural
+  validator that freezes the contract.
+
+See ``docs/OBSERVABILITY.md`` for the schema reference and CLI usage
+(``repro analyze --metrics out.json --trace out.jsonl``).
+"""
+
+from repro.obs.export import (
+    SCHEMA,
+    collect_metrics,
+    metrics_to_json,
+    validate_metrics,
+)
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
+from repro.obs.trace import EVENT_KINDS, NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Counter",
+    "EVENT_KINDS",
+    "Gauge",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SCHEMA",
+    "Timer",
+    "Tracer",
+    "collect_metrics",
+    "metrics_to_json",
+    "validate_metrics",
+]

@@ -1,0 +1,326 @@
+"""The stable JSON metrics document and its validator.
+
+Everything the repo measures — build/close phase timings, per-rule
+counters, node/edge/budget accounting, query statistics — is exported
+as one JSON document with a versioned schema tag, so benchmark runs
+can be diffed across commits and a perf-regression baseline can be a
+plain file. The schema is frozen by :func:`validate_metrics` (a
+dependency-free structural validator) and round-trip tested; breaking
+changes must bump :data:`SCHEMA`.
+
+Top-level document shape (``null`` where the producing engine has no
+such phase, e.g. the hybrid driver's cubic fallback)::
+
+    {
+      "schema":  "repro.metrics/1",
+      "version": "<library version>",
+      "engine":  {"name": ..., "driver": ..., "fallback": bool},
+      "program": {"size": int, "abstractions": int, "applications": int},
+      "phases":  {"build"|"close"|"total":
+                    {"seconds": float, "nodes": int, "edges": int}} | null,
+      "rules":   {"ABS-1": int, ..., "CLOSE-CONTRA": int} | null,
+      "nodes":   {"created": int, "budget": int|null,
+                  "budget_used": float|null, "depth_truncations": int,
+                  "demanded": int} | null,
+      "graph":   {"nodes": int, "edges": int, "close_edges": int} | null,
+      "queries": {"count": int, "visited_nodes": int},
+      "registry": {"counters": {...}, "gauges": {...}, "timers": {...}},
+      "session": {...}          # optional; incremental sessions only
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+#: Schema tag carried by every metrics document.
+SCHEMA = "repro.metrics/1"
+
+#: Top-level keys every document must carry (``session`` is optional).
+_REQUIRED_KEYS = (
+    "schema",
+    "version",
+    "engine",
+    "program",
+    "phases",
+    "rules",
+    "nodes",
+    "graph",
+    "queries",
+    "registry",
+)
+
+_PHASE_NAMES = ("build", "close", "total")
+
+
+def _version() -> str:
+    import repro
+
+    return repro.__version__
+
+
+def _program_section(program) -> Dict[str, int]:
+    return {
+        "size": program.size,
+        "abstractions": len(program.abstractions),
+        "applications": len(program.applications),
+    }
+
+
+def _subtransitive_sections(sub, queries: Dict[str, int]):
+    """The engine-specific sections for a finished LC' run."""
+    stats = sub.stats
+    factory = sub.factory
+    graph = sub.graph
+    budget = factory.node_budget
+    phases = {
+        "build": {
+            "seconds": stats.build_seconds,
+            "nodes": stats.build_nodes,
+            "edges": stats.build_edges,
+        },
+        "close": {
+            "seconds": stats.close_seconds,
+            "nodes": stats.close_nodes,
+            "edges": stats.close_edges,
+        },
+        "total": {
+            "seconds": stats.total_seconds,
+            "nodes": stats.total_nodes,
+            "edges": stats.total_edges,
+        },
+    }
+    nodes = {
+        "created": factory.node_count,
+        "budget": budget,
+        "budget_used": (
+            factory.node_count / budget if budget else None
+        ),
+        "depth_truncations": factory.depth_truncations,
+        "demanded": stats.demanded_nodes,
+    }
+    graph_section = {
+        "nodes": graph.node_count,
+        "edges": graph.edge_count,
+        "close_edges": len(getattr(sub, "close_edges", ())),
+    }
+    return {
+        "phases": phases,
+        "rules": dict(stats.rule_applications),
+        "nodes": nodes,
+        "graph": graph_section,
+        "queries": queries,
+        "registry": stats.registry.snapshot(),
+    }
+
+
+def collect_metrics(result) -> Dict[str, object]:
+    """Build the metrics document for an analysis result.
+
+    Accepts a :class:`~repro.core.queries.SubtransitiveCFA`, a bare
+    :class:`~repro.core.lc.SubtransitiveGraph`, or a
+    :class:`~repro.core.hybrid.HybridResult` (either branch). Other
+    :class:`~repro.cfa.base.CFAResult` implementations produce a
+    document with ``null`` engine sections (they have no LC'
+    instrumentation to report).
+    """
+    from repro.core.hybrid import HybridResult
+    from repro.core.lc import SubtransitiveGraph
+    from repro.core.queries import SubtransitiveCFA
+
+    driver = "lc"
+    fallback = False
+    if isinstance(result, HybridResult):
+        driver = "hybrid"
+        fallback = result.engine != "subtransitive"
+        result = result.result
+
+    queries = {"count": 0, "visited_nodes": 0}
+    sub = None
+    if isinstance(result, SubtransitiveCFA):
+        sub = result.sub
+        queries = {
+            "count": result.query_count,
+            "visited_nodes": result.query_visited_nodes,
+        }
+    elif isinstance(result, SubtransitiveGraph):
+        sub = result
+
+    document: Dict[str, object] = {
+        "schema": SCHEMA,
+        "version": _version(),
+        "program": _program_section(result.program),
+    }
+    if sub is not None:
+        document["engine"] = {
+            "name": "subtransitive",
+            "driver": driver,
+            "fallback": fallback,
+        }
+        document.update(_subtransitive_sections(sub, queries))
+    else:
+        document["engine"] = {
+            "name": type(result).__name__.replace("CFAResult", "").lower()
+            or "unknown",
+            "driver": driver,
+            "fallback": fallback,
+        }
+        document.update(
+            {
+                "phases": None,
+                "rules": None,
+                "nodes": None,
+                "graph": None,
+                "queries": queries,
+                "registry": {"counters": {}, "gauges": {}, "timers": {}},
+            }
+        )
+    return document
+
+
+def metrics_to_json(document: Dict[str, object], indent: Optional[int] = 2) -> str:
+    """Serialise a metrics document (stable key order)."""
+    return json.dumps(document, indent=indent, sort_keys=True)
+
+
+# -- validation ---------------------------------------------------------------
+
+
+def _fail(path: str, message: str) -> None:
+    raise ValueError(f"invalid metrics document at {path}: {message}")
+
+
+def _expect(condition: bool, path: str, message: str) -> None:
+    if not condition:
+        _fail(path, message)
+
+
+def _check_int(value, path: str) -> None:
+    _expect(
+        isinstance(value, int) and not isinstance(value, bool),
+        path,
+        f"expected integer, got {type(value).__name__}",
+    )
+
+
+def _check_number(value, path: str) -> None:
+    _expect(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        path,
+        f"expected number, got {type(value).__name__}",
+    )
+
+
+def validate_metrics(document) -> Dict[str, object]:
+    """Structurally validate a metrics document against the v1 schema.
+
+    Returns the document unchanged on success; raises
+    :class:`ValueError` naming the offending path otherwise. This is
+    the contract future perf PRs diff their baselines against — keep
+    it strict.
+    """
+    _expect(isinstance(document, dict), "$", "expected an object")
+    for key in _REQUIRED_KEYS:
+        _expect(key in document, "$", f"missing required key {key!r}")
+    _expect(
+        document["schema"] == SCHEMA,
+        "$.schema",
+        f"expected {SCHEMA!r}, got {document['schema']!r}",
+    )
+    _expect(
+        isinstance(document["version"], str), "$.version", "expected string"
+    )
+
+    engine = document["engine"]
+    _expect(isinstance(engine, dict), "$.engine", "expected object")
+    for key in ("name", "driver", "fallback"):
+        _expect(key in engine, "$.engine", f"missing key {key!r}")
+    _expect(
+        isinstance(engine["fallback"], bool),
+        "$.engine.fallback",
+        "expected bool",
+    )
+
+    program = document["program"]
+    _expect(isinstance(program, dict), "$.program", "expected object")
+    for key in ("size", "abstractions", "applications"):
+        _expect(key in program, "$.program", f"missing key {key!r}")
+        _check_int(program[key], f"$.program.{key}")
+
+    phases = document["phases"]
+    if phases is not None:
+        _expect(isinstance(phases, dict), "$.phases", "expected object/null")
+        for phase in _PHASE_NAMES:
+            _expect(phase in phases, "$.phases", f"missing phase {phase!r}")
+            entry = phases[phase]
+            _expect(
+                isinstance(entry, dict),
+                f"$.phases.{phase}",
+                "expected object",
+            )
+            _check_number(
+                entry.get("seconds"), f"$.phases.{phase}.seconds"
+            )
+            _check_int(entry.get("nodes"), f"$.phases.{phase}.nodes")
+            _check_int(entry.get("edges"), f"$.phases.{phase}.edges")
+
+    rules = document["rules"]
+    if rules is not None:
+        _expect(isinstance(rules, dict), "$.rules", "expected object/null")
+        for name, count in rules.items():
+            _check_int(count, f"$.rules.{name}")
+
+    nodes = document["nodes"]
+    if nodes is not None:
+        _expect(isinstance(nodes, dict), "$.nodes", "expected object/null")
+        for key in ("created", "depth_truncations", "demanded"):
+            _check_int(nodes.get(key), f"$.nodes.{key}")
+        if nodes.get("budget") is not None:
+            _check_int(nodes["budget"], "$.nodes.budget")
+        if nodes.get("budget_used") is not None:
+            _check_number(nodes["budget_used"], "$.nodes.budget_used")
+
+    graph = document["graph"]
+    if graph is not None:
+        _expect(isinstance(graph, dict), "$.graph", "expected object/null")
+        for key in ("nodes", "edges", "close_edges"):
+            _check_int(graph.get(key), f"$.graph.{key}")
+
+    queries = document["queries"]
+    _expect(isinstance(queries, dict), "$.queries", "expected object")
+    for key in ("count", "visited_nodes"):
+        _check_int(queries.get(key), f"$.queries.{key}")
+
+    registry = document["registry"]
+    _expect(isinstance(registry, dict), "$.registry", "expected object")
+    for key in ("counters", "gauges", "timers"):
+        _expect(
+            isinstance(registry.get(key), dict),
+            f"$.registry.{key}",
+            "expected object",
+        )
+    for name, count in registry["counters"].items():
+        _check_int(count, f"$.registry.counters.{name}")
+    for name, timer in registry["timers"].items():
+        _expect(
+            isinstance(timer, dict),
+            f"$.registry.timers.{name}",
+            "expected object",
+        )
+        for key in ("count", "total_seconds", "last_seconds"):
+            _check_number(
+                timer.get(key), f"$.registry.timers.{name}.{key}"
+            )
+
+    session = document.get("session")
+    if session is not None:
+        _expect(isinstance(session, dict), "$.session", "expected object")
+        _check_int(session.get("defines"), "$.session.defines")
+        _check_int(session.get("queries"), "$.session.queries")
+        _expect(
+            isinstance(session.get("history"), list),
+            "$.session.history",
+            "expected array",
+        )
+    return document

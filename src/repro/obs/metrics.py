@@ -1,0 +1,184 @@
+"""Metric primitives: counters, gauges and monotonic timers.
+
+The paper's empirical story (Tables 1-2, the linear-scaling plots and
+the "close adds no more nodes than build" observation) is told in
+numbers, and every future performance PR will be judged against the
+same numbers. :class:`MetricsRegistry` is the one place they live:
+
+* :class:`Counter` — a monotonically increasing event count (rule
+  firings, dropped duplicate edges, queries answered);
+* :class:`Gauge` — a point-in-time level (node budget, nodes created);
+* :class:`Timer` — accumulated wall-clock sections measured with the
+  monotonic ``time.perf_counter`` clock (build phase, close phase,
+  query time).
+
+Design constraints, in order:
+
+1. **Hot-path cheapness.** The LC' engine increments counters once per
+   rule firing; an increment is one bound-method call on a
+   ``__slots__`` object (no locks, no dict lookups after the counter
+   object is bound). The engine binds counter objects once at
+   construction time, so instrumented runs stay within noise of the
+   uninstrumented seed.
+2. **Stable export.** :meth:`MetricsRegistry.snapshot` produces plain
+   nested dicts of JSON-safe scalars; :mod:`repro.obs.export` freezes
+   the document schema around it.
+
+Registries are deliberately not global: each :class:`~repro.core.lc.
+LCEngine` owns one (via its :class:`~repro.core.lc.LCStatistics`), so
+concurrent analyses never share counters.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, Tuple
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A point-in-time numeric level (may go up or down)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def add(self, delta) -> None:
+        self.value += delta
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Timer:
+    """Accumulated wall-clock time over named code sections.
+
+    Uses :func:`time.perf_counter` (monotonic, highest available
+    resolution). Usable as a context manager and re-enterable::
+
+        timer = registry.timer("phase.build")
+        with timer:
+            engine.build()
+        timer.last_seconds    # this section
+        timer.total_seconds   # all sections so far
+    """
+
+    __slots__ = ("name", "count", "total_seconds", "last_seconds", "_start")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total_seconds = 0.0
+        self.last_seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.observe(time.perf_counter() - self._start)
+
+    def observe(self, seconds: float) -> None:
+        """Record an externally measured section."""
+        self.count += 1
+        self.last_seconds = seconds
+        self.total_seconds += seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Timer {self.name} total={self.total_seconds:.6f}s "
+            f"count={self.count}>"
+        )
+
+
+class MetricsRegistry:
+    """A namespace of named counters, gauges and timers.
+
+    ``counter``/``gauge``/``timer`` are get-or-create: asking twice
+    for the same name returns the same object, so independent layers
+    (engine, query layer, session) can share one registry without
+    coordinating creation order. Names are dotted paths by convention
+    (``rules.CLOSE-COV``, ``phase.build``, ``queries.count``).
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._timers: Dict[str, Timer] = {}
+
+    # -- get-or-create -----------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def timer(self, name: str) -> Timer:
+        metric = self._timers.get(name)
+        if metric is None:
+            metric = self._timers[name] = Timer(name)
+        return metric
+
+    # -- inspection --------------------------------------------------------
+
+    def counters(self) -> Iterator[Tuple[str, int]]:
+        for name, metric in self._counters.items():
+            yield name, metric.value
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All metrics as plain JSON-safe nested dicts (sorted keys)."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value
+                for name in sorted(self._gauges)
+            },
+            "timers": {
+                name: {
+                    "count": timer.count,
+                    "total_seconds": timer.total_seconds,
+                    "last_seconds": timer.last_seconds,
+                }
+                for name, timer in sorted(self._timers.items())
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MetricsRegistry counters={len(self._counters)} "
+            f"gauges={len(self._gauges)} timers={len(self._timers)}>"
+        )

@@ -1,0 +1,158 @@
+"""Structured tracing of LC' engine events.
+
+Where :mod:`repro.obs.metrics` answers "how many", the tracer answers
+"in what order": it records individual rule firings (``ABS-1/2``,
+``APP-1/2``, ``CLOSE-COV``, ``CLOSE-CONTRA``), demand sweeps, phase
+transitions and budget consumption as structured events. This is the
+per-rule/per-phase accounting that CFA-at-scale work (Silverman et
+al.; Vardoulakis & Shivers' CFA2) leans on to diagnose closure
+blowups.
+
+Two storage modes, combinable:
+
+* a **bounded ring buffer** (default, ``capacity`` events) so a
+  crashed or budget-tripped analysis can be post-mortemed without the
+  trace itself becoming the memory blowup;
+* a **JSONL sink** — any ``write()``-able object or a filesystem path
+  — for offline analysis of complete traces.
+
+Tracing is strictly opt-in: the engine holds ``tracer=None`` by
+default and guards every emission with a single ``is not None`` test,
+so the no-op mode costs one pointer comparison per instrumented site.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+#: Event kinds emitted by the instrumented engine. Stable names —
+#: downstream tooling may dispatch on them.
+EVENT_KINDS = (
+    "phase",    # build/close phase entered or left
+    "rule",     # one application of a named LC' rule
+    "edge",     # an edge actually inserted into the graph
+    "demand",   # a node's first incoming edge made it demanded
+    "sweep",    # a demand sweep over pre-demand premise edges
+    "budget",   # budget consumption / truncation / exhaustion
+    "query",    # a reachability query answered
+    "session",  # incremental session define/query boundaries
+)
+
+
+class Tracer:
+    """Records structured engine events.
+
+    ``capacity`` bounds the in-memory ring buffer (``None`` keeps
+    every event — use only for small programs). ``sink`` is an
+    optional JSONL destination: a path string or any object with
+    ``write(str)``. Events are plain dicts with at least ``seq`` (a
+    monotonically increasing index) and ``kind`` (one of
+    :data:`EVENT_KINDS`).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: Optional[int] = 4096,
+        sink=None,
+    ):
+        self._seq = 0
+        self.capacity = capacity
+        self.buffer: Deque[Dict[str, object]] = deque(maxlen=capacity)
+        self.dropped = 0
+        self._owns_sink = False
+        if isinstance(sink, str):
+            sink = open(sink, "w", encoding="utf-8")
+            self._owns_sink = True
+        self._sink = sink
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(self, kind: str, **fields) -> None:
+        """Record one event. ``fields`` must be JSON-safe scalars."""
+        event: Dict[str, object] = {"seq": self._seq, "kind": kind}
+        event.update(fields)
+        self._seq += 1
+        if (
+            self.capacity is not None
+            and len(self.buffer) == self.capacity
+        ):
+            self.dropped += 1
+        self.buffer.append(event)
+        if self._sink is not None:
+            self._sink.write(json.dumps(event, sort_keys=True) + "\n")
+
+    def rule(self, name: str, src: str, dst: str, phase: str) -> None:
+        """Convenience: one rule firing that inserted ``src -> dst``."""
+        self.emit("rule", rule=name, src=src, dst=dst, phase=phase)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def event_count(self) -> int:
+        """Total events emitted (including any rotated out of the
+        ring buffer)."""
+        return self._seq
+
+    def events(self, kind: Optional[str] = None) -> List[Dict[str, object]]:
+        """Buffered events, optionally filtered by kind."""
+        if kind is None:
+            return list(self.buffer)
+        return [e for e in self.buffer if e["kind"] == kind]
+
+    def close(self) -> None:
+        """Flush and close an owned sink (no-op otherwise)."""
+        if self._sink is not None:
+            try:
+                self._sink.flush()
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+            if self._owns_sink:
+                self._sink.close()
+            self._sink = None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Tracer events={self._seq} buffered={len(self.buffer)}"
+            f" dropped={self.dropped}>"
+        )
+
+
+class NullTracer:
+    """A tracer that records nothing (explicit no-op object for call
+    sites that want an always-callable tracer instead of ``None``)."""
+
+    enabled = False
+    dropped = 0
+    event_count = 0
+
+    def emit(self, kind: str, **fields) -> None:
+        pass
+
+    def rule(self, name: str, src: str, dst: str, phase: str) -> None:
+        pass
+
+    def events(self, kind: Optional[str] = None) -> List[Dict[str, object]]:
+        return []
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullTracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+#: Shared no-op tracer instance.
+NULL_TRACER = NullTracer()

@@ -54,6 +54,10 @@ from repro.lang.rename import alpha_rename
 from repro.core.lc import LCEngine
 from repro.core.nodes import Node
 
+#: Sentinel distinguishing "name was never bound" from "bound to
+#: None" when restoring the evaluation environment.
+_UNSET = object()
+
 
 class _SessionProgram:
     """The Program-shaped container an :class:`AnalysisSession` grows.
@@ -116,33 +120,38 @@ class _SessionProgram:
 
     # -- growth ------------------------------------------------------------
 
-    def _fresh_label(self) -> str:
+    def _fresh_label(self, avoid=()) -> str:
         while True:
             label = f"l{self._label_counter}"
             self._label_counter += 1
-            if label not in self.label_table:
+            if label not in self.label_table and label not in avoid:
                 return label
 
     def index(self, expr: Expr) -> None:
         """Assign nids/labels to a new definition's subtree and
-        validate its constructors."""
-        for node in expr.walk():
-            node.nid = len(self.nodes)
-            self.nodes.append(node)
+        validate its constructors.
+
+        Indexing is **atomic**: the whole subtree is validated first
+        (labels, constructor arities) and only then committed to the
+        node/label/binder tables. A :class:`ScopeError` or
+        :class:`UnknownConstructorError` therefore leaves the session
+        program exactly as it was — a failed ``define``/``query`` can
+        simply be retried.
+        """
+        new_nodes = list(expr.walk())
+        # Pass 1 — validate; raises before any table is touched.
+        explicit_labels = set()
+        for node in new_nodes:
             if isinstance(node, Lam):
-                if node.label is None:
-                    node.label = self._fresh_label()
-                if node.label in self.label_table:
-                    raise ScopeError(
-                        f"duplicate label {node.label!r}"
-                    )
-                self.label_table[node.label] = node
-                self.binders.setdefault(node.param, node)
-                self.abstractions.append(node)
-            elif isinstance(node, App):
-                self.applications.append(node)
-            elif isinstance(node, (Let, Letrec)):
-                self.binders.setdefault(node.name, node)
+                if node.label is not None:
+                    if (
+                        node.label in self.label_table
+                        or node.label in explicit_labels
+                    ):
+                        raise ScopeError(
+                            f"duplicate label {node.label!r}"
+                        )
+                    explicit_labels.add(node.label)
             elif isinstance(node, Con):
                 want = len(self.constructor_signature(node.cname))
                 if len(node.args) != want:
@@ -161,6 +170,23 @@ class _SessionProgram:
                             "argument(s), pattern binds "
                             f"{len(branch.params)}"
                         )
+        # Pass 2 — commit; nothing below can raise. Fresh labels must
+        # dodge the subtree's still-uncommitted explicit labels.
+        for node in new_nodes:
+            node.nid = len(self.nodes)
+            self.nodes.append(node)
+            if isinstance(node, Lam):
+                if node.label is None:
+                    node.label = self._fresh_label(avoid=explicit_labels)
+                self.label_table[node.label] = node
+                self.binders.setdefault(node.param, node)
+                self.abstractions.append(node)
+            elif isinstance(node, App):
+                self.applications.append(node)
+            elif isinstance(node, (Let, Letrec)):
+                self.binders.setdefault(node.name, node)
+            elif isinstance(node, Case):
+                for branch in node.branches:
                     for param in branch.params:
                         self.binders.setdefault(param, node)
 
@@ -175,6 +201,8 @@ class AnalysisSession:
         node_budget: int = 1_000_000,
         max_depth: int = 24,
         fuel: int = 1_000_000,
+        registry=None,
+        tracer=None,
     ):
         ensure_recursion_limit()
         self.program = _SessionProgram(datatypes)
@@ -182,6 +210,8 @@ class AnalysisSession:
             self.program,  # type: ignore[arg-type]
             node_budget=node_budget,
             max_depth=max_depth,
+            registry=registry,
+            tracer=tracer,
         )
         self.fuel = fuel
         #: Definition order: (name, renamed expression).
@@ -190,6 +220,32 @@ class AnalysisSession:
         self._used_names: Set[str] = set()
         self._env: Dict[str, object] = {}
         self.output: List[str] = []
+        #: Per-define/query graph-growth deltas, in operation order
+        #: (see :meth:`metrics`).
+        self.history: List[Dict[str, object]] = []
+
+    def _record_delta(
+        self, op: str, name: Optional[str], fn
+    ):
+        """Run ``fn`` under the session timer and append its graph
+        delta (nodes/edges added, seconds) to :attr:`history`."""
+        engine = self.engine
+        nodes_before = engine.factory.node_count
+        edges_before = engine.graph.edge_count
+        timer = engine.stats.registry.timer(f"session.{op}")
+        with timer:
+            result = fn()
+        entry: Dict[str, object] = {
+            "op": op,
+            "name": name,
+            "nodes_added": engine.factory.node_count - nodes_before,
+            "edges_added": engine.graph.edge_count - edges_before,
+            "seconds": timer.last_seconds,
+        }
+        self.history.append(entry)
+        if engine.tracer is not None:
+            engine.tracer.emit("session", **entry)
+        return result
 
     # -- defining ------------------------------------------------------------
 
@@ -203,27 +259,40 @@ class AnalysisSession:
         free.setdefault(name, name)
         self._used_names.add(name)
         renamed = alpha_rename(expr, free=free, used=self._used_names)
-        self.program.index(renamed)
-        self.program.binders.setdefault(name, renamed)
-        # Build edges for the new subtree, then the binding edge, then
-        # re-close: the worklist continues from the previous fixpoint.
-        self.engine._build_expr(renamed, ())
-        self.engine._edge(
-            self.engine.factory.var_node(name),
-            self.engine.factory.expr_node(renamed),
-        )
-        self.engine.close()
+
+        def extend() -> None:
+            # index() is atomic: a ScopeError here leaves the session
+            # untouched and this define can be retried.
+            self.program.index(renamed)
+            self.program.binders.setdefault(name, renamed)
+            # Build edges for the new subtree, then the binding edge,
+            # then re-close: the worklist continues from the previous
+            # fixpoint.
+            self.engine._build_expr(renamed, ())
+            self.engine._edge(
+                self.engine.factory.var_node(name),
+                self.engine.factory.expr_node(renamed),
+            )
+            self.engine.close()
+
+        self._record_delta("define", name, extend)
         self.definitions.append((name, renamed))
         self._globals[name] = name
         # Evaluate eagerly so `evaluate` sees every definition; errors
-        # (divergence etc.) are deferred to evaluate() callers.
+        # (divergence etc.) are deferred to evaluate() callers. A
+        # failed *re*definition must not erase the previous working
+        # binding — restore it instead of popping.
+        previous = self._env.get(name, _UNSET)
         try:
             evaluator = _Evaluator(self.fuel)
             value = evaluator.eval(renamed, self._env)
             self.output.extend(evaluator.output)
             self._env[name] = value
         except Exception:
-            self._env.pop(name, None)
+            if previous is _UNSET:
+                self._env.pop(name, None)
+            else:
+                self._env[name] = previous
         return renamed
 
     # -- querying ------------------------------------------------------------
@@ -253,9 +322,13 @@ class AnalysisSession:
         renamed = alpha_rename(
             expr, free=dict(self._globals), used=self._used_names
         )
-        self.program.index(renamed)
-        self.engine._build_expr(renamed, ())
-        self.engine.close()
+
+        def extend() -> None:
+            self.program.index(renamed)
+            self.engine._build_expr(renamed, ())
+            self.engine.close()
+
+        self._record_delta("query", None, extend)
         return self._labels_from(
             [self.engine.factory.expr_node(renamed)]
         )
@@ -274,11 +347,15 @@ class AnalysisSession:
         renamed = alpha_rename(
             expr, free=dict(self._globals), used=self._used_names
         )
-        self.program.index(renamed)
-        # Keep analysis and execution in lockstep: what runs was
-        # analysed.
-        self.engine._build_expr(renamed, ())
-        self.engine.close()
+
+        def extend() -> None:
+            self.program.index(renamed)
+            # Keep analysis and execution in lockstep: what runs was
+            # analysed.
+            self.engine._build_expr(renamed, ())
+            self.engine.close()
+
+        self._record_delta("evaluate", None, extend)
         evaluator = _Evaluator(self.fuel)
         value = evaluator.eval(renamed, self._env)
         return EvalResult(
@@ -294,6 +371,37 @@ class AnalysisSession:
     @property
     def graph_edges(self) -> int:
         return self.engine.graph.edge_count
+
+    def metrics(self) -> Dict[str, object]:
+        """The session's metrics document (``repro.metrics/1`` schema
+        with the optional ``session`` section).
+
+        Engine phase timings are zero here — incremental sessions
+        interleave build and close per definition; the per-operation
+        picture lives in ``session.history`` and the
+        ``session.define`` / ``session.query`` registry timers.
+        """
+        from repro.core.lc import SubtransitiveGraph
+        from repro.obs.export import collect_metrics
+
+        engine = self.engine
+        engine._export_gauges()
+        sub = SubtransitiveGraph(
+            self.program,  # type: ignore[arg-type]
+            engine.factory,
+            engine.graph,
+            engine.stats,
+            frozenset(engine.close_edge_set),
+        )
+        document = collect_metrics(sub)
+        document["session"] = {
+            "defines": len(self.definitions),
+            "queries": sum(
+                1 for entry in self.history if entry["op"] == "query"
+            ),
+            "history": [dict(entry) for entry in self.history],
+        }
+        return document
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

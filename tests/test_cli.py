@@ -130,3 +130,55 @@ class TestEvalAndDot:
         target = tmp_path / "g.dot"
         assert main(["dot", demo_file, "-o", str(target)]) == 0
         assert target.read_text().startswith("digraph")
+
+
+class TestObservabilityFlags:
+    def test_metrics_written_and_valid(self, demo_file, tmp_path, capsys):
+        from repro.obs import validate_metrics
+
+        target = tmp_path / "metrics.json"
+        assert main(["analyze", demo_file, "--metrics", str(target)]) == 0
+        document = json.loads(target.read_text())
+        validate_metrics(document)
+        assert document["engine"]["name"] == "subtransitive"
+        # The document reflects this invocation's table queries.
+        assert document["queries"]["count"] >= 1
+        assert f"wrote metrics to {target}" in capsys.readouterr().err
+
+    def test_trace_written_as_jsonl(self, demo_file, tmp_path, capsys):
+        target = tmp_path / "trace.jsonl"
+        assert main(["analyze", demo_file, "--trace", str(target)]) == 0
+        lines = target.read_text().splitlines()
+        assert lines
+        events = [json.loads(line) for line in lines]
+        assert events[0] == {
+            "seq": 0,
+            "kind": "phase",
+            "phase": "build",
+            "action": "start",
+        }
+        assert any(event["kind"] == "rule" for event in events)
+        err = capsys.readouterr().err
+        assert f"wrote trace to {target} ({len(events)} events)" in err
+
+    def test_metrics_with_hybrid(self, demo_file, tmp_path):
+        from repro.obs import validate_metrics
+
+        target = tmp_path / "metrics.json"
+        assert main(
+            ["analyze", demo_file, "--algorithm", "hybrid",
+             "--metrics", str(target)]
+        ) == 0
+        document = validate_metrics(json.loads(target.read_text()))
+        assert document["engine"]["driver"] == "hybrid"
+
+    def test_metrics_rejected_for_uninstrumented_algorithm(
+        self, demo_file, tmp_path, capsys
+    ):
+        target = tmp_path / "metrics.json"
+        assert main(
+            ["analyze", demo_file, "--algorithm", "standard",
+             "--metrics", str(target)]
+        ) == 1
+        assert "--metrics/--trace require" in capsys.readouterr().err
+        assert not target.exists()

@@ -47,6 +47,22 @@ class TestDot:
         dot = graph_to_dot(cfa.sub, title='with "quotes"')
         assert '\\"quotes\\"' in dot
 
+    def test_close_edges_dashed_build_edges_solid(self, analysed):
+        # Regression: the docstring always promised build/close edge
+        # provenance in the rendering, but every edge used to be drawn
+        # identically. Close-derived edges are dashed now.
+        _, cfa = analysed
+        sub = cfa.sub
+        assert len(sub.close_edges) > 0
+        dot = graph_to_dot(sub)
+        assert dot.count("style=dashed") == len(sub.close_edges)
+        solid = cfa.graph.edge_count - len(sub.close_edges)
+        assert dot.count("->") - dot.count("style=dashed") == solid
+        for src, dst in sub.close_edges:
+            assert (
+                f"n{src.uid} -> n{dst.uid} [style=dashed" in dot
+            )
+
 
 class TestJson:
     def test_document_structure(self, analysed):

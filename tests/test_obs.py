@@ -1,0 +1,300 @@
+"""The observability subsystem: metric primitives, tracing, the
+``repro.metrics/1`` export schema, and the engine-accounting
+invariants they surface.
+
+The load-bearing regression here is the closure-rule accounting: the
+``CLOSE-COV``/``CLOSE-CONTRA`` counters must count *edges actually
+added*, so that in any batch run their sum equals
+``stats.close_edges`` exactly. The pre-fix engine incremented them per
+attempted insertion (duplicates and capped targets included), which
+made per-rule breakdowns useless for Table 1-style accounting.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.core.hybrid import analyze_hybrid
+from repro.core.queries import analyze_subtransitive
+from repro.errors import AnalysisBudgetExceeded
+from repro.lang import parse
+from repro.obs import (
+    EVENT_KINDS,
+    MetricsRegistry,
+    NULL_TRACER,
+    SCHEMA,
+    Tracer,
+    collect_metrics,
+    metrics_to_json,
+    validate_metrics,
+)
+from repro.session import AnalysisSession
+from repro.workloads.cubic import make_cubic_program
+from repro.workloads.generators import random_typed_program
+
+SAMPLES = [
+    "let id = fn[id] x => x in id (fn[g] y => y)",
+    "(fn[f] x => x x) (fn[g] y => y)",
+    "let twice = fn[twice] f => fn[inner] x => f (f x) in "
+    "twice (fn[inc] y => y + 1) 3",
+]
+
+
+# ---------------------------------------------------------------------------
+# metric primitives
+
+
+class TestPrimitives:
+    def test_counter(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("rules.TEST")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+        # get-or-create: same object on re-request.
+        assert registry.counter("rules.TEST") is counter
+
+    def test_gauge(self):
+        gauge = MetricsRegistry().gauge("level")
+        gauge.set(10)
+        gauge.add(-3)
+        assert gauge.value == 7
+
+    def test_timer(self):
+        timer = MetricsRegistry().timer("phase.test")
+        with timer:
+            pass
+        timer.observe(0.5)
+        assert timer.count == 2
+        assert timer.last_seconds == 0.5
+        assert timer.total_seconds >= 0.5
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.timer("t").observe(0.25)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"a": 2, "b": 1}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["timers"]["t"]["count"] == 1
+        # snapshot must be JSON-safe as-is.
+        json.dumps(snap)
+
+
+class TestTracer:
+    def test_ring_buffer_bounds_memory(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            tracer.emit("rule", rule="ABS-1", n=i)
+        assert tracer.event_count == 10
+        assert tracer.dropped == 6
+        buffered = tracer.events()
+        assert len(buffered) == 4
+        assert [e["n"] for e in buffered] == [6, 7, 8, 9]
+        assert [e["seq"] for e in buffered] == [6, 7, 8, 9]
+
+    def test_kind_filter(self):
+        tracer = Tracer()
+        tracer.emit("phase", phase="build", action="start")
+        tracer.emit("rule", rule="APP-1")
+        assert len(tracer.events("rule")) == 1
+        assert tracer.events("rule")[0]["rule"] == "APP-1"
+
+    def test_jsonl_sink_path(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(sink=str(path)) as tracer:
+            tracer.emit("phase", phase="build", action="start")
+            tracer.rule("CLOSE-COV", "a", "b", "close")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["kind"] == "phase"
+        assert second == {
+            "seq": 1,
+            "kind": "rule",
+            "rule": "CLOSE-COV",
+            "src": "a",
+            "dst": "b",
+            "phase": "close",
+        }
+
+    def test_null_tracer_is_inert(self):
+        NULL_TRACER.emit("rule", rule="ABS-1")
+        assert NULL_TRACER.events() == []
+        assert NULL_TRACER.event_count == 0
+
+
+# ---------------------------------------------------------------------------
+# engine integration
+
+
+class TestEngineTracing:
+    def test_engine_emits_known_kinds_in_order(self):
+        tracer = Tracer()
+        cfa = repro.analyze(parse(SAMPLES[0]), tracer=tracer)
+        for site in cfa.program.applications:
+            cfa.may_call(site)
+        kinds = {e["kind"] for e in tracer.events()}
+        assert kinds <= set(EVENT_KINDS)
+        assert {"phase", "rule", "edge"} <= kinds
+        phases = [
+            (e["phase"], e["action"]) for e in tracer.events("phase")
+        ]
+        assert phases == [
+            ("build", "start"),
+            ("build", "end"),
+            ("close", "start"),
+            ("close", "end"),
+        ]
+
+    def test_untraced_run_by_default(self):
+        from repro.core.lc import LCEngine
+
+        engine = LCEngine(parse(SAMPLES[0]))
+        assert engine.tracer is None
+        engine.run()  # must not emit (or fail) without a tracer
+
+
+class TestCloseRuleAccounting:
+    """CLOSE-COV + CLOSE-CONTRA == close_edges, exactly."""
+
+    @pytest.mark.parametrize("source", SAMPLES)
+    def test_on_samples(self, source):
+        sub = repro.build_subtransitive_graph(parse(source))
+        rules = sub.stats.rule_applications
+        assert (
+            rules["CLOSE-COV"] + rules["CLOSE-CONTRA"]
+            == sub.stats.close_edges
+        )
+
+    def test_on_cubic_family(self):
+        sub = repro.build_subtransitive_graph(make_cubic_program(24))
+        rules = sub.stats.rule_applications
+        assert (
+            rules["CLOSE-COV"] + rules["CLOSE-CONTRA"]
+            == sub.stats.close_edges
+        )
+        assert sub.stats.close_edges == len(sub.close_edges)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1_000_000))
+    def test_property_counters_vs_edge_counts(self, seed):
+        prog = random_typed_program(seed, fuel=20)
+        try:
+            sub = repro.build_subtransitive_graph(prog)
+        except AnalysisBudgetExceeded:
+            return
+        rules = sub.stats.rule_applications
+        assert (
+            rules["CLOSE-COV"] + rules["CLOSE-CONTRA"]
+            == sub.stats.close_edges
+        ), seed
+        assert sub.stats.total_edges == sub.graph.edge_count, seed
+        assert sub.stats.close_edges == len(sub.close_edges), seed
+
+
+# ---------------------------------------------------------------------------
+# metrics export schema
+
+
+class TestMetricsDocument:
+    def _analysed(self, source=None):
+        program = parse(source or SAMPLES[0])
+        cfa = analyze_subtransitive(program)
+        for site in program.applications:
+            cfa.may_call(site)
+        return cfa
+
+    def test_round_trip(self):
+        document = collect_metrics(self._analysed())
+        validate_metrics(document)
+        decoded = json.loads(metrics_to_json(document))
+        assert validate_metrics(decoded) == decoded
+        assert decoded["schema"] == SCHEMA
+
+    def test_sections_cover_acceptance_surface(self):
+        document = collect_metrics(self._analysed())
+        phases = document["phases"]
+        assert {"build", "close", "total"} <= set(phases)
+        for phase in ("build", "close"):
+            assert {"nodes", "edges", "seconds"} <= set(phases[phase])
+        rules = document["rules"]
+        assert set(rules) == {
+            "ABS-1", "ABS-2", "APP-1", "APP-2",
+            "CLOSE-COV", "CLOSE-CONTRA",
+        }
+        assert {"created", "budget", "budget_used", "demanded"} <= set(
+            document["nodes"]
+        )
+        assert document["queries"]["count"] >= 1
+        assert document["queries"]["visited_nodes"] >= 1
+
+    def test_counts_match_stats(self):
+        cfa = self._analysed()
+        document = collect_metrics(cfa)
+        stats = cfa.stats
+        assert document["phases"]["build"]["edges"] == stats.build_edges
+        assert document["phases"]["close"]["edges"] == stats.close_edges
+        assert document["graph"]["edges"] == stats.total_edges
+        assert document["rules"] == dict(stats.rule_applications)
+        assert document["queries"]["count"] == cfa.query_count
+
+    def test_validator_rejects_missing_section(self):
+        document = collect_metrics(self._analysed())
+        del document["phases"]
+        with pytest.raises(ValueError, match="phases"):
+            validate_metrics(document)
+
+    def test_validator_rejects_wrong_type(self):
+        document = collect_metrics(self._analysed())
+        document["rules"]["ABS-1"] = "three"
+        with pytest.raises(ValueError, match="ABS-1"):
+            validate_metrics(document)
+
+    def test_hybrid_fallback_document(self):
+        registry = MetricsRegistry()
+        result = analyze_hybrid(
+            parse("(fn[w] x => x x) (fn[w2] y => y y)"),
+            registry=registry,
+        )
+        document = validate_metrics(collect_metrics(result))
+        assert document["engine"]["driver"] == "hybrid"
+        assert document["engine"]["fallback"] is True
+        assert result.fallback_reason in ("budget", "inference")
+        assert registry.counter("hybrid.fallbacks").value == 1
+
+    def test_hybrid_subtransitive_document(self):
+        result = analyze_hybrid(parse(SAMPLES[0]))
+        document = validate_metrics(collect_metrics(result))
+        assert document["engine"]["fallback"] is False
+        assert document["rules"] is not None
+
+
+class TestSessionMetrics:
+    def test_session_document_validates(self):
+        session = AnalysisSession()
+        session.define("id", "fn[id] x => x")
+        session.define("use", "id id")
+        session.query("use")
+        document = validate_metrics(session.metrics())
+        section = document["session"]
+        assert section["defines"] == 2
+        assert section["queries"] == 1
+        ops = [entry["op"] for entry in section["history"]]
+        assert ops == ["define", "define", "query"]
+        assert all(
+            entry["nodes_added"] >= 0 for entry in section["history"]
+        )
+
+    def test_history_skips_failed_operations(self):
+        from repro.errors import ScopeError
+
+        session = AnalysisSession()
+        session.define("a", "fn[dup] x => x")
+        with pytest.raises(ScopeError):
+            session.define("b", "fn[dup] y => y")
+        assert [e["op"] for e in session.history] == ["define"]

@@ -1,0 +1,115 @@
+"""Regression tests: session-state corruption on failed operations.
+
+Two historical bugs, both of the shape "a failed operation left the
+session in a state worse than before the operation":
+
+1. a failed *re*definition (eager evaluation raising) popped the
+   previous, working binding out of the evaluation environment instead
+   of restoring it;
+2. ``_SessionProgram.index`` committed nodes/labels/binders while
+   walking, so a validation error (duplicate label, constructor arity)
+   raised mid-walk left the program tables half-updated and the
+   session unusable for retries.
+
+These tests fail against the pre-fix sessions.
+"""
+
+import pytest
+
+from repro.errors import ScopeError
+from repro.session import AnalysisSession
+from repro.workloads.generators import intlist_decl
+
+
+class TestRedefinitionEvalFailure:
+    def test_failed_redefinition_keeps_previous_value(self):
+        session = AnalysisSession()
+        session.define("inc", "fn[inc] x => x + 1")
+        assert session.evaluate("inc 1").value == 2
+        # Analyses fine (labels flow), but eager evaluation raises:
+        # int + closure is a runtime type error.
+        session.define("inc", "1 + (fn[v2] z => z)")
+        # The previous working binding must survive the failure.
+        assert session.evaluate("inc 1").value == 2
+
+    def test_failed_first_definition_stays_unbound(self):
+        session = AnalysisSession()
+        session.define("broken", "1 2")  # applying a literal raises
+        # There was never a working value; the name must not linger
+        # bound to garbage.
+        assert "broken" not in session._env
+
+    def test_successful_redefinition_still_wins(self):
+        session = AnalysisSession()
+        session.define("f", "fn[f1] x => x + 1")
+        session.define("f", "fn[f2] x => x + 10")
+        assert session.evaluate("f 1").value == 11
+
+
+class TestAtomicIndexing:
+    def test_duplicate_label_leaves_program_untouched(self):
+        session = AnalysisSession()
+        session.define("a", "fn[dup] x => x")
+        size = session.program.size
+        labels = set(session.program.label_table)
+        binders = set(session.program.binders)
+        history = len(session.history)
+        with pytest.raises(ScopeError):
+            # "one" is walked (and, pre-fix, committed) before the
+            # duplicate "dup" is discovered.
+            session.define("b", "fn[one] p => fn[dup] q => q")
+        assert session.program.size == size
+        assert set(session.program.label_table) == labels
+        assert "one" not in session.program.label_table
+        assert set(session.program.binders) == binders
+        assert len(session.history) == history
+
+    def test_failed_define_is_retryable(self):
+        session = AnalysisSession()
+        session.define("a", "fn[dup] x => x")
+        with pytest.raises(ScopeError):
+            session.define("b", "fn[one] p => fn[dup] q => q")
+        # The retry with a fixed label must succeed and the node table
+        # must still be densely numbered.
+        session.define("b", "fn[one] p => fn[two] q => q")
+        program = session.program
+        assert [node.nid for node in program.nodes] == list(
+            range(program.size)
+        )
+        assert session.labels_of("a") == frozenset({"dup"})
+        assert session.query("a b") == frozenset({"one"})
+
+    def test_duplicate_label_within_one_expression(self):
+        session = AnalysisSession()
+        size = session.program.size
+        with pytest.raises(ScopeError):
+            session.define("x", "(fn[d] p => p) (fn[d] q => q)")
+        assert session.program.size == size
+        assert "d" not in session.program.label_table
+
+    def test_constructor_arity_failure_is_atomic(self):
+        session = AnalysisSession(datatypes=[intlist_decl()])
+        session.define("nil", "Nil")
+        size = session.program.size
+        with pytest.raises(ScopeError):
+            # The lambda is walked before the bad Cons arity.
+            session.define("bad", "fn[w] x => Cons(x)")
+        assert session.program.size == size
+        assert "w" not in session.program.label_table
+        # Session still fully usable.
+        session.define("cons1", "fn[c1] x => Cons(x, Nil)")
+        assert session.labels_of("cons1") == frozenset({"c1"})
+
+    def test_case_pattern_arity_failure_is_atomic(self):
+        session = AnalysisSession(datatypes=[intlist_decl()])
+        session.define("nil", "Nil")
+        size = session.program.size
+        binders = set(session.program.binders)
+        with pytest.raises(ScopeError):
+            session.define(
+                "bad",
+                "fn[w] xs => case xs of Nil => 0 "
+                "| Cons(h) => 1 end",
+            )
+        assert session.program.size == size
+        assert set(session.program.binders) == binders
