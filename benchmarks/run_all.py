@@ -5,7 +5,7 @@ Usage::
     python benchmarks/run_all.py [--quick] [--metrics PATH | --no-metrics]
 
 Prints the reproduction of each experiment indexed in DESIGN.md (E1 -
-E12), in order. ``--quick`` shrinks the sweeps for a fast smoke run.
+E14), in order. ``--quick`` shrinks the sweeps for a fast smoke run.
 EXPERIMENTS.md records a reference run of this script.
 
 Every run also writes a machine-readable metrics document (default
@@ -30,6 +30,7 @@ import bench_equality_cfa
 import bench_frontend
 import bench_hybrid
 import bench_joinpoint
+import bench_lint
 import bench_polyvariant
 import bench_table1_cubic_family
 import bench_table2_ml_programs
@@ -58,8 +59,11 @@ def _jsonable(value):
 
 def engine_metrics_document(quick: bool = False):
     """An instrumented LC' run over the cubic family, including the
-    Table 1 query sweep, as a validated ``repro.metrics/1`` document."""
+    Table 1 query sweep and a full lint pass (so ``lint.pass.*``
+    timers land next to build/close cost), as a validated
+    ``repro.metrics/1`` document."""
     from repro.core.queries import analyze_subtransitive
+    from repro.lint import run_lints
     from repro.obs import collect_metrics, validate_metrics
     from repro.workloads.cubic import make_cubic_program
 
@@ -67,6 +71,7 @@ def engine_metrics_document(quick: bool = False):
     cfa = analyze_subtransitive(program)
     for site in program.nontrivial_applications():
         cfa.may_call(site)
+    run_lints(program, cfa)
     return validate_metrics(collect_metrics(cfa))
 
 
@@ -200,6 +205,15 @@ def main(quick: bool = False, metrics_path=None) -> None:
     print("=" * 72)
     table, rows = bench_frontend.run_report()
     record("E13", "front-end decomposition (traversal cost)", rows)
+    print(table.render())
+
+    print("\n" + "=" * 72)
+    print("E14 (extra) — lint passes over the subtransitive graph")
+    print("=" * 72)
+    table, rows = bench_lint.run_report(
+        sizes=[8, 16, 32] if quick else bench_lint.SIZES
+    )
+    record("E14", "lint passes over the subtransitive graph", rows)
     print(table.render())
 
     if metrics_path is not None:

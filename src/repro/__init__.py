@@ -53,6 +53,7 @@ from repro.errors import (
     TypeInferenceError,
 )
 from repro.lang import Program, evaluate, parse, pretty
+from repro.lint import run_lints
 from repro.session import AnalysisSession
 from repro.types import bounded_type_report, infer_types
 
@@ -92,6 +93,18 @@ def analyze(program: Program, algorithm: str = "subtransitive", **kwargs):
     return runner(program, **kwargs)
 
 
+def __getattr__(name):
+    # Lazy so `python -m repro.lint.sanitize` stays runnable without
+    # runpy's found-in-sys.modules-before-execution warning.
+    if name == "sanitize":
+        from repro.lint.sanitize import sanitize
+
+        return sanitize
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
 __all__ = [
     "AnalysisBudgetExceeded",
     "AnalysisError",
@@ -122,4 +135,6 @@ __all__ = [
     "make_congruence",
     "parse",
     "pretty",
+    "run_lints",
+    "sanitize",
 ]

@@ -3,7 +3,10 @@
 Usage (also available as ``python -m repro``)::
 
     repro analyze  prog.ml [--algorithm subtransitive] [--json]
-                   [--metrics out.json] [--trace out.jsonl]
+                   [--metrics out.json] [--trace out.jsonl] [--sanitize]
+    repro lint     prog.ml [more.ml ...] [--format json|text]
+                   [--severity info|warning|error] [--rules L001,L002]
+                   [--sanitize] [--metrics out.json] [--trace out.jsonl]
     repro query    prog.ml --label inc [--expr NID]
     repro effects  prog.ml
     repro klimited prog.ml -k 2
@@ -14,12 +17,15 @@ Usage (also available as ``python -m repro``)::
 
 Every subcommand accepts ``-`` as the file to read the program from
 stdin. Exit status is 0 on success, 1 on analysis/user errors (with a
-diagnostic on stderr), 2 on usage errors (argparse).
+diagnostic on stderr), 2 on usage errors (argparse). ``lint`` uses the
+conventional linter codes instead: 0 clean, 1 findings, 2 on
+errors *or sanitizer violations*.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -29,7 +35,12 @@ from repro.bench import Table
 from repro.errors import ReproError
 from repro.export import graph_to_dot, result_to_json
 from repro.lang import parse, pretty
+from repro.lint import ALL_PASSES, run_lints
+from repro.lint.findings import SCHEMA as LINT_SCHEMA
+from repro.lint.sanitize import sanitize
+from repro.lint.findings import SEVERITIES
 from repro.obs import (
+    MetricsRegistry,
     Tracer,
     collect_metrics,
     metrics_to_json,
@@ -52,6 +63,69 @@ def _read_program(path: str):
 _INSTRUMENTED_ALGORITHMS = ("subtransitive", "hybrid", "polyvariant")
 
 
+# -- shared output sinks ------------------------------------------------------
+#
+# The --metrics/--trace plumbing is identical across subcommands; a
+# single pair of helpers keeps the validate/write/announce sequence
+# (and its failure surface) in one place.
+
+
+def _make_tracer(args) -> Optional[Tracer]:
+    """A tracer bound to ``--trace PATH``, or None when not asked."""
+    path = getattr(args, "trace", None)
+    return Tracer(sink=path) if path else None
+
+
+def _finish_tracer(tracer: Optional[Tracer], path: Optional[str]) -> None:
+    """Flush/close a tracer and announce the sink on stderr."""
+    if tracer is None:
+        return
+    tracer.close()
+    print(
+        f"wrote trace to {path} ({tracer.event_count} events)",
+        file=sys.stderr,
+    )
+
+
+def _write_metrics(path: str, document) -> None:
+    """Validate and write one ``repro.metrics/1`` document."""
+    document = validate_metrics(document)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(metrics_to_json(document) + "\n")
+    print(f"wrote metrics to {path}", file=sys.stderr)
+
+
+def _sub_of(result):
+    """The SubtransitiveGraph inside any analysis result, or None."""
+    from repro.core.hybrid import HybridResult
+    from repro.core.lc import SubtransitiveGraph
+    from repro.core.queries import SubtransitiveCFA
+
+    if isinstance(result, HybridResult):
+        result = result.result
+    if isinstance(result, SubtransitiveCFA):
+        return result.sub
+    if isinstance(result, SubtransitiveGraph):
+        return result
+    return None
+
+
+def _sanitize_result(result, path: str) -> int:
+    """Run the graph sanitizer against an analysis result; returns
+    the exit status contribution (0 clean, 1 otherwise)."""
+    sub = _sub_of(result)
+    if sub is None:
+        print(
+            f"{path}: --sanitize requires a subtransitive graph "
+            "(this algorithm, or the hybrid fallback, has none)",
+            file=sys.stderr,
+        )
+        return 1
+    report = sanitize(sub)
+    print(report.render(), file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def _cmd_analyze(args) -> int:
     program = _read_program(args.file)
     tracer = None
@@ -64,9 +138,10 @@ def _cmd_analyze(args) -> int:
                 file=sys.stderr,
             )
             return 1
-        if args.trace:
-            tracer = Tracer(sink=args.trace)
+        tracer = _make_tracer(args)
+        if tracer is not None:
             kwargs["tracer"] = tracer
+    status = 0
     try:
         cfa = repro.analyze(program, algorithm=args.algorithm, **kwargs)
         if args.json:
@@ -87,27 +162,128 @@ def _cmd_analyze(args) -> int:
                     f"{stats.close_nodes} close nodes, "
                     f"{stats.total_edges} edges"
                 )
+        if args.sanitize:
+            status = _sanitize_result(cfa, args.file)
         if args.metrics:
             # Collected after the queries above so the document's
             # query section reflects the work this invocation did.
-            document = validate_metrics(collect_metrics(cfa))
-            with open(args.metrics, "w", encoding="utf-8") as handle:
-                handle.write(metrics_to_json(document) + "\n")
-            print(f"wrote metrics to {args.metrics}", file=sys.stderr)
+            _write_metrics(args.metrics, collect_metrics(cfa))
     finally:
-        if tracer is not None:
-            tracer.close()
+        _finish_tracer(tracer, args.trace)
+    return status
+
+
+def _cmd_lint(args) -> int:
+    from repro.core.hybrid import analyze_hybrid
+    from repro.core.lc import build_subtransitive_graph
+
+    if args.metrics and len(args.files) != 1:
+        print(
+            "error: --metrics requires exactly one input file",
+            file=sys.stderr,
+        )
+        return 2
+    if args.trace and len(args.files) != 1:
+        print(
+            "error: --trace requires exactly one input file",
+            file=sys.stderr,
+        )
+        return 2
+    rules = None
+    if args.rules:
+        rules = [code.strip() for code in args.rules.split(",") if code.strip()]
+        known = {cls.code for cls in ALL_PASSES}
+        unknown = sorted(set(rules) - known)
+        if unknown:
             print(
-                f"wrote trace to {args.trace} "
-                f"({tracer.event_count} events)",
+                f"error: unknown rule code(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})",
                 file=sys.stderr,
             )
-    return 0
+            return 2
+
+    exit_code = 0
+    file_documents = []
+    errors = []
+    totals = {"findings": 0, "by_rule": {}}
+    for path in args.files:
+        tracer = _make_tracer(args)
+        try:
+            try:
+                program = _read_program(path)
+                registry = MetricsRegistry()
+                if args.algorithm == "subtransitive":
+                    analysis = build_subtransitive_graph(
+                        program, registry=registry, tracer=tracer
+                    )
+                else:
+                    analysis = analyze_hybrid(
+                        program, registry=registry, tracer=tracer
+                    )
+                result = run_lints(
+                    program, analysis, registry=registry, tracer=tracer
+                )
+                if args.sanitize:
+                    sub = _sub_of(analysis)
+                    if sub is None:
+                        print(
+                            f"{path}: sanitize skipped (LC' fell back "
+                            "to standard CFA)",
+                            file=sys.stderr,
+                        )
+                    else:
+                        report = sanitize(sub, registry=registry)
+                        result.sanitize_report = report
+                        if not report.ok:
+                            exit_code = max(exit_code, 2)
+                result = result.filtered(
+                    min_severity=args.severity, rules=rules
+                )
+                if result.findings:
+                    exit_code = max(exit_code, 1)
+                totals["findings"] += len(result.findings)
+                for finding in result.findings:
+                    totals["by_rule"][finding.rule] = (
+                        totals["by_rule"].get(finding.rule, 0) + 1
+                    )
+                if args.format == "text":
+                    print(result.render_text(path))
+                else:
+                    file_documents.append(result.to_dict(path))
+                if args.metrics:
+                    _write_metrics(
+                        args.metrics, collect_metrics(analysis)
+                    )
+            finally:
+                _finish_tracer(tracer, args.trace)
+        except BrokenPipeError:
+            raise
+        except (ReproError, OSError) as error:
+            print(f"{path}: error: {error}", file=sys.stderr)
+            errors.append({"path": path, "error": str(error)})
+            exit_code = 2
+    if args.format == "json":
+        envelope = {
+            "schema": LINT_SCHEMA,
+            "files": file_documents,
+            "errors": errors,
+            "summary": {
+                "files": len(args.files),
+                "findings": totals["findings"],
+                "by_rule": totals["by_rule"],
+                "exit_code": exit_code,
+            },
+        }
+        print(json.dumps(envelope, indent=2, sort_keys=True))
+    return exit_code
 
 
 def _cmd_query(args) -> int:
     program = _read_program(args.file)
     cfa = repro.analyze(program, algorithm=args.algorithm)
+    status = 0
+    if args.sanitize:
+        status = _sanitize_result(cfa, args.file)
     if args.expr is not None:
         expr = program.node(args.expr)
         if args.label:
@@ -115,18 +291,21 @@ def _cmd_query(args) -> int:
             print("yes" if answer else "no")
         else:
             print(", ".join(sorted(cfa.labels_of(expr))) or "-")
-        return 0
+        return status
     if args.label:
         for expr in cfa.expressions_with_label(args.label):
             print(f"{expr.nid}\t{pretty(expr, show_labels=False)}")
-        return 0
+        return status
     print("query needs --label and/or --expr", file=sys.stderr)
     return 1
 
 
 def _cmd_effects(args) -> int:
+    from repro.core.lc import build_subtransitive_graph
+
     program = _read_program(args.file)
-    effects = effects_analysis(program)
+    sub = build_subtransitive_graph(program)
+    effects = effects_analysis(program, sub=sub)
     table = Table(["site", "source", "verdict"])
     for site in program.applications:
         verdict = (
@@ -136,12 +315,17 @@ def _cmd_effects(args) -> int:
             site.nid, pretty(site, show_labels=False), verdict
         )
     print(table.render())
+    if args.sanitize:
+        return _sanitize_result(sub, args.file)
     return 0
 
 
 def _cmd_klimited(args) -> int:
+    from repro.core.lc import build_subtransitive_graph
+
     program = _read_program(args.file)
-    klim = k_limited_cfa(program, k=args.k)
+    sub = build_subtransitive_graph(program)
+    klim = k_limited_cfa(program, k=args.k, sub=sub)
     table = Table(["site", "source", f"callees (k={args.k})"])
     for site in program.applications:
         value = klim.may_call(site)
@@ -150,12 +334,17 @@ def _cmd_klimited(args) -> int:
         )
         table.add_row(site.nid, pretty(site, show_labels=False), rendered)
     print(table.render())
+    if args.sanitize:
+        return _sanitize_result(sub, args.file)
     return 0
 
 
 def _cmd_called_once(args) -> int:
+    from repro.core.lc import build_subtransitive_graph
+
     program = _read_program(args.file)
-    result = called_once(program)
+    sub = build_subtransitive_graph(program)
+    result = called_once(program, sub=sub)
     table = Table(["label", "verdict", "unique site"])
     for lam in program.abstractions:
         verdict = result.classify(lam.label)
@@ -166,6 +355,8 @@ def _cmd_called_once(args) -> int:
             pretty(site, show_labels=False) if site else "-",
         )
     print(table.render())
+    if args.sanitize:
+        return _sanitize_result(sub, args.file)
     return 0
 
 
@@ -198,6 +389,9 @@ def _cmd_eval(args) -> int:
 def _cmd_dot(args) -> int:
     program = _read_program(args.file)
     cfa = repro.analyze(program)
+    status = 0
+    if args.sanitize:
+        status = _sanitize_result(cfa, args.file)
     dot = graph_to_dot(cfa.sub)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -205,7 +399,7 @@ def _cmd_dot(args) -> int:
         print(f"wrote {args.output}", file=sys.stderr)
     else:
         print(dot)
-    return 0
+    return status
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -220,6 +414,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_common(p):
         p.add_argument("file", help="mini-ML source file, or - for stdin")
+
+    def add_sanitize(p):
+        p.add_argument(
+            "--sanitize",
+            action="store_true",
+            help="validate LC' graph well-formedness after the run",
+        )
 
     p = sub.add_parser("analyze", help="print the call graph")
     add_common(p)
@@ -246,26 +447,80 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a JSONL engine-event trace to PATH",
     )
+    add_sanitize(p)
     p.set_defaults(run=_cmd_analyze)
+
+    p = sub.add_parser(
+        "lint",
+        help="CFA-powered diagnostics (L001-L005) on the "
+        "subtransitive graph",
+    )
+    p.add_argument(
+        "files",
+        nargs="+",
+        help="mini-ML source files, or - for stdin",
+    )
+    p.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="output format (default: text)",
+    )
+    p.add_argument(
+        "--severity",
+        default="info",
+        choices=list(SEVERITIES),
+        help="minimum severity to report (default: info = all)",
+    )
+    p.add_argument(
+        "--rules",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    p.add_argument(
+        "--algorithm",
+        default="hybrid",
+        choices=["subtransitive", "hybrid"],
+        help="hybrid (default) lints any program, falling back to "
+        "standard CFA label sets when LC' is abandoned",
+    )
+    p.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write a repro.metrics/1 JSON document to PATH "
+        "(single input file only)",
+    )
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a JSONL engine-event trace to PATH "
+        "(single input file only)",
+    )
+    add_sanitize(p)
+    p.set_defaults(run=_cmd_lint)
 
     p = sub.add_parser("query", help="reachability queries")
     add_common(p)
     p.add_argument("--label", help="abstraction label")
     p.add_argument("--expr", type=int, help="expression nid")
     p.add_argument("--algorithm", default="subtransitive")
+    add_sanitize(p)
     p.set_defaults(run=_cmd_query)
 
     p = sub.add_parser("effects", help="Section 8 effects analysis")
     add_common(p)
+    add_sanitize(p)
     p.set_defaults(run=_cmd_effects)
 
     p = sub.add_parser("klimited", help="Section 9 k-limited CFA")
     add_common(p)
     p.add_argument("-k", type=int, default=2)
+    add_sanitize(p)
     p.set_defaults(run=_cmd_klimited)
 
     p = sub.add_parser("called-once", help="called-once analysis")
     add_common(p)
+    add_sanitize(p)
     p.set_defaults(run=_cmd_called_once)
 
     p = sub.add_parser("typecheck", help="bounded-type report")
@@ -280,6 +535,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("dot", help="export the graph as Graphviz DOT")
     add_common(p)
     p.add_argument("-o", "--output", help="write to a file")
+    add_sanitize(p)
     p.set_defaults(run=_cmd_dot)
 
     return parser

@@ -42,12 +42,18 @@ class HybridResult:
         engine: str,
         result: Union[SubtransitiveCFA, StandardCFAResult],
         fallback_reason: Optional[str] = None,
+        registry=None,
     ):
         self.engine = engine
         self.result = result
         #: Why the LC' attempt was abandoned (``None`` when it won):
         #: ``"budget"`` or ``"inference"``.
         self.fallback_reason = fallback_reason
+        #: The registry that instrumented the (possibly abandoned) LC'
+        #: attempt; kept so metrics documents can report the attempt's
+        #: budget burn even after a fallback, when ``result`` no
+        #: longer references it.
+        self.registry = registry
 
     def __getattr__(self, name):
         return getattr(self.result, name)
@@ -82,7 +88,7 @@ def analyze_hybrid(
             registry=registry,
             tracer=tracer,
         )
-        return HybridResult("subtransitive", result)
+        return HybridResult("subtransitive", result, registry=registry)
     except (AnalysisBudgetExceeded, TypeInferenceError) as error:
         # Budget trip: unbounded dom/ran towers (untypeable program).
         # Inference failure: a datatype-using program we cannot pick a
@@ -94,9 +100,13 @@ def analyze_hybrid(
         )
         if registry is not None:
             registry.counter("hybrid.fallbacks").inc()
+            registry.counter(f"hybrid.fallback.{reason}").inc()
         if tracer is not None:
             tracer.emit("budget", resource="hybrid", action="fallback",
                         reason=reason)
         return HybridResult(
-            "standard", analyze_standard(program), fallback_reason=reason
+            "standard",
+            analyze_standard(program),
+            fallback_reason=reason,
+            registry=registry,
         )

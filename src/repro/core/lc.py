@@ -204,6 +204,19 @@ class SubtransitiveGraph:
         """The graph node of a variable."""
         return self.factory.var_node(name, context)
 
+    def sanitize(self, dtc_limit: Optional[int] = None):
+        """Run the :mod:`repro.lint.sanitize` well-formedness checks
+        on this graph and return the :class:`~repro.lint.sanitize.
+        SanitizeReport`."""
+        from repro.lint.sanitize import DEFAULT_DTC_LIMIT, sanitize
+
+        return sanitize(
+            self,
+            dtc_limit=(
+                dtc_limit if dtc_limit is not None else DEFAULT_DTC_LIMIT
+            ),
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<SubtransitiveGraph nodes={self.graph.node_count} "

@@ -275,6 +275,16 @@ class NodeFactory:
         node.context = context
         return node
 
+    def peek_expr(self, expr: Expr, context: Context = ()) -> Optional[Node]:
+        """The node of an expression occurrence *if it was built* —
+        never creates. Read-only consumers (lint passes, sanitizer)
+        use this so probing a graph cannot grow it."""
+        return self._intern.get((EXPR, expr.nid, context))
+
+    def peek_var(self, name: str, context: Context = ()) -> Optional[Node]:
+        """The node of a variable if it was built — never creates."""
+        return self._intern.get((VAR, name, context))
+
     def _class_node(self, canon_key: tuple, ty: Optional[Type]) -> Node:
         node = self._intern.get(canon_key)
         if node is None:

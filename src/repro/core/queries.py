@@ -56,6 +56,10 @@ class SubtransitiveCFA(CFAResult):
         registry = sub.stats.registry
         self._c_queries = registry.counter("queries.count")
         self._c_visited = registry.counter("queries.visited_nodes")
+        # Label-set materialisations. The lint passes must keep this
+        # at zero — they are contractually O(edges) consumers of the
+        # graph itself (a regression test pins it).
+        self._c_label_sets = registry.counter("queries.labels_of")
 
     @property
     def query_count(self) -> int:
@@ -129,6 +133,7 @@ class SubtransitiveCFA(CFAResult):
     # -- CFAResult interface --------------------------------------------------
 
     def tokens_at(self, key: FlowKey) -> Set[ValueToken]:
+        self._c_label_sets.inc()
         return self._tokens_in(self._reachable(self._start_nodes(key)))
 
     def is_label_in(self, label: str, expr: Expr) -> bool:

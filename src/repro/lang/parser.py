@@ -299,7 +299,7 @@ class _Parser:
         expr = self.parse_prefix()
         while self.current.kind in _EXPR_START:
             arg = self.parse_prefix()
-            expr = App(expr, arg)
+            expr = App(expr, arg).at(expr.line, expr.column)
         return expr
 
     def parse_prefix(self) -> Expr:

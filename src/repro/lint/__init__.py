@@ -1,0 +1,79 @@
+"""``repro.lint`` — CFA-powered diagnostics on the subtransitive graph.
+
+The paper's thesis is that CFA consumers should run *directly on the
+subtransitive graph* instead of materialising quadratic label sets.
+This package is the end-user surface for that idea: a pluggable
+diagnostics framework whose passes are all O(nodes + edges) graph
+traversals or bounded-lattice propagations, never per-expression label
+sets. The shipped rules:
+
+========  ========  =====================================================
+code      severity  finding
+========  ========  =====================================================
+``L001``  warning   dead lambda — no call site can ever invoke it
+``L002``  error     stuck application — the operator's label set is
+                    provably empty, the call can never fire
+``L003``  info      called exactly once — inline candidate
+``L004``  warning   escaping function — a lambda flows into a
+                    primitive/external sink
+``L005``  warning   unused binding — the let/letrec variable node is
+                    never demanded by LC'
+========  ========  =====================================================
+
+:mod:`repro.lint.sanitize` is the companion invariant checker that
+validates LC' output well-formedness (closure-edge justification,
+budget accounting, and a Proposition 1 spot-check against DTC).
+"""
+
+from repro.lint.findings import (
+    SCHEMA,
+    SEVERITIES,
+    Finding,
+    LintResult,
+    severity_at_least,
+)
+from repro.lint.engine import run_lints
+from repro.lint.passes import (
+    ALL_PASSES,
+    CalledOncePass,
+    DeadLambdaPass,
+    EscapingFunctionPass,
+    LintContext,
+    LintPass,
+    StuckApplicationPass,
+    UnusedBindingPass,
+    default_passes,
+)
+
+def __getattr__(name):
+    # Lazy so `python -m repro.lint.sanitize` doesn't trip runpy's
+    # found-in-sys.modules-before-execution warning.
+    if name in ("SanitizeReport", "sanitize"):
+        import importlib
+
+        module = importlib.import_module("repro.lint.sanitize")
+        return getattr(module, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
+__all__ = [
+    "ALL_PASSES",
+    "CalledOncePass",
+    "DeadLambdaPass",
+    "EscapingFunctionPass",
+    "Finding",
+    "LintContext",
+    "LintPass",
+    "LintResult",
+    "SanitizeReport",
+    "SCHEMA",
+    "SEVERITIES",
+    "StuckApplicationPass",
+    "UnusedBindingPass",
+    "default_passes",
+    "run_lints",
+    "sanitize",
+    "severity_at_least",
+]

@@ -1,0 +1,251 @@
+"""The lint driver: resolve a graph, run the passes, time them.
+
+:func:`run_lints` accepts whatever the caller already has — a
+:class:`~repro.core.lc.SubtransitiveGraph`, a
+:class:`~repro.core.queries.SubtransitiveCFA`, a
+:class:`~repro.core.hybrid.HybridResult`, or nothing (it then builds
+the graph itself). When the hybrid driver abandoned LC' there is no
+subtransitive graph to traverse; the rules are then recomputed from
+the standard cubic CFA's label sets — quadratic, but only ever paid on
+programs LC' could not handle — and every finding is tagged
+``via="standard"`` so consumers know the linear-time guarantee did not
+apply.
+
+Per-pass wall-clock and finding counts land on the metrics registry
+(``lint.pass.<code>`` timers, ``lint.findings.<code>`` counters), so a
+``--metrics`` document shows lint cost next to build/close cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.lint.findings import Finding, LintResult
+from repro.lint.passes import (
+    ALL_PASSES,
+    LintContext,
+    LintPass,
+    primitive_sink_args,
+)
+
+
+def _normalise_passes(passes) -> List[LintPass]:
+    if passes is None:
+        return [cls() for cls in ALL_PASSES]
+    resolved = []
+    for item in passes:
+        resolved.append(item() if isinstance(item, type) else item)
+    return resolved
+
+
+def _resolve(result):
+    """``(sub, engine, fallback_reason, cfa)`` for any accepted input."""
+    from repro.core.hybrid import HybridResult
+    from repro.core.lc import SubtransitiveGraph
+    from repro.core.queries import SubtransitiveCFA
+
+    if result is None:
+        return None, "subtransitive", None, None
+    if isinstance(result, HybridResult):
+        if result.engine == "subtransitive":
+            return result.result.sub, "subtransitive", None, None
+        return None, "standard", result.fallback_reason, result.result
+    if isinstance(result, SubtransitiveCFA):
+        return result.sub, "subtransitive", None, None
+    if isinstance(result, SubtransitiveGraph):
+        return result, "subtransitive", None, None
+    raise TypeError(
+        "run_lints expects a SubtransitiveGraph, SubtransitiveCFA, "
+        f"HybridResult or None, got {type(result).__name__}"
+    )
+
+
+def run_lints(
+    program,
+    result=None,
+    passes: Optional[Iterable] = None,
+    registry=None,
+    scope: Optional[Set[int]] = None,
+    tracer=None,
+) -> LintResult:
+    """Run lint passes over ``program``.
+
+    ``result`` is an existing analysis to reuse (see module docstring);
+    ``scope`` restricts incremental passes to a set of nids;
+    ``registry``/``tracer`` instrument the run (defaulting to the
+    graph's own registry so one metrics document covers everything).
+    """
+    lint_passes = _normalise_passes(passes)
+    sub, engine, fallback_reason, cfa = _resolve(result)
+    if sub is None and engine == "subtransitive":
+        from repro.core.lc import build_subtransitive_graph
+
+        sub = build_subtransitive_graph(
+            program, registry=registry, tracer=tracer
+        )
+    if engine == "standard":
+        return _fallback_lints(
+            program,
+            cfa,
+            lint_passes,
+            fallback_reason,
+            registry=registry,
+            scope=scope,
+        )
+
+    if registry is None:
+        registry = sub.stats.registry
+    ctx = LintContext(program, sub, registry=registry)
+    findings: List[Finding] = []
+    pass_seconds: Dict[str, float] = {}
+    for lint_pass in lint_passes:
+        pass_scope = scope if lint_pass.incremental else None
+        timer = registry.timer(f"lint.pass.{lint_pass.code}")
+        with timer:
+            found = lint_pass.run(ctx, pass_scope)
+        pass_seconds[lint_pass.code] = timer.last_seconds
+        registry.counter(f"lint.findings.{lint_pass.code}").inc(
+            len(found)
+        )
+        if tracer is not None:
+            tracer.emit(
+                "lint",
+                rule=lint_pass.code,
+                findings=len(found),
+                seconds=timer.last_seconds,
+            )
+        findings.extend(found)
+    return LintResult(
+        program,
+        findings,
+        engine="subtransitive",
+        pass_seconds=pass_seconds,
+    )
+
+
+# -- standard-CFA fallback ----------------------------------------------------
+#
+# Quadratic (it materialises label sets), used only when LC' was
+# abandoned by the hybrid driver — exactly the situation in which the
+# subtransitive graph does not exist. Each function mirrors one pass.
+
+
+def _fb_dead_and_once(program, cfa):
+    sites_of = {}
+    for site in program.applications:
+        for label in cfa.may_call(site):
+            sites_of.setdefault(label, []).append(site)
+    return sites_of
+
+
+def _fallback_lints(
+    program, cfa, lint_passes, fallback_reason, registry=None, scope=None
+) -> LintResult:
+    from repro.obs.metrics import MetricsRegistry
+
+    if registry is None:
+        registry = MetricsRegistry()
+    wanted = {p.code: p for p in lint_passes}
+    findings: List[Finding] = []
+    pass_seconds: Dict[str, float] = {}
+    sites_of = None
+    if "L001" in wanted or "L003" in wanted:
+        sites_of = _fb_dead_and_once(program, cfa)
+
+    def emit(code, expr, message, label=None):
+        template = wanted[code]
+        findings.append(
+            Finding(
+                code,
+                template.severity,
+                expr.nid,
+                message,
+                label=label,
+                line=expr.line,
+                column=expr.column,
+                via="standard",
+            )
+        )
+
+    for code, lint_pass in wanted.items():
+        timer = registry.timer(f"lint.pass.{code}")
+        with timer:
+            if code == "L001":
+                for lam in program.abstractions:
+                    if not sites_of.get(lam.label):
+                        emit(
+                            code,
+                            lam,
+                            f"function '{lam.label}' is never called: "
+                            "no call site can invoke it",
+                            label=lam.label,
+                        )
+            elif code == "L002":
+                for site in program.applications:
+                    if not cfa.may_call(site):
+                        emit(
+                            code,
+                            site,
+                            "this application can never fire: the "
+                            "operator's label set is provably empty",
+                        )
+            elif code == "L003":
+                for lam in program.abstractions:
+                    sites = sites_of.get(lam.label, ())
+                    if len(sites) == 1:
+                        emit(
+                            code,
+                            lam,
+                            f"function '{lam.label}' is called from "
+                            f"exactly one site (nid {sites[0].nid}): "
+                            "inlining it cannot grow code",
+                            label=lam.label,
+                        )
+            elif code == "L004":
+                escaped = {}
+                for arg in primitive_sink_args(program):
+                    for token in cfa.tokens_at(arg.nid):
+                        from repro.lang.ast import Lam
+
+                        if isinstance(token, Lam):
+                            escaped[token.label] = token
+                for label in sorted(escaped):
+                    emit(
+                        code,
+                        escaped[label],
+                        f"function '{label}' flows into a primitive "
+                        "sink and escapes the analysed call structure",
+                        label=label,
+                    )
+            elif code == "L005":
+                from repro.lang.ast import Let, Letrec, Var
+
+                used = {
+                    node.name
+                    for node in program.nodes
+                    if isinstance(node, Var)
+                }
+                for node in program.nodes:
+                    if not isinstance(node, (Let, Letrec)):
+                        continue
+                    if node.name.startswith("_"):
+                        continue
+                    if node.name not in used:
+                        emit(
+                            code,
+                            node,
+                            f"binding '{node.name}' is never used: "
+                            "its variable node is never demanded "
+                            "by LC'",
+                        )
+        pass_seconds[code] = timer.last_seconds
+        registry.counter(f"lint.findings.{code}").inc(
+            sum(1 for f in findings if f.rule == code)
+        )
+    return LintResult(
+        program,
+        findings,
+        engine="standard",
+        fallback_reason=fallback_reason,
+        pass_seconds=pass_seconds,
+    )

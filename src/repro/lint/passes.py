@@ -1,0 +1,350 @@
+"""The lint passes and their shared per-program context.
+
+Every pass consumes the subtransitive graph directly and is linear in
+the graph: a constant number of multi-source BFS traversals
+(:func:`repro.graph.reachability.reachable_from`) or one bounded-set
+propagation (:mod:`repro.apps.propagation`). No pass ever materialises
+a label set — a regression test holds the ``queries.labels_of`` /
+``queries.count`` counters at zero across a full lint run.
+
+The traversals are shared through :class:`LintContext` caches so a run
+of all five passes performs:
+
+* one ``called_once`` bounded propagation (L001 + L003),
+* one backward BFS from the lambda-bearing nodes (L002),
+* one forward BFS from the primitive-argument sinks (L004),
+* one in-degree probe per let/letrec binder (L005).
+
+``scope`` (a set of nids, or ``None`` for everything) restricts a pass
+to the constructs an incremental session actually needs re-examined;
+passes whose findings can *appear* on untouched old constructs declare
+``incremental = False`` and ignore the scope (see
+:meth:`repro.session.AnalysisSession.lint`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.graph.reachability import reachable_from
+from repro.lang.ast import App, Lam, Let, Letrec, Prim
+
+from repro.lint.findings import Finding
+
+
+def _span(expr):
+    # Synthetic nodes (session-built, builder-made) carry 0:0 —
+    # report those as spanless rather than pointing at line 0.
+    if expr.line or expr.column:
+        return {"line": expr.line, "column": expr.column}
+    return {"line": None, "column": None}
+
+
+class LintContext:
+    """Shared, lazily-computed artefacts for one lint run.
+
+    ``lint.visited_nodes`` on the registry accounts every node touched
+    by the context's traversals — the number the O(edges) regression
+    tests bound by the graph size.
+    """
+
+    def __init__(self, program, sub, registry=None):
+        self.program = program
+        self.sub = sub
+        self.graph = sub.graph
+        self.factory = sub.factory
+        self.registry = (
+            registry if registry is not None else sub.stats.registry
+        )
+        self._c_visited = self.registry.counter("lint.visited_nodes")
+        self._called_once = None
+        self._reaching_lambda: Optional[Set] = None
+        self._escaping: Optional[Dict[str, Lam]] = None
+
+    # -- node lookups ------------------------------------------------------
+
+    def peek(self, expr):
+        """The already-built graph node of ``expr`` (never creates)."""
+        return self.factory.peek_expr(expr)
+
+    def lambda_value_nodes(self) -> List:
+        """Graph nodes carrying at least one abstraction value (their
+        own expression or a congruence-absorbed one)."""
+        nodes = []
+        for node in self.factory.nodes:
+            if node.kind != "expr":
+                continue
+            if isinstance(node.expr, Lam) or any(
+                isinstance(expr, Lam) for expr in node.absorbed
+            ):
+                nodes.append(node)
+        return nodes
+
+    # -- shared traversals -------------------------------------------------
+
+    @property
+    def called_once(self):
+        """One bounded-set propagation shared by L001 and L003."""
+        if self._called_once is None:
+            from repro.apps.called_once import called_once
+
+            self._called_once = called_once(self.program, sub=self.sub)
+        return self._called_once
+
+    @property
+    def nodes_reaching_lambda(self) -> Set:
+        """Nodes from which some abstraction node is reachable — one
+        backward multi-source BFS, shared by every L002 probe."""
+        if self._reaching_lambda is None:
+            reached = reachable_from(
+                self.graph,
+                self.lambda_value_nodes(),
+                follow=self.graph.predecessors,
+            )
+            self._c_visited.inc(len(reached))
+            self._reaching_lambda = reached
+        return self._reaching_lambda
+
+    @property
+    def escaping_lambdas(self) -> Dict[str, Lam]:
+        """Abstractions reachable from a primitive-argument sink — one
+        forward multi-source BFS, shared by every L004 probe."""
+        if self._escaping is None:
+            sinks = []
+            for expr in primitive_sink_args(self.program):
+                node = self.peek(expr)
+                if node is not None:
+                    sinks.append(node)
+            reached = reachable_from(self.graph, sinks)
+            self._c_visited.inc(len(reached))
+            escaping: Dict[str, Lam] = {}
+            for node in reached:
+                if node.kind != "expr":
+                    continue
+                if isinstance(node.expr, Lam):
+                    escaping[node.expr.label] = node.expr
+                for expr in node.absorbed:
+                    if isinstance(expr, Lam):
+                        escaping[expr.label] = expr
+            self._escaping = escaping
+        return self._escaping
+
+
+def primitive_sink_args(program) -> Iterable:
+    """The expressions handed to primitives — the "external sinks" a
+    function can escape through (Section 8's effectful applications
+    are a subset of these)."""
+    for node in program.nodes:
+        if isinstance(node, Prim):
+            for arg in node.args:
+                yield arg
+
+
+class LintPass:
+    """Base class: one rule code, one severity, one linear traversal."""
+
+    code: str = ""
+    name: str = ""
+    severity: str = "warning"
+    #: False when a finding may newly appear on a construct outside
+    #: the redefinition scope (the session then always runs it fully).
+    incremental: bool = True
+
+    def run(
+        self, ctx: LintContext, scope: Optional[Set[int]] = None
+    ) -> List[Finding]:
+        raise NotImplementedError
+
+    def _in_scope(self, expr, scope: Optional[Set[int]]) -> bool:
+        return scope is None or expr.nid in scope
+
+    def finding(self, expr, message: str, label=None) -> Finding:
+        return Finding(
+            self.code,
+            self.severity,
+            expr.nid,
+            message,
+            label=label,
+            **_span(expr),
+        )
+
+
+class DeadLambdaPass(LintPass):
+    """L001 — an abstraction no call site can ever invoke.
+
+    Bounded-set propagation (k=1) annotates every abstraction with its
+    caller multiplicity; bottom means dead. Dead code that is *values*
+    (never-called closures) is invisible to reachability-style dead
+    code elimination on the CFG — this is the CFA-level counterpart.
+    """
+
+    code = "L001"
+    name = "dead-lambda"
+    severity = "warning"
+
+    def run(self, ctx, scope=None):
+        findings = []
+        never = ctx.called_once.never_called
+        for lam in ctx.program.abstractions:
+            if not self._in_scope(lam, scope):
+                continue
+            if lam.label in never:
+                findings.append(
+                    self.finding(
+                        lam,
+                        f"function '{lam.label}' is never called: "
+                        "no call site can invoke it",
+                        label=lam.label,
+                    )
+                )
+        return findings
+
+
+class StuckApplicationPass(LintPass):
+    """L002 — an application whose operator label set is provably
+    empty: ``L(e1) = {}`` so the call can never fire (the expression
+    is stuck or dead at runtime).
+
+    One backward BFS from all lambda-bearing nodes marks every node
+    that can reach an abstraction; an operator node left unmarked has
+    an empty label set, with no per-site label-set materialisation.
+    """
+
+    code = "L002"
+    name = "stuck-application"
+    severity = "error"
+
+    def run(self, ctx, scope=None):
+        findings = []
+        alive = ctx.nodes_reaching_lambda
+        for site in ctx.program.applications:
+            if not self._in_scope(site, scope):
+                continue
+            op_node = ctx.peek(site.fn)
+            if op_node is None:
+                continue  # depth-capped away; no verdict
+            if op_node not in alive:
+                findings.append(
+                    self.finding(
+                        site,
+                        "this application can never fire: the "
+                        "operator's label set is provably empty",
+                    )
+                )
+        return findings
+
+
+class CalledOncePass(LintPass):
+    """L003 — an abstraction called from exactly one site: the classic
+    inline-without-code-growth candidate (paper abstract, item 3)."""
+
+    code = "L003"
+    name = "called-once-inline-candidate"
+    severity = "info"
+
+    def run(self, ctx, scope=None):
+        findings = []
+        result = ctx.called_once
+        for label in sorted(result.once_labels):
+            lam = ctx.program.abstraction(label)
+            if not self._in_scope(lam, scope):
+                continue
+            site = result.unique_site(label)
+            findings.append(
+                self.finding(
+                    lam,
+                    f"function '{label}' is called from exactly one "
+                    f"site (nid {site.nid}): inlining it cannot grow "
+                    "code",
+                    label=label,
+                )
+            )
+        return findings
+
+
+class EscapingFunctionPass(LintPass):
+    """L004 — a lambda flows into a primitive/external sink, escaping
+    the analysed call structure (so e.g. the L001/L003 caller counts
+    cannot be trusted for specialisation past this point).
+
+    One forward BFS from every primitive-argument node; abstractions
+    reached have a flow path into the sink. Not incremental: a new
+    definition can make an *old* lambda escape, so sessions always run
+    this pass over the whole program.
+    """
+
+    code = "L004"
+    name = "escaping-function"
+    severity = "warning"
+    incremental = False
+
+    def run(self, ctx, scope=None):
+        findings = []
+        for label in sorted(ctx.escaping_lambdas):
+            lam = ctx.escaping_lambdas[label]
+            if not self._in_scope(lam, scope):
+                continue
+            findings.append(
+                self.finding(
+                    lam,
+                    f"function '{label}' flows into a primitive sink "
+                    "and escapes the analysed call structure",
+                    label=label,
+                )
+            )
+        return findings
+
+
+class UnusedBindingPass(LintPass):
+    """L005 — a let/letrec binding whose variable node is never
+    demanded: LC' added no occurrence edge into it, so the bound value
+    flows nowhere.
+
+    In-edges to a variable node come only from use occurrences (build
+    rules route binding edges *out of* the node and closure conclusions
+    only target operator nodes), so ``in_degree == 0`` is exactly
+    "never used". Conventionally-ignored names (leading underscore)
+    are skipped; a letrec used only by its own recursive occurrence
+    still counts as used (L001 flags the enclosed lambda instead).
+    Congruence class nodes may merge variables and suppress a finding —
+    conservative, never a false positive.
+    """
+
+    code = "L005"
+    name = "unused-binding"
+    severity = "warning"
+
+    def run(self, ctx, scope=None):
+        findings = []
+        for node in ctx.program.nodes:
+            if not isinstance(node, (Let, Letrec)):
+                continue
+            if not self._in_scope(node, scope):
+                continue
+            if node.name.startswith("_"):
+                continue
+            var_node = ctx.factory.peek_var(node.name)
+            if var_node is None or ctx.graph.in_degree(var_node) == 0:
+                findings.append(
+                    self.finding(
+                        node,
+                        f"binding '{node.name}' is never used: its "
+                        "variable node is never demanded by LC'",
+                    )
+                )
+        return findings
+
+
+#: Registry of shipped passes, in rule-code order.
+ALL_PASSES = (
+    DeadLambdaPass,
+    StuckApplicationPass,
+    CalledOncePass,
+    EscapingFunctionPass,
+    UnusedBindingPass,
+)
+
+
+def default_passes() -> Sequence[LintPass]:
+    """Fresh instances of every shipped pass."""
+    return tuple(cls() for cls in ALL_PASSES)

@@ -14,7 +14,8 @@ such phase, e.g. the hybrid driver's cubic fallback)::
     {
       "schema":  "repro.metrics/1",
       "version": "<library version>",
-      "engine":  {"name": ..., "driver": ..., "fallback": bool},
+      "engine":  {"name": ..., "driver": ..., "fallback": bool,
+                  "fallback_reason": "budget"|"inference"|null},
       "program": {"size": int, "abstractions": int, "applications": int},
       "phases":  {"build"|"close"|"total":
                     {"seconds": float, "nodes": int, "edges": int}} | null,
@@ -131,9 +132,13 @@ def collect_metrics(result) -> Dict[str, object]:
 
     driver = "lc"
     fallback = False
+    fallback_reason = None
+    attempt_registry = None
     if isinstance(result, HybridResult):
         driver = "hybrid"
         fallback = result.engine != "subtransitive"
+        fallback_reason = result.fallback_reason
+        attempt_registry = result.registry
         result = result.result
 
     queries = {"count": 0, "visited_nodes": 0}
@@ -157,6 +162,7 @@ def collect_metrics(result) -> Dict[str, object]:
             "name": "subtransitive",
             "driver": driver,
             "fallback": fallback,
+            "fallback_reason": fallback_reason,
         }
         document.update(_subtransitive_sections(sub, queries))
     else:
@@ -165,6 +171,7 @@ def collect_metrics(result) -> Dict[str, object]:
             or "unknown",
             "driver": driver,
             "fallback": fallback,
+            "fallback_reason": fallback_reason,
         }
         document.update(
             {
@@ -173,7 +180,14 @@ def collect_metrics(result) -> Dict[str, object]:
                 "nodes": None,
                 "graph": None,
                 "queries": queries,
-                "registry": {"counters": {}, "gauges": {}, "timers": {}},
+                # After a hybrid fallback the abandoned LC' attempt's
+                # counters (budget burn, hybrid.fallback.<reason>) are
+                # the interesting part of the story — export them.
+                "registry": (
+                    attempt_registry.snapshot()
+                    if attempt_registry is not None
+                    else {"counters": {}, "gauges": {}, "timers": {}}
+                ),
             }
         )
     return document
@@ -241,6 +255,12 @@ def validate_metrics(document) -> Dict[str, object]:
         "$.engine.fallback",
         "expected bool",
     )
+    if engine.get("fallback_reason") is not None:
+        _expect(
+            isinstance(engine["fallback_reason"], str),
+            "$.engine.fallback_reason",
+            "expected string/null",
+        )
 
     program = document["program"]
     _expect(isinstance(program, dict), "$.program", "expected object")

@@ -223,6 +223,13 @@ class AnalysisSession:
         #: Per-define/query graph-growth deltas, in operation order
         #: (see :meth:`metrics`).
         self.history: List[Dict[str, object]] = []
+        #: Last :meth:`lint` outcome plus the session shape it was
+        #: computed at, for incremental re-linting.
+        self._lint_cache: Dict[str, object] = {
+            "result": None,
+            "ops": 0,
+            "size": 0,
+        }
 
     def _record_delta(
         self, op: str, name: Optional[str], fn
@@ -372,6 +379,67 @@ class AnalysisSession:
     def graph_edges(self) -> int:
         return self.engine.graph.edge_count
 
+    def _graph_view(self):
+        """The session's graph packaged as a
+        :class:`~repro.core.lc.SubtransitiveGraph` (shared by
+        :meth:`metrics`, :meth:`lint` and the sanitizer)."""
+        from repro.core.lc import SubtransitiveGraph
+
+        engine = self.engine
+        return SubtransitiveGraph(
+            self.program,  # type: ignore[arg-type]
+            engine.factory,
+            engine.graph,
+            engine.stats,
+            frozenset(engine.close_edge_set),
+        )
+
+    def lint(self, passes=None):
+        """Lint the session program, re-examining only what changed.
+
+        Flows in a session only ever *grow* (redefinition unions), so
+        a finding can never newly appear on an untouched construct —
+        except for escape findings, whose pass declares itself
+        non-incremental and always runs in full. The re-lint scope is
+        therefore the nids added since the last lint plus the nids of
+        the previous findings (which are the only places a verdict can
+        change). With no intervening operations the cached result is
+        returned as-is (``lint.session.cache_hits`` counts those).
+
+        Passing ``passes`` explicitly bypasses the cache and runs them
+        over the whole program.
+        """
+        from repro.lint.engine import run_lints
+
+        registry = self.engine.stats.registry
+        if passes is not None:
+            return run_lints(
+                self.program, self._graph_view(), passes=passes
+            )
+        cache = self._lint_cache
+        ops = len(self.history)
+        if cache["result"] is not None and cache["ops"] == ops:
+            registry.counter("lint.session.cache_hits").inc()
+            return cache["result"]
+        scope = None
+        if cache["result"] is not None:
+            scope = set(range(cache["size"], self.program.size))
+            scope.update(f.nid for f in cache["result"].findings)
+            registry.counter("lint.session.incremental").inc()
+        timer = registry.timer("session.lint")
+        with timer:
+            result = run_lints(
+                self.program, self._graph_view(), scope=scope
+            )
+        cache["result"] = result
+        cache["ops"] = len(self.history)
+        cache["size"] = self.program.size
+        return result
+
+    def sanitize(self):
+        """Run the LC' well-formedness checks on the session graph."""
+        return self._graph_view().sanitize()
+
     def metrics(self) -> Dict[str, object]:
         """The session's metrics document (``repro.metrics/1`` schema
         with the optional ``session`` section).
@@ -381,18 +449,11 @@ class AnalysisSession:
         picture lives in ``session.history`` and the
         ``session.define`` / ``session.query`` registry timers.
         """
-        from repro.core.lc import SubtransitiveGraph
         from repro.obs.export import collect_metrics
 
         engine = self.engine
         engine._export_gauges()
-        sub = SubtransitiveGraph(
-            self.program,  # type: ignore[arg-type]
-            engine.factory,
-            engine.graph,
-            engine.stats,
-            frozenset(engine.close_edge_set),
-        )
+        sub = self._graph_view()
         document = collect_metrics(sub)
         document["session"] = {
             "defines": len(self.definitions),

@@ -182,3 +182,143 @@ class TestObservabilityFlags:
         ) == 1
         assert "--metrics/--trace require" in capsys.readouterr().err
         assert not target.exists()
+
+
+CLEAN = "let f = fn[f] x => x in (f 1, f 2)"
+OMEGA = "(fn[w] x => x x) (fn[w2] y => y y)"
+
+
+class TestLint:
+    @pytest.fixture()
+    def clean_file(self, tmp_path):
+        path = tmp_path / "clean.ml"
+        path.write_text(CLEAN)
+        return str(path)
+
+    def test_clean_program_exits_zero(self, clean_file, capsys):
+        assert main(["lint", clean_file]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, demo_file, capsys):
+        assert main(["lint", demo_file]) == 1
+        out = capsys.readouterr().out
+        # id is called once; g is never called.
+        assert "L003" in out and "'id'" in out
+        assert "L001" in out and "'g'" in out
+
+    def test_severity_filter_can_clean_the_run(self, demo_file, capsys):
+        assert main(["lint", demo_file, "--severity", "error"]) == 0
+        assert "L001" not in capsys.readouterr().out
+
+    def test_rules_filter(self, demo_file, capsys):
+        assert main(["lint", demo_file, "--rules", "L003"]) == 1
+        out = capsys.readouterr().out
+        assert "L003" in out and "L001" not in out
+
+    def test_unknown_rule_exits_two(self, demo_file, capsys):
+        assert main(["lint", demo_file, "--rules", "L999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_json_envelope(self, demo_file, clean_file, capsys):
+        assert main(
+            ["lint", demo_file, clean_file, "--format", "json"]
+        ) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.lint/1"
+        assert document["errors"] == []
+        assert document["summary"]["files"] == 2
+        assert document["summary"]["exit_code"] == 1
+        by_path = {f["path"]: f for f in document["files"]}
+        assert by_path[clean_file]["findings"] == []
+        assert by_path[demo_file]["engine"] == "subtransitive"
+        assert document["summary"]["by_rule"].keys() >= {"L001", "L003"}
+
+    def test_missing_file_exits_two(self, demo_file, capsys):
+        assert main(["lint", demo_file, "/nonexistent.ml"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error_recorded_in_json(self, tmp_path, capsys):
+        path = tmp_path / "bad.ml"
+        path.write_text("let = ")
+        assert main(["lint", str(path), "--format", "json"]) == 2
+        document = json.loads(capsys.readouterr().out)
+        (error,) = document["errors"]
+        assert error["path"] == str(path)
+        assert document["summary"]["exit_code"] == 2
+
+    def test_sanitize_flag_reports(self, demo_file, capsys):
+        assert main(["lint", demo_file, "--sanitize"]) == 1
+        # The report rides along in the text output (and in the JSON
+        # document under "sanitize").
+        assert "sanitize: ok" in capsys.readouterr().out
+
+    def test_untypeable_program_falls_back(self, tmp_path, capsys):
+        path = tmp_path / "omega.ml"
+        path.write_text(OMEGA)
+        assert main(["lint", str(path), "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        (entry,) = document["files"]
+        assert entry["engine"] == "standard"
+        assert entry["fallback_reason"] == "budget"
+        assert all(
+            f["via"] == "standard" for f in entry["findings"]
+        )
+
+    def test_subtransitive_algorithm_terminates_on_untypeable(
+        self, tmp_path, capsys
+    ):
+        # Forcing LC' on an untypeable program still terminates (the
+        # depth cap truncates the operator towers) but may miss flows
+        # -- which is exactly why the default is the hybrid driver.
+        path = tmp_path / "omega.ml"
+        path.write_text(OMEGA)
+        assert main(
+            ["lint", str(path), "--algorithm", "subtransitive"]
+        ) == 1
+
+    def test_metrics_requires_single_file(
+        self, demo_file, clean_file, tmp_path, capsys
+    ):
+        target = tmp_path / "m.json"
+        assert main(
+            ["lint", demo_file, clean_file, "--metrics", str(target)]
+        ) == 2
+        assert "exactly one input file" in capsys.readouterr().err
+
+    def test_metrics_include_lint_sections(
+        self, demo_file, tmp_path, capsys
+    ):
+        from repro.obs import validate_metrics
+
+        target = tmp_path / "m.json"
+        assert main(
+            ["lint", demo_file, "--metrics", str(target)]
+        ) == 1
+        document = validate_metrics(json.loads(target.read_text()))
+        timers = document["registry"]["timers"]
+        assert "lint.pass.L001" in timers
+        counters = document["registry"]["counters"]
+        assert counters["queries.labels_of"] == 0
+
+
+class TestSanitizeFlag:
+    def test_analyze_sanitize(self, demo_file, capsys):
+        assert main(["analyze", demo_file, "--sanitize"]) == 0
+        assert "sanitize: ok" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["query", "--label", "g"],
+            ["effects"],
+            ["klimited", "-k", "1"],
+            ["called-once"],
+            ["dot"],
+        ],
+    )
+    def test_other_entry_points_sanitize(self, demo_file, capsys, argv):
+        command, rest = argv[0], argv[1:]
+        assert main(
+            [command, demo_file] + rest + ["--sanitize"]
+        ) == 0
+        assert "sanitize: ok" in capsys.readouterr().err

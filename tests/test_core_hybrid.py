@@ -78,3 +78,53 @@ class TestInterface:
         prog = parse("(fn[f] x => x x) (fn[g] y => y)")
         hybrid = analyze_hybrid(prog, node_budget=5)
         assert hybrid.engine == "standard"
+
+
+class TestFallbackObservability:
+    OMEGA = "(fn[w] x => x x) (fn[w2] y => y y)"
+
+    def test_fallback_reason_and_counters(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        prog = parse(self.OMEGA)
+        hybrid = analyze_hybrid(prog, registry=registry)
+        assert hybrid.engine == "standard"
+        assert hybrid.fallback_reason == "budget"
+        assert registry.counter("hybrid.fallbacks").value == 1
+        assert registry.counter("hybrid.fallback.budget").value == 1
+        # The abandoned attempt's registry rides on the result so
+        # metrics documents can still report its budget burn.
+        assert hybrid.registry is registry
+
+    def test_no_reason_when_subtransitive_wins(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        prog = parse("(fn[f] x => x x) (fn[g] y => y)")
+        hybrid = analyze_hybrid(prog, registry=registry)
+        assert hybrid.fallback_reason is None
+        assert registry.counter("hybrid.fallback.budget").value == 0
+
+    def test_metrics_document_records_reason(self):
+        from repro.obs import MetricsRegistry, collect_metrics
+        from repro.obs import validate_metrics
+
+        registry = MetricsRegistry()
+        prog = parse(self.OMEGA)
+        hybrid = analyze_hybrid(prog, registry=registry)
+        document = validate_metrics(collect_metrics(hybrid))
+        assert document["engine"]["fallback"] is True
+        assert document["engine"]["fallback_reason"] == "budget"
+        counters = document["registry"]["counters"]
+        assert counters["hybrid.fallback.budget"] == 1
+
+    def test_metrics_reason_null_without_fallback(self):
+        from repro.obs import collect_metrics, validate_metrics
+
+        prog = parse("(fn[f] x => x x) (fn[g] y => y)")
+        document = validate_metrics(
+            collect_metrics(analyze_hybrid(prog))
+        )
+        assert document["engine"]["fallback"] is False
+        assert document["engine"]["fallback_reason"] is None

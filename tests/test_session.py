@@ -146,3 +146,88 @@ class TestEvaluate:
         assert isinstance(result.value, object)
         # The analysed label set covers the runtime value.
         assert session.query("id g") >= {"g"}
+
+
+class TestSessionLint:
+    def test_dead_definition_flagged(self):
+        session = AnalysisSession()
+        session.define("dead", "fn[dead] x => x")
+        result = session.lint()
+        assert "L001" in result.rules_fired()
+
+    def test_redefinition_flips_verdicts(self):
+        session = AnalysisSession()
+        session.define("g", "fn[g] y => y")
+        first = session.lint()
+        assert any(
+            f.rule == "L001" and f.label == "g" for f in first.findings
+        )
+        session.define("use", "g 1")
+        second = session.lint()
+        assert not any(
+            f.rule == "L001" and f.label == "g"
+            for f in second.findings
+        )
+        assert any(
+            f.rule == "L003" and f.label == "g"
+            for f in second.findings
+        )
+
+    def test_repeat_lint_hits_cache(self):
+        session = AnalysisSession()
+        session.define("id", "fn[id] x => x")
+        first = session.lint()
+        second = session.lint()
+        assert second is first
+        registry = session.engine.stats.registry
+        assert registry.counter("lint.session.cache_hits").value == 1
+
+    def test_incremental_path_taken_and_timed(self):
+        session = AnalysisSession()
+        session.define("a", "fn[a] x => x")
+        session.lint()
+        session.define("b", "fn[b] y => y")
+        session.lint()
+        registry = session.engine.stats.registry
+        assert registry.counter("lint.session.incremental").value == 1
+        assert registry.timer("session.lint").count == 2
+
+    def test_incremental_lint_equals_full_lint(self):
+        from repro.lint import run_lints
+
+        session = AnalysisSession()
+        steps = [
+            ("g", "fn[g] y => y"),
+            ("h", "fn[h] z => z"),
+            ("use", "g 1"),
+            ("use2", "g 2"),
+            ("pair", "(h, use)"),
+        ]
+        for name, source in steps:
+            session.define(name, source)
+            session.lint()  # exercise the incremental path each step
+        incremental = session.lint()
+        full = run_lints(session.program, session._graph_view())
+        assert {(f.rule, f.nid) for f in incremental.findings} == {
+            (f.rule, f.nid) for f in full.findings
+        }
+
+    def test_explicit_passes_bypass_cache(self):
+        from repro.lint import DeadLambdaPass
+
+        session = AnalysisSession()
+        session.define("dead", "fn[dead] x => x")
+        cached = session.lint()
+        explicit = session.lint(passes=[DeadLambdaPass])
+        assert explicit is not cached
+        assert set(explicit.rules_fired()) == {"L001"}
+
+    def test_session_sanitize_ok(self):
+        session = AnalysisSession()
+        session.define("id", "fn[id] x => x")
+        session.define("r", "id id")
+        report = session.sanitize()
+        assert report.ok, report.render()
+        # The DTC oracle cannot see session binding edges; the
+        # sanitizer must skip that comparison for session graphs.
+        assert not report.dtc_checked
