@@ -1,0 +1,121 @@
+"""E15 — serve: batch throughput and cache effectiveness.
+
+The batch service's two claims, measured:
+
+* **fan-out** — a corpus of independent programs analysed over a
+  ``ProcessPoolExecutor`` should finish faster with more workers (per
+  -program analysis is already linear, so speedup is bounded by
+  process overhead on small programs);
+* **reuse** — a warm second run over an unchanged corpus should be
+  dominated by cache lookups: a 100% hit rate and near-zero seconds.
+
+Workload: the Table 1 cubic family, pretty-printed back to source so
+each job enters through the full service path (normalise, key, parse,
+analyse). Sizes are staggered so jobs are non-uniform, which is what
+makes scheduling interesting.
+"""
+
+import pytest
+
+from repro.bench import Table
+from repro.lang.printer import pretty_program
+from repro.serve import BatchRunner
+from repro.workloads.cubic import make_cubic_program
+
+#: Cubic-family sizes; repeated round-robin to fill the corpus.
+SIZES = [8, 16, 24, 32]
+
+#: Worker counts swept by the report.
+WORKERS = [1, 2, 4]
+
+#: Corpus size (number of distinct programs).
+COUNT = 12
+
+
+def make_corpus(count=COUNT, sizes=SIZES):
+    """``(name, source)`` pairs, distinct by construction."""
+    corpus = []
+    for i in range(count):
+        n = sizes[i % len(sizes)]
+        program = make_cubic_program(n)
+        # A distinct trailing binding keeps every source (and thus
+        # every cache key) unique even when sizes repeat.
+        source = (
+            f"let uniq{i} = fn[uniq{i}] u => u in\n"
+            + pretty_program(program)
+        )
+        corpus.append((f"cubic{n}_{i}.lam", source))
+    return corpus
+
+
+def run_report(workers=WORKERS, count=COUNT):
+    table = Table(
+        [
+            "workers",
+            "jobs",
+            "cold t",
+            "cold jobs/s",
+            "warm t",
+            "warm jobs/s",
+            "hit rate",
+        ],
+        title="E15 — batch service throughput, cold vs warm cache",
+    )
+    rows = []
+    corpus = make_corpus(count=count)
+    for jobs in workers:
+        runner = BatchRunner(jobs=jobs)
+        cold = runner.run_sources(corpus)
+        assert cold.ok, f"cold batch failed: {cold.counts}"
+        before = runner.cache.stats()
+        warm = runner.run_sources(corpus)
+        assert warm.ok, f"warm batch failed: {warm.counts}"
+        after = runner.cache.stats()
+        hits = after["hits"] - before["hits"]
+        lookups = hits + after["misses"] - before["misses"]
+        hit_rate = hits / lookups if lookups else 0.0
+        table.add_row(
+            jobs,
+            len(corpus),
+            cold.seconds,
+            len(corpus) / cold.seconds,
+            warm.seconds,
+            len(corpus) / warm.seconds,
+            hit_rate,
+        )
+        rows.append(
+            {
+                "workers": jobs,
+                "jobs": len(corpus),
+                "cold_seconds": cold.seconds,
+                "cold_throughput": len(corpus) / cold.seconds,
+                "warm_seconds": warm.seconds,
+                "warm_throughput": len(corpus) / warm.seconds,
+                "warm_hit_rate": hit_rate,
+                "counts": dict(cold.counts),
+            }
+        )
+    return table, rows
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_batch_throughput(benchmark, jobs):
+    corpus = make_corpus(count=6)
+    runner = BatchRunner(jobs=jobs)
+    runner.run_sources(corpus)  # warm the cache once
+    benchmark(lambda: runner.run_sources(corpus))
+
+
+def test_serve_shape():
+    _, rows = run_report(workers=[1, 2], count=6)
+    for row in rows:
+        # Every job completes, and the warm run is served from cache.
+        assert row["counts"]["error"] == 0
+        assert row["counts"]["timeout"] == 0
+        assert row["warm_hit_rate"] >= 0.9  # ISSUE.md acceptance bar
+        assert row["warm_seconds"] < row["cold_seconds"]
+
+
+if __name__ == "__main__":
+    table, _ = run_report()
+    print(table.render())

@@ -5,7 +5,7 @@ Usage::
     python benchmarks/run_all.py [--quick] [--metrics PATH | --no-metrics]
 
 Prints the reproduction of each experiment indexed in DESIGN.md (E1 -
-E14), in order. ``--quick`` shrinks the sweeps for a fast smoke run.
+E15), in order. ``--quick`` shrinks the sweeps for a fast smoke run.
 EXPERIMENTS.md records a reference run of this script.
 
 Every run also writes a machine-readable metrics document (default
@@ -32,6 +32,7 @@ import bench_hybrid
 import bench_joinpoint
 import bench_lint
 import bench_polyvariant
+import bench_serve
 import bench_table1_cubic_family
 import bench_table2_ml_programs
 
@@ -214,6 +215,16 @@ def main(quick: bool = False, metrics_path=None) -> None:
         sizes=[8, 16, 32] if quick else bench_lint.SIZES
     )
     record("E14", "lint passes over the subtransitive graph", rows)
+    print(table.render())
+
+    print("\n" + "=" * 72)
+    print("E15 (extra) — batch service throughput, cold vs warm cache")
+    print("=" * 72)
+    table, rows = bench_serve.run_report(
+        workers=[1, 2] if quick else bench_serve.WORKERS,
+        count=6 if quick else bench_serve.COUNT,
+    )
+    record("E15", "batch service throughput, cold vs warm cache", rows)
     print(table.render())
 
     if metrics_path is not None:

@@ -95,11 +95,17 @@ def analyze(program: Program, algorithm: str = "subtransitive", **kwargs):
 
 def __getattr__(name):
     # Lazy so `python -m repro.lint.sanitize` stays runnable without
-    # runpy's found-in-sys.modules-before-execution warning.
+    # runpy's found-in-sys.modules-before-execution warning, and so
+    # importing repro never pulls in concurrent.futures machinery
+    # unless the batch service is actually used.
     if name == "sanitize":
         from repro.lint.sanitize import sanitize
 
         return sanitize
+    if name in ("BatchRunner", "BatchResult", "ResultCache"):
+        import repro.serve as serve
+
+        return getattr(serve, name)
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}"
     )
@@ -109,6 +115,9 @@ __all__ = [
     "AnalysisBudgetExceeded",
     "AnalysisError",
     "AnalysisSession",
+    "BatchResult",
+    "BatchRunner",
+    "ResultCache",
     "EvaluationError",
     "FuelExhausted",
     "LexError",

@@ -2,9 +2,13 @@
 
 Usage (also available as ``python -m repro``)::
 
-    repro analyze  prog.ml [--algorithm subtransitive] [--json]
-                   [--metrics out.json] [--trace out.jsonl] [--sanitize]
-    repro lint     prog.ml [more.ml ...] [--format json|text]
+    repro analyze  prog.ml [more.ml ... | dir/] [--algorithm subtransitive]
+                   [--json] [--metrics out.json] [--trace out.jsonl]
+                   [--sanitize]
+    repro batch    dir/ [more ...] [--jobs N] [--timeout S]
+                   [--cache-dir PATH] [--lint] [--sanitize]
+                   [--format text|jsonl]
+    repro lint     prog.ml [more.ml ... | dir/] [--format json|text]
                    [--severity info|warning|error] [--rules L001,L002]
                    [--sanitize] [--metrics out.json] [--trace out.jsonl]
     repro query    prog.ml --label inc [--expr NID]
@@ -15,11 +19,18 @@ Usage (also available as ``python -m repro``)::
     repro eval     prog.ml [--fuel N]
     repro dot      prog.ml [-o graph.dot]
 
+``analyze`` and ``lint`` accept any mix of files and directories
+(directories contribute their ``*.lam`` files); multi-input runs go
+through the :mod:`repro.serve` batch runner sequentially, while
+``batch`` fans the same corpus out across worker processes with a
+content-addressed result cache (see docs/SERVICE.md).
+
 Every subcommand accepts ``-`` as the file to read the program from
 stdin. Exit status is 0 on success, 1 on analysis/user errors (with a
 diagnostic on stderr), 2 on usage errors (argparse). ``lint`` uses the
 conventional linter codes instead: 0 clean, 1 findings, 2 on
-errors *or sanitizer violations*.
+errors *or sanitizer violations*. ``batch`` exits 0 only when no job
+ended ``error`` or ``timeout``.
 """
 
 from __future__ import annotations
@@ -56,6 +67,27 @@ def _read_program(path: str):
         with open(path, "r", encoding="utf-8") as handle:
             source = handle.read()
     return parse(source)
+
+
+def _expand_cli_inputs(paths: List[str]) -> List[str]:
+    """Directories contribute their ``*.lam`` members; everything
+    else (files, ``-`` for stdin, even missing paths) passes through
+    unchanged so each subcommand keeps its own error reporting."""
+    import glob as _glob
+    import os as _os
+
+    out: List[str] = []
+    for path in paths:
+        if path != "-" and _os.path.isdir(path):
+            expanded = sorted(
+                _glob.glob(_os.path.join(path, "*.lam"))
+            )
+        else:
+            expanded = [path]
+        for item in expanded:
+            if item not in out:
+                out.append(item)
+    return out
 
 
 #: Algorithms whose drivers accept ``registry``/``tracer`` plumbing
@@ -126,7 +158,78 @@ def _sanitize_result(result, path: str) -> int:
     return 0 if report.ok else 1
 
 
+def _render_envelope_table(envelope) -> str:
+    """The analyze call-graph table, rebuilt from a ``repro.result/1``
+    envelope (what multi-file runs get back from the batch runner)."""
+    table = Table(["site", "source", "may call"])
+    call_graph = envelope["call_graph"]
+    for nid in sorted(call_graph, key=int):
+        entry = call_graph[nid]
+        table.add_row(
+            nid, entry["source"], ", ".join(entry["callees"]) or "-"
+        )
+    return table.render()
+
+
+def _cmd_analyze_many(args, paths: List[str]) -> int:
+    """Sequential multi-file analyze via the batch runner."""
+    from repro.serve import BatchRunner
+
+    if args.metrics or args.trace:
+        print(
+            "error: --metrics/--trace require exactly one input file",
+            file=sys.stderr,
+        )
+        return 1
+    runner = BatchRunner(
+        jobs=1,
+        options={
+            "algorithm": args.algorithm,
+            "sanitize": bool(args.sanitize),
+        },
+    )
+    batch = runner.run_paths(paths)
+    if args.json:
+        documents = [
+            {"path": result.path, "status": result.status,
+             "error": result.error, "result": result.envelope}
+            for result in batch.results
+        ]
+        print(json.dumps(documents, indent=2, sort_keys=True))
+        return batch.exit_code
+    for result in batch.results:
+        print(f"== {result.path} ==")
+        if result.envelope is None:
+            print(f"{result.status}: {result.error}", file=sys.stderr)
+            continue
+        print(_render_envelope_table(result.envelope))
+        if result.status != "ok":
+            print(
+                f"status: {result.status}"
+                + (
+                    f" ({result.fallback_reason})"
+                    if result.fallback_reason
+                    else ""
+                )
+            )
+        section = result.envelope.get("sanitize")
+        if section is not None:
+            verdict = "ok" if section["ok"] else (
+                f"{len(section['violations'])} violation(s)"
+            )
+            print(f"sanitize: {verdict}", file=sys.stderr)
+        print()
+    return batch.exit_code
+
+
 def _cmd_analyze(args) -> int:
+    paths = _expand_cli_inputs(args.files)
+    if not paths:
+        print("error: no inputs found", file=sys.stderr)
+        return 1
+    if len(paths) > 1:
+        return _cmd_analyze_many(args, paths)
+    args.file = paths[0]
     program = _read_program(args.file)
     tracer = None
     kwargs = {}
@@ -173,10 +276,82 @@ def _cmd_analyze(args) -> int:
     return status
 
 
+def _cmd_batch(args) -> int:
+    from repro.serve import BatchRunner, expand_inputs
+    from repro.serve.protocol import to_jsonl
+
+    paths = expand_inputs(args.paths)
+    if not paths:
+        print("error: no *.lam inputs found", file=sys.stderr)
+        return 1
+    runner = BatchRunner(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        options={
+            "algorithm": args.algorithm,
+            "lint": bool(args.lint),
+            "sanitize": bool(args.sanitize),
+        },
+        cache_dir=args.cache_dir,
+        cache_capacity=args.cache_size,
+    )
+    batch = runner.run_paths(paths)
+    if args.format == "jsonl":
+        print(to_jsonl(batch.records(include_envelopes=args.envelopes)))
+        return batch.exit_code
+    table = Table(
+        ["job", "path", "status", "cache", "seconds", "detail"]
+    )
+    for result in batch.results:
+        detail = result.fallback_reason or result.error or ""
+        lint_section = (
+            (result.envelope or {}).get("lint")
+            if result.envelope
+            else None
+        )
+        if lint_section is not None:
+            findings = len(lint_section["findings"])
+            noun = "finding" if findings == 1 else "findings"
+            detail = (
+                f"{detail + '; ' if detail else ''}{findings} "
+                f"lint {noun}"
+            )
+        table.add_row(
+            result.jid,
+            result.path or "<source>",
+            result.status,
+            result.cache,
+            f"{result.seconds:.3f}",
+            detail,
+        )
+    print(table.render())
+    counts = batch.counts
+    summary = ", ".join(
+        f"{count} {status}" for status, count in counts.items() if count
+    )
+    stats = runner.cache.stats()
+    lookups = stats["hits"] + stats["misses"]
+    rate = stats["hits"] / lookups if lookups else 0.0
+    print(
+        f"\n{len(batch.results)} job(s) in {batch.seconds:.3f}s "
+        f"({args.jobs} worker(s)): {summary}"
+    )
+    print(
+        f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es), "
+        f"{stats['evictions']} eviction(s) — {rate:.0%} hit rate",
+        file=sys.stderr,
+    )
+    return batch.exit_code
+
+
 def _cmd_lint(args) -> int:
     from repro.core.hybrid import analyze_hybrid
     from repro.core.lc import build_subtransitive_graph
 
+    args.files = _expand_cli_inputs(args.files)
+    if not args.files:
+        print("error: no inputs found", file=sys.stderr)
+        return 2
     if args.metrics and len(args.files) != 1:
         print(
             "error: --metrics requires exactly one input file",
@@ -423,7 +598,13 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     p = sub.add_parser("analyze", help="print the call graph")
-    add_common(p)
+    p.add_argument(
+        "files",
+        nargs="+",
+        help="mini-ML source files, directories of *.lam files, "
+        "or - for stdin (multi-input runs go through the batch "
+        "runner sequentially)",
+    )
     p.add_argument(
         "--algorithm",
         default="subtransitive",
@@ -440,15 +621,83 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--metrics",
         metavar="PATH",
-        help="write a repro.metrics/1 JSON document to PATH",
+        help="write a repro.metrics/1 JSON document to PATH "
+        "(single input only)",
     )
     p.add_argument(
         "--trace",
         metavar="PATH",
-        help="write a JSONL engine-event trace to PATH",
+        help="write a JSONL engine-event trace to PATH "
+        "(single input only)",
     )
     add_sanitize(p)
     p.set_defaults(run=_cmd_analyze)
+
+    p = sub.add_parser(
+        "batch",
+        help="analyse a corpus in parallel with a content-addressed "
+        "result cache",
+    )
+    p.add_argument(
+        "paths",
+        nargs="+",
+        help="source files and/or directories of *.lam files",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default: 1 = sequential, in-process)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-job wall-clock budget in seconds (default: none); "
+        "timed-out jobs are re-run once via the standard algorithm "
+        "and tagged degraded",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="directory for the on-disk result cache tier "
+        "(default: memory-only)",
+    )
+    p.add_argument(
+        "--cache-size",
+        type=int,
+        default=512,
+        metavar="N",
+        help="in-memory LRU capacity (default: %(default)s entries)",
+    )
+    p.add_argument(
+        "--algorithm",
+        default="hybrid",
+        choices=["hybrid", "subtransitive", "standard"],
+        help="analysis engine (default: hybrid — total on untypeable "
+        "programs)",
+    )
+    p.add_argument(
+        "--lint",
+        action="store_true",
+        help="run the L001-L005 lint passes per job",
+    )
+    add_sanitize(p)
+    p.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "jsonl"],
+        help="text table (default) or the repro.batch/1 JSONL stream",
+    )
+    p.add_argument(
+        "--envelopes",
+        action="store_true",
+        help="include full repro.result/1 envelopes in jsonl job "
+        "records",
+    )
+    p.set_defaults(run=_cmd_batch)
 
     p = sub.add_parser(
         "lint",
@@ -458,7 +707,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "files",
         nargs="+",
-        help="mini-ML source files, or - for stdin",
+        help="mini-ML source files, directories of *.lam files, "
+        "or - for stdin",
     )
     p.add_argument(
         "--format",

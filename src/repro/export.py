@@ -7,14 +7,20 @@ ship results to other tools.
 * :func:`graph_to_dot` renders a subtransitive graph (or any analysed
   subset of it) as Graphviz DOT, with build and close edges
   distinguished and abstraction nodes highlighted;
-* :func:`result_to_json` serialises any :class:`~repro.cfa.base.
-  CFAResult`-compatible analysis into a stable JSON document (per-site
-  call graph, per-label flow sets, label table) that downstream tools
-  can consume without importing this library.
+* :func:`result_to_dict` / :func:`result_to_json` serialise any
+  :class:`~repro.cfa.base.CFAResult`-compatible analysis into the
+  versioned, **byte-stable** ``repro.result/1`` document (per-site
+  call graph, per-label flow sets, label table, engine provenance)
+  that downstream tools can consume without importing this library;
+* :func:`result_fingerprint` hashes the canonical serialisation, which
+  is what the :mod:`repro.serve` cache and its deep-equality tests key
+  on — two runs over the same program with the same options must
+  produce identical bytes.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Dict, Iterable, Optional, Set
 
@@ -78,16 +84,61 @@ def graph_to_dot(
     return "\n".join(lines)
 
 
-def result_to_json(cfa, indent: Optional[int] = 2) -> str:
-    """Serialise an analysis result to JSON.
+#: Schema tag carried by every result document (and required of every
+#: on-disk :mod:`repro.serve` cache entry).
+RESULT_SCHEMA = "repro.result/1"
+
+
+def _engine_section(cfa) -> Dict[str, Optional[str]]:
+    """Engine provenance for a result document.
+
+    ``driver`` is ``"hybrid"`` when the hybrid driver produced the
+    result (either branch); ``fallback_reason`` mirrors
+    :class:`~repro.core.hybrid.HybridResult.fallback_reason`.
+    """
+    from repro.core.hybrid import HybridResult
+    from repro.core.lc import SubtransitiveGraph
+    from repro.core.queries import SubtransitiveCFA
+
+    driver = "lc"
+    fallback_reason = None
+    result = cfa
+    if isinstance(cfa, HybridResult):
+        driver = "hybrid"
+        fallback_reason = cfa.fallback_reason
+        result = cfa.result
+    if isinstance(result, (SubtransitiveCFA, SubtransitiveGraph)):
+        name = "subtransitive"
+    else:
+        name = (
+            type(result).__name__.replace("CFAResult", "").lower()
+            or "unknown"
+        )
+    return {
+        "name": name,
+        "driver": driver,
+        "fallback_reason": fallback_reason,
+    }
+
+
+def result_to_dict(cfa) -> Dict[str, object]:
+    """The ``repro.result/1`` document for an analysis result.
 
     The document contains:
 
+    * ``schema``: the :data:`RESULT_SCHEMA` tag;
+    * ``engine``: which engine produced the result and why a fallback
+      happened, if one did;
     * ``program``: size and the abstraction label table (label ->
       pretty-printed lambda);
     * ``call_graph``: per application site (by nid, with its source
       text) the callable labels;
     * ``label_flows``: per label, the nids of occurrences it may reach.
+
+    Every collection is deterministically ordered (sorted callee
+    labels, sorted occurrence nids) so that serialising with sorted
+    keys is byte-stable across runs and processes — the property the
+    content-addressed result cache relies on.
     """
     program: Program = cfa.program
     labels: Dict[str, str] = {
@@ -106,9 +157,46 @@ def result_to_json(cfa, indent: Optional[int] = 2) -> str:
         )
         for lam in program.abstractions
     }
-    document = {
+    return {
+        "schema": RESULT_SCHEMA,
+        "engine": _engine_section(cfa),
         "program": {"size": program.size, "labels": labels},
         "call_graph": call_graph,
         "label_flows": label_flows,
     }
-    return json.dumps(document, indent=indent, sort_keys=True)
+
+
+def result_to_json(cfa, indent: Optional[int] = 2) -> str:
+    """Serialise an analysis result as ``repro.result/1`` JSON
+    (sorted keys, deterministic orderings — see
+    :func:`result_to_dict`)."""
+    return json.dumps(result_to_dict(cfa), indent=indent, sort_keys=True)
+
+
+def canonical_json(document: Dict[str, object]) -> str:
+    """The canonical (compact, sorted-keys) serialisation a
+    fingerprint is computed over."""
+    return json.dumps(
+        document,
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+    )
+
+
+def result_fingerprint(result_or_document) -> str:
+    """SHA-256 hex digest of the canonical result serialisation.
+
+    Accepts either an analysis result (anything
+    :func:`result_to_dict` accepts) or an already-built document
+    dict. Equal fingerprints mean byte-identical canonical
+    documents, which is how cache-hit results are checked against
+    freshly computed ones.
+    """
+    document = (
+        result_or_document
+        if isinstance(result_or_document, dict)
+        else result_to_dict(result_or_document)
+    )
+    blob = canonical_json(document).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()

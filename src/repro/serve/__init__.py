@@ -1,0 +1,76 @@
+"""repro.serve — the parallel batch analysis service.
+
+Turns the single-shot analyser into a multi-program, multi-core
+workload with result reuse:
+
+* :mod:`repro.serve.cache` — content-addressed result cache (SHA-256
+  of normalised source + options + engine version; memory LRU tier +
+  optional disk tier holding ``repro.result/1`` envelopes);
+* :mod:`repro.serve.pool` — :class:`BatchRunner`, the
+  ``ProcessPoolExecutor``-backed fan-out with per-job timeouts,
+  bounded retry on worker death, and graceful degradation to the
+  standard algorithm;
+* :mod:`repro.serve.jobs` — :class:`Job`/:class:`JobResult`, the
+  ``ok``/``degraded``/``error``/``timeout`` status taxonomy, and
+  corpus expansion;
+* :mod:`repro.serve.protocol` — the versioned ``repro.batch/1`` JSONL
+  record stream and its validator.
+
+See docs/SERVICE.md for the full protocol and failure taxonomy, and
+``repro batch --help`` for the CLI entry point.
+"""
+
+from repro.serve.cache import (
+    DEFAULT_OPTIONS,
+    ResultCache,
+    cache_key,
+    canonical_options,
+    engine_version,
+    normalize_source,
+)
+from repro.serve.jobs import (
+    FAILED_STATUSES,
+    STATUSES,
+    Job,
+    JobResult,
+    expand_inputs,
+    jobs_from_paths,
+    jobs_from_sources,
+)
+from repro.serve.pool import BatchResult, BatchRunner
+from repro.serve.protocol import (
+    SCHEMA,
+    batch_header,
+    batch_summary,
+    job_record,
+    read_jsonl,
+    to_jsonl,
+    validate_batch_record,
+)
+from repro.serve.worker import run_job
+
+__all__ = [
+    "BatchResult",
+    "BatchRunner",
+    "DEFAULT_OPTIONS",
+    "FAILED_STATUSES",
+    "Job",
+    "JobResult",
+    "ResultCache",
+    "SCHEMA",
+    "STATUSES",
+    "batch_header",
+    "batch_summary",
+    "cache_key",
+    "canonical_options",
+    "engine_version",
+    "expand_inputs",
+    "job_record",
+    "jobs_from_paths",
+    "jobs_from_sources",
+    "normalize_source",
+    "read_jsonl",
+    "run_job",
+    "to_jsonl",
+    "validate_batch_record",
+]

@@ -1,0 +1,476 @@
+"""The batch runner: fan a corpus across cores, survive anything.
+
+:class:`BatchRunner` turns the single-shot analyser into a batch
+service. The execution contract:
+
+* **Cache first.** Every job is keyed (:func:`~repro.serve.cache.
+  cache_key`) and looked up before any work is scheduled; hits never
+  touch the pool.
+* **Parallel misses.** Remaining jobs fan out over a
+  ``ProcessPoolExecutor`` (``jobs`` workers); ``jobs=1`` runs inline
+  in-process — that is the sequential path ``repro analyze``/``lint``
+  reuse for multi-file invocations.
+* **Fault isolation.** A job that raises marks only itself ``error``.
+  A worker that *dies* (segfault, OOM kill) breaks the pool; the pool
+  is rebuilt and the affected jobs retried, with the final attempt
+  run in an isolated single-worker pool so a poison job cannot take
+  collateral. Attempts are bounded by ``max_attempts``.
+* **Timeouts, twice guarded.** Each job carries a wall-clock budget
+  enforced inside the worker via ``SIGALRM``; the parent holds a
+  grace-period backstop for platforms (or stuck C code) where the
+  alarm cannot fire.
+* **Graceful degradation.** A job that times out (or trips the LC'
+  budget — handled in-worker) is re-run once via the
+  always-terminating standard algorithm and tagged ``degraded`` with
+  ``fallback_reason`` (``"timeout"``/``"budget"``/``"inference"``,
+  the :mod:`repro.core.hybrid` taxonomy). The batch never crashes.
+
+Everything the pool does is counted on the shared registry under
+``serve.jobs.*`` / ``serve.pool.*`` (see docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.export import result_fingerprint
+from repro.obs import MetricsRegistry
+from repro.serve.cache import ResultCache, cache_key, canonical_options
+from repro.serve.jobs import (
+    STATUS_DEGRADED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    STATUSES,
+    Job,
+    JobResult,
+    expand_inputs,
+    jobs_from_paths,
+    jobs_from_sources,
+)
+from repro.serve.worker import run_job
+
+#: Seconds of slack the parent-side backstop allows past the per-job
+#: timeout before declaring the worker stuck and recycling the pool.
+TIMEOUT_GRACE = 5.0
+
+
+def _status_from_envelope(envelope: Dict[str, object]) -> str:
+    """Re-derive a cached result's status from its provenance: a
+    recorded fallback means the original run was degraded."""
+    engine = envelope.get("engine") or {}
+    return STATUS_DEGRADED if engine.get("fallback_reason") else STATUS_OK
+
+
+class BatchResult:
+    """Outcome of one batch run: per-job results (input order) plus
+    batch-level accounting."""
+
+    def __init__(
+        self,
+        results: List[JobResult],
+        seconds: float,
+        registry: MetricsRegistry,
+        cache: ResultCache,
+        options: Dict[str, object],
+        workers: int,
+        timeout: Optional[float],
+    ):
+        self.results = results
+        self.seconds = seconds
+        self.registry = registry
+        self.cache = cache
+        self.options = options
+        self.workers = workers
+        self.timeout = timeout
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        counts = {status: 0 for status in STATUSES}
+        for result in self.results:
+            counts[result.status] += 1
+        return counts
+
+    @property
+    def ok(self) -> bool:
+        """True when no job ended ``error`` or ``timeout``."""
+        return all(result.ok for result in self.results)
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def records(
+        self, include_envelopes: bool = False
+    ) -> List[Dict[str, object]]:
+        """The full ``repro.batch/1`` JSONL record sequence."""
+        from repro.serve import protocol
+
+        records: List[Dict[str, object]] = [
+            protocol.batch_header(
+                options=self.options,
+                workers=self.workers,
+                timeout=self.timeout,
+                cache_dir=self.cache.cache_dir,
+            )
+        ]
+        for result in self.results:
+            records.append(
+                protocol.job_record(
+                    result, include_envelope=include_envelopes
+                )
+            )
+        records.append(self.summary())
+        return records
+
+    def summary(self) -> Dict[str, object]:
+        from repro.serve import protocol
+
+        return protocol.batch_summary(
+            counts=self.counts,
+            seconds=self.seconds,
+            cache_stats=self.cache.stats(),
+            exit_code=self.exit_code,
+            registry_snapshot=self.registry.snapshot(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        counts = ", ".join(
+            f"{status}={count}"
+            for status, count in self.counts.items()
+            if count
+        )
+        return f"<BatchResult jobs={len(self.results)} {counts}>"
+
+
+class BatchRunner:
+    """Run batches of analysis jobs over a worker pool with a shared
+    content-addressed result cache."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        timeout: Optional[float] = None,
+        options: Optional[Dict[str, object]] = None,
+        cache: Optional[ResultCache] = None,
+        cache_dir: Optional[str] = None,
+        cache_capacity: int = 512,
+        registry: Optional[MetricsRegistry] = None,
+        max_attempts: int = 2,
+        degrade_timeouts: bool = True,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.jobs = jobs
+        self.timeout = timeout
+        self.options = canonical_options(options)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.cache = (
+            cache
+            if cache is not None
+            else ResultCache(
+                capacity=cache_capacity,
+                cache_dir=cache_dir,
+                registry=self.registry,
+            )
+        )
+        self.max_attempts = max_attempts
+        self.degrade_timeouts = degrade_timeouts
+
+    # -- entry points ------------------------------------------------------
+
+    def run_paths(self, paths: Sequence[str]) -> BatchResult:
+        """Expand files/directories (``*.lam``) and run the corpus."""
+        return self.run(
+            jobs_from_paths(
+                expand_inputs(paths), self.options, self.timeout
+            )
+        )
+
+    def run_sources(
+        self, sources: Sequence[Union[str, Tuple[str, str]]]
+    ) -> BatchResult:
+        """Run in-memory sources (strings or ``(name, source)``)."""
+        return self.run(
+            jobs_from_sources(sources, self.options, self.timeout)
+        )
+
+    def run(self, jobs: List[Job]) -> BatchResult:
+        batch_timer = self.registry.timer("serve.batch.seconds")
+        with batch_timer:
+            results = self._run(jobs)
+        for result in results:
+            self.registry.counter("serve.jobs.total").inc()
+            self.registry.counter(f"serve.jobs.{result.status}").inc()
+        return BatchResult(
+            results,
+            seconds=batch_timer.last_seconds,
+            registry=self.registry,
+            cache=self.cache,
+            options=self.options,
+            workers=self.jobs,
+            timeout=self.timeout,
+        )
+
+    # -- the batch pipeline ------------------------------------------------
+
+    def _run(self, jobs: List[Job]) -> List[JobResult]:
+        results: Dict[int, JobResult] = {}
+        keys: Dict[int, str] = {}
+        pending: List[Job] = []
+        for job in jobs:
+            job.options = canonical_options(
+                {**self.options, **job.options}
+            )
+            if job.timeout is None:
+                job.timeout = self.timeout
+            key = cache_key(job.source, job.options)
+            keys[job.jid] = key
+            lookup_start = time.perf_counter()
+            hit = self.cache.get(key)
+            if hit is not None:
+                envelope, tier = hit
+                engine = envelope.get("engine") or {}
+                results[job.jid] = JobResult(
+                    jid=job.jid,
+                    path=job.path,
+                    status=_status_from_envelope(envelope),
+                    key=key,
+                    cache=tier,
+                    envelope=envelope,
+                    fingerprint=result_fingerprint(envelope),
+                    fallback_reason=engine.get("fallback_reason"),
+                    seconds=time.perf_counter() - lookup_start,
+                    attempts=0,
+                )
+            else:
+                pending.append(job)
+
+        responses = self._execute(pending)
+        self._degrade_timeouts(pending, responses)
+
+        for job in pending:
+            response = responses[job.jid]
+            status = response["status"]
+            envelope = response.get("envelope")
+            result = JobResult(
+                jid=job.jid,
+                path=job.path,
+                status=status,
+                key=keys[job.jid],
+                cache="miss",
+                envelope=envelope,
+                fingerprint=response.get("fingerprint"),
+                fallback_reason=response.get("fallback_reason"),
+                error=response.get("error"),
+                seconds=response.get("seconds", 0.0),
+                attempts=response.get("attempts", 1),
+            )
+            if result.ok and envelope is not None:
+                self.cache.put(result.key, envelope)
+            results[job.jid] = result
+        return [results[job.jid] for job in jobs]
+
+    # -- execution ---------------------------------------------------------
+
+    def _payload(self, job: Job) -> Dict[str, object]:
+        return {
+            "jid": job.jid,
+            "source": job.source,
+            "options": job.options,
+            "timeout": job.timeout,
+            "fault": job.fault,
+        }
+
+    @staticmethod
+    def _backstop(timeout: Optional[float]) -> Optional[float]:
+        return None if timeout is None else timeout + TIMEOUT_GRACE
+
+    @staticmethod
+    def _timeout_response(timeout) -> Dict[str, object]:
+        return {
+            "status": STATUS_TIMEOUT,
+            "error": f"job exceeded its {timeout}s wall-clock budget "
+            "(parent backstop)",
+            "envelope": None,
+            "fingerprint": None,
+            "fallback_reason": None,
+            "seconds": float(timeout or 0.0),
+        }
+
+    def _new_executor(self, workers: Optional[int] = None):
+        return ProcessPoolExecutor(
+            max_workers=workers if workers is not None else self.jobs
+        )
+
+    def _execute(
+        self, pending: List[Job]
+    ) -> Dict[int, Dict[str, object]]:
+        """Worker responses by jid, after bounded retry."""
+        if not pending:
+            return {}
+        if self.jobs == 1:
+            responses = {}
+            for job in pending:
+                response = run_job(self._payload(job))
+                response["attempts"] = 1
+                responses[job.jid] = response
+            return responses
+        return self._execute_pool(pending)
+
+    def _execute_pool(
+        self, pending: List[Job]
+    ) -> Dict[int, Dict[str, object]]:
+        responses: Dict[int, Dict[str, object]] = {}
+        attempts = {job.jid: 0 for job in pending}
+        wave = list(pending)
+        executor = self._new_executor()
+        # Set when a worker blew past the parent-side backstop: that
+        # worker may never return, so shutdown must not wait on it.
+        stuck = False
+        try:
+            while wave:
+                # Jobs on their last attempt run isolated (one fresh
+                # single-worker pool each): a poison job then cannot
+                # take healthy jobs down with it.
+                shared = [
+                    job
+                    for job in wave
+                    if attempts[job.jid] < self.max_attempts - 1
+                ]
+                final = [
+                    job
+                    for job in wave
+                    if attempts[job.jid] >= self.max_attempts - 1
+                ]
+                next_wave: List[Job] = []
+                broken = False
+                if shared:
+                    futures = [
+                        (executor.submit(run_job, self._payload(job)), job)
+                        for job in shared
+                    ]
+                    for future, job in futures:
+                        attempts[job.jid] += 1
+                        try:
+                            responses[job.jid] = future.result(
+                                timeout=self._backstop(job.timeout)
+                            )
+                        except FuturesTimeout:
+                            # SIGALRM never fired: the worker is stuck
+                            # beyond the grace period. Record the
+                            # timeout and recycle the pool.
+                            future.cancel()
+                            responses[job.jid] = self._timeout_response(
+                                job.timeout
+                            )
+                            broken = True
+                            stuck = True
+                        except BrokenExecutor:
+                            broken = True
+                            self.registry.counter(
+                                "serve.pool.worker_deaths"
+                            ).inc()
+                            next_wave.append(job)
+                            self.registry.counter(
+                                "serve.pool.retries"
+                            ).inc()
+                        except Exception as error:  # worker-side bug
+                            responses[job.jid] = {
+                                "status": "error",
+                                "error": (
+                                    f"{type(error).__name__}: {error}"
+                                ),
+                            }
+                    if broken:
+                        executor.shutdown(
+                            wait=not stuck, cancel_futures=True
+                        )
+                        executor = self._new_executor()
+                        stuck = False
+                        self.registry.counter("serve.pool.restarts").inc()
+                for job in final:
+                    attempts[job.jid] += 1
+                    responses[job.jid] = self._run_isolated(job)
+                wave = next_wave
+        finally:
+            executor.shutdown(wait=not stuck, cancel_futures=True)
+        for job in pending:
+            response = responses[job.jid]
+            response.setdefault("envelope", None)
+            response.setdefault("fingerprint", None)
+            response.setdefault("fallback_reason", None)
+            response.setdefault("seconds", 0.0)
+            response["attempts"] = attempts[job.jid]
+        return responses
+
+    def _run_isolated(self, job: Job) -> Dict[str, object]:
+        """One job in its own single-worker pool (the last-attempt
+        and degraded-re-run path)."""
+        if self.jobs == 1:
+            return run_job(self._payload(job))
+        executor = self._new_executor(workers=1)
+        stuck = False
+        try:
+            future = executor.submit(run_job, self._payload(job))
+            try:
+                return future.result(
+                    timeout=self._backstop(job.timeout)
+                )
+            except FuturesTimeout:
+                future.cancel()
+                stuck = True
+                return self._timeout_response(job.timeout)
+            except BrokenExecutor:
+                self.registry.counter("serve.pool.worker_deaths").inc()
+                return {
+                    "status": "error",
+                    "error": "worker died while running this job "
+                    f"({self.max_attempts} attempt(s))",
+                }
+        finally:
+            executor.shutdown(wait=not stuck, cancel_futures=True)
+
+    # -- graceful degradation ----------------------------------------------
+
+    def _degrade_timeouts(
+        self,
+        pending: List[Job],
+        responses: Dict[int, Dict[str, object]],
+    ) -> None:
+        """Re-run timed-out jobs once via the standard algorithm."""
+        if not self.degrade_timeouts:
+            return
+        for job in pending:
+            response = responses[job.jid]
+            if response["status"] != STATUS_TIMEOUT:
+                continue
+            if job.options.get("algorithm") == "standard":
+                continue  # already on the fallback engine
+            retry = Job(
+                jid=job.jid,
+                source=job.source,
+                path=job.path,
+                options={**job.options, "algorithm": "standard"},
+                timeout=job.timeout,
+                fault=job.fault,
+            )
+            rerun = self._run_isolated(retry)
+            if rerun["status"] != STATUS_OK:
+                continue  # keep the original timeout verdict
+            envelope = rerun["envelope"]
+            # Stamp the provenance so cached warm hits re-derive the
+            # degraded status (and the fingerprint matches the bytes
+            # actually stored).
+            envelope["engine"]["fallback_reason"] = "timeout"
+            rerun["fingerprint"] = result_fingerprint(envelope)
+            rerun["status"] = STATUS_DEGRADED
+            rerun["fallback_reason"] = "timeout"
+            rerun["attempts"] = response.get("attempts", 1) + 1
+            rerun.setdefault("seconds", 0.0)
+            responses[job.jid] = rerun
+            self.registry.counter("serve.pool.timeout_degraded").inc()

@@ -5,7 +5,14 @@ import json
 import pytest
 
 from repro.core.queries import analyze_subtransitive
-from repro.export import graph_to_dot, result_to_json
+from repro.export import (
+    RESULT_SCHEMA,
+    canonical_json,
+    graph_to_dot,
+    result_fingerprint,
+    result_to_dict,
+    result_to_json,
+)
 from repro.graph.reachability import reachable_from
 from repro.lang import parse
 
@@ -68,8 +75,36 @@ class TestJson:
     def test_document_structure(self, analysed):
         program, cfa = analysed
         document = json.loads(result_to_json(cfa))
-        assert set(document) == {"program", "call_graph", "label_flows"}
+        assert set(document) == {
+            "schema",
+            "engine",
+            "program",
+            "call_graph",
+            "label_flows",
+        }
+        assert document["schema"] == RESULT_SCHEMA
         assert document["program"]["size"] == program.size
+
+    def test_engine_provenance(self, analysed):
+        _, cfa = analysed
+        document = json.loads(result_to_json(cfa))
+        assert document["engine"] == {
+            "name": "subtransitive",
+            "driver": "lc",
+            "fallback_reason": None,
+        }
+
+    def test_engine_provenance_hybrid_fallback(self):
+        import repro
+
+        program = parse("(fn[f] x => x) (fn[g] y => y)")
+        cfa = repro.analyze(
+            program, algorithm="hybrid", node_budget=1
+        )
+        document = json.loads(result_to_json(cfa))
+        assert document["engine"]["driver"] == "hybrid"
+        assert document["engine"]["name"] == "standard"
+        assert document["engine"]["fallback_reason"] == "budget"
 
     def test_call_graph_contents(self, analysed):
         program, cfa = analysed
@@ -100,3 +135,38 @@ class TestJson:
     def test_stable_output(self, analysed):
         _, cfa = analysed
         assert result_to_json(cfa) == result_to_json(cfa)
+
+    def test_byte_stable_across_fresh_analyses(self):
+        # The serve cache depends on equal inputs producing equal
+        # bytes, not just equal structures.
+        source = "let id = fn[id] x => x in id (fn[g] y => y)"
+        first = result_to_json(analyze_subtransitive(parse(source)))
+        second = result_to_json(analyze_subtransitive(parse(source)))
+        assert first == second
+
+
+class TestFingerprint:
+    def test_deterministic(self, analysed):
+        _, cfa = analysed
+        assert result_fingerprint(cfa) == result_fingerprint(cfa)
+        assert len(result_fingerprint(cfa)) == 64
+        int(result_fingerprint(cfa), 16)  # hex digest
+
+    def test_accepts_result_or_document(self, analysed):
+        _, cfa = analysed
+        document = result_to_dict(cfa)
+        assert result_fingerprint(cfa) == result_fingerprint(document)
+
+    def test_key_order_irrelevant(self, analysed):
+        _, cfa = analysed
+        document = result_to_dict(cfa)
+        shuffled = dict(reversed(list(document.items())))
+        assert canonical_json(document) == canonical_json(shuffled)
+        assert result_fingerprint(document) == result_fingerprint(
+            shuffled
+        )
+
+    def test_changes_with_program(self):
+        a = analyze_subtransitive(parse("fn[f] x => x"))
+        b = analyze_subtransitive(parse("fn[g] y => y"))
+        assert result_fingerprint(a) != result_fingerprint(b)

@@ -1,0 +1,239 @@
+"""Fault-isolation and degradation tests for the batch runner.
+
+These exercise the ProcessPoolExecutor path (jobs >= 2) with the
+worker's test-only fault injection: a raising job, a dying worker, a
+transiently-dying worker, and a stuck-slow job. The contract under
+test: one bad job marks only itself, the batch always completes.
+"""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serve import BatchRunner, Job, canonical_options
+
+GOOD = "let id = fn[id] x => x in id (fn[g] y => y)"
+ALSO_GOOD = "(fn[f] x => x) (fn[g] y => y)"
+#: Untypeable: the hybrid driver's LC' budget trips and it falls back.
+OMEGA = "(fn[w] x => x x) (fn[w2] y => y y)"
+
+
+def make_jobs(specs):
+    """Jobs from (source, fault) pairs with sequential jids."""
+    return [
+        Job(
+            jid=jid,
+            source=source,
+            path=f"job{jid}.lam",
+            options=canonical_options(),
+            fault=fault,
+        )
+        for jid, (source, fault) in enumerate(specs)
+    ]
+
+
+def statuses(batch):
+    return [result.status for result in batch.results]
+
+
+class TestSequentialFaults:
+    def test_parse_error_marks_only_its_job(self):
+        batch = BatchRunner(jobs=1).run_sources(
+            [GOOD, "let let", ALSO_GOOD]
+        )
+        assert statuses(batch) == ["ok", "error", "ok"]
+        assert "parse" in batch.results[1].error.lower() or (
+            batch.results[1].error
+        )
+        assert batch.exit_code == 1
+
+    def test_raise_fault_marks_only_its_job(self):
+        runner = BatchRunner(jobs=1)
+        batch = runner.run(
+            make_jobs(
+                [
+                    (GOOD, None),
+                    (GOOD, {"raise": "injected"}),
+                ]
+            )
+        )
+        # Both jobs share a source; the faulty one must not poison
+        # the cache for the healthy one (healthy ran first).
+        assert statuses(batch) == ["ok", "error"]
+        assert "injected" in batch.results[1].error
+
+
+class TestPoolFaultIsolation:
+    def test_raise_fault_is_isolated(self):
+        runner = BatchRunner(jobs=2)
+        batch = runner.run(
+            make_jobs(
+                [
+                    (GOOD, None),
+                    (ALSO_GOOD, {"raise": "boom"}),
+                    (OMEGA, None),
+                ]
+            )
+        )
+        assert statuses(batch) == ["ok", "error", "degraded"]
+        assert "boom" in batch.results[1].error
+        assert batch.results[2].fallback_reason == "budget"
+
+    def test_worker_death_is_isolated_and_bounded(self):
+        registry = MetricsRegistry()
+        runner = BatchRunner(jobs=2, registry=registry)
+        batch = runner.run(
+            make_jobs(
+                [
+                    (GOOD, None),
+                    (ALSO_GOOD, {"die": True}),
+                ]
+            )
+        )
+        assert statuses(batch) == ["ok", "error"]
+        assert "died" in batch.results[1].error
+        assert batch.results[1].attempts == runner.max_attempts
+        assert registry.counter("serve.pool.worker_deaths").value >= 1
+        assert registry.counter("serve.pool.restarts").value >= 1
+
+    def test_transient_death_retries_to_success(self, tmp_path):
+        registry = MetricsRegistry()
+        runner = BatchRunner(jobs=2, registry=registry)
+        flag = str(tmp_path / "died-once")
+        batch = runner.run(
+            make_jobs(
+                [
+                    (GOOD, None),
+                    (ALSO_GOOD, {"die_once_flag": flag}),
+                ]
+            )
+        )
+        assert statuses(batch) == ["ok", "ok"]
+        assert batch.results[1].attempts == 2
+        assert registry.counter("serve.pool.retries").value >= 1
+        assert batch.exit_code == 0
+
+    def test_collateral_jobs_are_retried_not_failed(self):
+        # Healthy jobs sharing a pool with a dying worker may see
+        # BrokenProcessPool; they must come back ok, not error.
+        runner = BatchRunner(jobs=2, max_attempts=2)
+        batch = runner.run(
+            make_jobs(
+                [
+                    (GOOD, None),
+                    (ALSO_GOOD, {"die": True}),
+                    (OMEGA, None),
+                    ("fn[f] x => x", None),
+                ]
+            )
+        )
+        assert statuses(batch) == ["ok", "error", "degraded", "ok"]
+
+
+class TestTimeouts:
+    def test_slow_job_degrades_to_standard(self, tmp_path):
+        registry = MetricsRegistry()
+        runner = BatchRunner(jobs=2, timeout=0.2, registry=registry)
+        flag = str(tmp_path / "slept-once")
+        batch = runner.run(
+            make_jobs(
+                [
+                    (GOOD, None),
+                    # Slow once: the first attempt trips the in-worker
+                    # alarm, the standard-algorithm re-run is fast.
+                    (ALSO_GOOD, {"sleep": 2.0, "sleep_once_flag": flag}),
+                ]
+            )
+        )
+        assert statuses(batch) == ["ok", "degraded"]
+        degraded = batch.results[1]
+        assert degraded.fallback_reason == "timeout"
+        assert degraded.envelope["engine"]["fallback_reason"] == "timeout"
+        assert (
+            registry.counter("serve.pool.timeout_degraded").value == 1
+        )
+        assert batch.exit_code == 0
+
+    def test_persistently_slow_job_times_out(self):
+        runner = BatchRunner(jobs=2, timeout=0.2)
+        batch = runner.run(
+            make_jobs(
+                [
+                    (GOOD, None),
+                    (ALSO_GOOD, {"sleep": 30.0}),
+                ]
+            )
+        )
+        assert statuses(batch) == ["ok", "timeout"]
+        assert "wall-clock" in batch.results[1].error
+        assert batch.exit_code == 1
+
+    def test_degraded_timeout_result_is_cached_with_provenance(
+        self, tmp_path
+    ):
+        runner = BatchRunner(jobs=2, timeout=0.2)
+        flag = str(tmp_path / "slept-once")
+        cold = runner.run(
+            make_jobs([(GOOD, {"sleep": 2.0, "sleep_once_flag": flag})])
+        ).results[0]
+        assert cold.status == "degraded"
+        warm = runner.run(make_jobs([(GOOD, None)])).results[0]
+        # The warm hit re-derives "degraded" from the stored envelope
+        # and its fingerprint matches the bytes actually cached.
+        assert warm.cache == "memory"
+        assert warm.status == "degraded"
+        assert warm.fallback_reason == "timeout"
+        assert warm.fingerprint == cold.fingerprint
+
+    def test_sequential_timeout_uses_in_worker_alarm(self, tmp_path):
+        flag = str(tmp_path / "slept-once")
+        runner = BatchRunner(jobs=1, timeout=0.2)
+        batch = runner.run(
+            make_jobs([(GOOD, {"sleep": 2.0, "sleep_once_flag": flag})])
+        )
+        assert statuses(batch) == ["degraded"]
+        assert batch.results[0].fallback_reason == "timeout"
+
+
+class TestDegradation:
+    def test_budget_fallback_is_degraded_not_error(self):
+        batch = BatchRunner(jobs=1).run_sources([OMEGA])
+        result = batch.results[0]
+        assert result.status == "degraded"
+        assert result.fallback_reason == "budget"
+        assert result.envelope["engine"]["fallback_reason"] == "budget"
+        assert batch.exit_code == 0
+
+    def test_degraded_status_survives_the_cache(self):
+        runner = BatchRunner(jobs=1)
+        cold = runner.run_sources([OMEGA]).results[0]
+        warm = runner.run_sources([OMEGA]).results[0]
+        assert cold.cache == "miss" and warm.cache == "memory"
+        assert warm.status == "degraded"
+        assert warm.fallback_reason == "budget"
+        assert warm.envelope == cold.envelope
+
+
+class TestCounters:
+    def test_job_status_counters(self):
+        registry = MetricsRegistry()
+        runner = BatchRunner(jobs=1, registry=registry)
+        runner.run_sources([GOOD, OMEGA, "let let"])
+        assert registry.counter("serve.jobs.total").value == 3
+        assert registry.counter("serve.jobs.ok").value == 1
+        assert registry.counter("serve.jobs.degraded").value == 1
+        assert registry.counter("serve.jobs.error").value == 1
+
+    def test_batch_timer_recorded(self):
+        registry = MetricsRegistry()
+        BatchRunner(jobs=1, registry=registry).run_sources([GOOD])
+        assert registry.timer("serve.batch.seconds").count == 1
+
+
+class TestValidation:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError, match="jobs"):
+            BatchRunner(jobs=0)
+
+    def test_max_attempts_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            BatchRunner(max_attempts=0)

@@ -1,0 +1,151 @@
+"""Tests for the repro.batch/1 JSONL protocol and its validator."""
+
+import json
+
+import pytest
+
+from repro.serve import (
+    SCHEMA,
+    BatchRunner,
+    read_jsonl,
+    to_jsonl,
+    validate_batch_record,
+)
+
+GOOD = "let id = fn[id] x => x in id (fn[g] y => y)"
+OMEGA = "(fn[w] x => x x) (fn[w2] y => y y)"
+
+
+@pytest.fixture()
+def batch():
+    return BatchRunner(
+        jobs=1, options={"lint": True, "sanitize": True}
+    ).run_sources([("good.lam", GOOD), ("omega.lam", OMEGA)])
+
+
+class TestRecordStream:
+    def test_stream_shape(self, batch):
+        records = batch.records()
+        assert [r["record"] for r in records] == [
+            "header",
+            "job",
+            "job",
+            "summary",
+        ]
+        assert all(r["schema"] == SCHEMA for r in records)
+
+    def test_header_carries_run_parameters(self, batch):
+        header = batch.records()[0]
+        assert header["workers"] == 1
+        assert header["options"]["lint"] is True
+        assert header["options"]["algorithm"] == "hybrid"
+
+    def test_job_records_carry_provenance(self, batch):
+        _, good, omega, _ = batch.records()
+        assert good["path"] == "good.lam"
+        assert good["status"] == "ok"
+        assert good["cache"] == "miss"
+        assert len(good["key"]) == 64
+        assert len(good["fingerprint"]) == 64
+        assert good["lint"]["findings"] == good["lint"]["findings"]
+        assert good["sanitize"]["ok"] is True
+        assert omega["status"] == "degraded"
+        assert omega["fallback_reason"] == "budget"
+        # The standard fallback has no subtransitive graph to check.
+        assert omega["sanitize"] is None
+
+    def test_summary_counts_and_hit_rate(self, batch):
+        summary = batch.records()[-1]
+        assert summary["jobs"] == 2
+        assert summary["counts"] == {
+            "ok": 1,
+            "degraded": 1,
+            "error": 0,
+            "timeout": 0,
+        }
+        assert summary["cache"]["misses"] == 2
+        assert summary["cache"]["hit_rate"] == 0.0
+        assert summary["exit_code"] == 0
+        assert "serve.jobs.total" in summary["registry"]["counters"]
+
+    def test_envelopes_are_opt_in(self, batch):
+        lean = batch.records()[1]
+        full = batch.records(include_envelopes=True)[1]
+        assert "envelope" not in lean
+        assert full["envelope"]["schema"] == "repro.result/1"
+
+
+class TestJsonl:
+    def test_roundtrip(self, batch):
+        text = to_jsonl(batch.records())
+        records = read_jsonl(text)
+        assert records == batch.records()
+
+    def test_one_compact_record_per_line(self, batch):
+        text = to_jsonl(batch.records())
+        lines = text.splitlines()
+        assert len(lines) == 4
+        for line in lines:
+            assert json.loads(line)["schema"] == SCHEMA
+            assert "\n" not in line
+
+    def test_blank_lines_ignored(self, batch):
+        text = "\n\n" + to_jsonl(batch.records()) + "\n\n"
+        assert len(read_jsonl(text)) == 4
+
+
+class TestValidator:
+    def fields(self, batch, kind):
+        return next(
+            r for r in batch.records() if r["record"] == kind
+        )
+
+    def test_accepts_every_real_record(self, batch):
+        for record in batch.records():
+            assert validate_batch_record(record) is record
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match=r"\$"):
+            validate_batch_record([])
+
+    def test_rejects_wrong_schema(self, batch):
+        record = dict(self.fields(batch, "header"))
+        record["schema"] = "repro.batch/0"
+        with pytest.raises(ValueError, match=r"\$\.schema"):
+            validate_batch_record(record)
+
+    def test_rejects_unknown_kind(self, batch):
+        record = dict(self.fields(batch, "header"))
+        record["record"] = "trailer"
+        with pytest.raises(ValueError, match=r"\$\.record"):
+            validate_batch_record(record)
+
+    def test_rejects_bad_status(self, batch):
+        record = dict(self.fields(batch, "job"))
+        record["status"] = "mostly-ok"
+        with pytest.raises(ValueError, match=r"\$\.status"):
+            validate_batch_record(record)
+
+    def test_rejects_bad_cache_tier(self, batch):
+        record = dict(self.fields(batch, "job"))
+        record["cache"] = "l2"
+        with pytest.raises(ValueError, match=r"\$\.cache"):
+            validate_batch_record(record)
+
+    def test_rejects_malformed_key(self, batch):
+        record = dict(self.fields(batch, "job"))
+        record["key"] = "abc123"
+        with pytest.raises(ValueError, match=r"\$\.key"):
+            validate_batch_record(record)
+
+    def test_rejects_missing_summary_counts(self, batch):
+        record = dict(self.fields(batch, "summary"))
+        record["counts"] = {"ok": 1}
+        with pytest.raises(ValueError, match=r"\$\.counts\."):
+            validate_batch_record(record)
+
+    def test_rejects_boolean_masquerading_as_int(self, batch):
+        record = dict(self.fields(batch, "job"))
+        record["attempts"] = True
+        with pytest.raises(ValueError, match=r"\$\.attempts"):
+            validate_batch_record(record)
