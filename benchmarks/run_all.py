@@ -5,7 +5,7 @@ Usage::
     python benchmarks/run_all.py [--quick] [--metrics PATH | --no-metrics]
 
 Prints the reproduction of each experiment indexed in DESIGN.md (E1 -
-E15), in order. ``--quick`` shrinks the sweeps for a fast smoke run.
+E16), in order. ``--quick`` shrinks the sweeps for a fast smoke run.
 EXPERIMENTS.md records a reference run of this script.
 
 Every run also writes a machine-readable metrics document (default
@@ -27,6 +27,7 @@ import bench_apps_klimited
 import bench_complexity_table
 import bench_constant_factor
 import bench_equality_cfa
+import bench_flow
 import bench_frontend
 import bench_hybrid
 import bench_joinpoint
@@ -226,6 +227,20 @@ def main(quick: bool = False, metrics_path=None) -> None:
     )
     record("E15", "batch service throughput, cold vs warm cache", rows)
     print(table.render())
+
+    print("\n" + "=" * 72)
+    print("E16 (extra) — fused flow sweep: steps vs graph size")
+    print("=" * 72)
+    table, report = bench_flow.run_report(
+        sizes=[8, 16, 32] if quick else bench_flow.SIZES
+    )
+    record("E16", "fused flow sweep: steps vs graph size", report)
+    print(table.render())
+    fit = report["fit"]
+    print(
+        f"steps ~= {fit['slope']:.3f}*(n+e) + {fit['intercept']:.1f} "
+        f"(R^2 = {fit['r2']:.5f})"
+    )
 
     if metrics_path is not None:
         write_metrics(metrics_path, experiments, quick)

@@ -57,7 +57,7 @@ from repro.lint import run_lints
 from repro.session import AnalysisSession
 from repro.types import bounded_type_report, infer_types
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 #: Algorithm registry for :func:`analyze`.
 _ALGORITHMS = {

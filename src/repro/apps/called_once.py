@@ -19,11 +19,13 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro._util import Stopwatch
-from repro.apps.propagation import MANY, propagate_bounded_sets
+from repro.apps.propagation import MANY
 from repro.lang.ast import App, Lam, Program
 
 from repro.core.lc import SubtransitiveGraph, build_subtransitive_graph
 from repro.core.nodes import Node
+from repro.flow.analyses import BoundedSetAnalysis
+from repro.flow.framework import FlowContext, run_flow
 
 
 class CalledOnceResult:
@@ -89,10 +91,12 @@ def called_once(
         node = sub.factory.expr_node(site.fn)
         seeds.setdefault(node, frozenset())
         seeds[node] = seeds[node] | {site.nid}
+    ctx = FlowContext(program=program, sub=sub)
+    analysis = BoundedSetAnalysis(
+        seeds, 1, sub.graph.successors, name="called-once"
+    )
     with Stopwatch() as watch:
-        values = propagate_bounded_sets(
-            sub.graph, seeds, 1, downstream=sub.graph.successors
-        )
+        values = run_flow(analysis, ctx, fuel=ctx.default_fuel())
     once: Dict[str, int] = {}
     never = set()
     many = set()

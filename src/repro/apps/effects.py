@@ -20,6 +20,11 @@ abstraction is *never* structurally red — building a closure is pure —
 which is exactly why redness must route through the ``ran`` chain to
 reach the call sites that can actually run the body.
 
+The colouring itself now lives on the shared dataflow engine
+(:class:`repro.flow.analyses.EffectsAnalysis` run by
+:func:`repro.flow.framework.run_flow`); this module keeps the stable
+entry point and the :class:`EffectsResult` shape.
+
 :func:`effects_analysis_baseline` is the quadratic consumer, run on
 any :class:`~repro.cfa.base.CFAResult`; the two produce *identical*
 red sets (the paper: "computes exactly the same effects information"),
@@ -33,28 +38,16 @@ from typing import Dict, FrozenSet, List, Optional, Set
 
 from repro._util import Stopwatch
 from repro.cfa.base import CFAResult
-from repro.lang.ast import (
-    App,
-    Assign,
-    Case,
-    Con,
-    Deref,
-    Expr,
-    If,
-    Lam,
-    Let,
-    Letrec,
-    Lit,
-    Prim,
-    Program,
-    Proj,
-    Record,
-    Ref,
-    Var,
-)
+from repro.lang.ast import App, Expr, Program
 
 from repro.core.lc import SubtransitiveGraph, build_subtransitive_graph
 from repro.core.nodes import Node
+from repro.flow.analyses import (
+    EffectsAnalysis,
+    base_red as _base_red,
+    structural_parent_rule as _structural_parent_rule,
+)
+from repro.flow.framework import FlowContext, run_flow
 
 
 class EffectsResult:
@@ -93,22 +86,6 @@ class EffectsResult:
         return hash(self._red)
 
 
-def _base_red(node: Expr) -> bool:
-    """Is ``node`` a direct application of a side-effecting operation?"""
-    if isinstance(node, Prim):
-        return node.effectful
-    return isinstance(node, Assign)
-
-
-def _structural_parent_rule(parent: Expr) -> bool:
-    """May redness of a child make ``parent`` red structurally?
-
-    Everything except abstractions: a lambda *contains* its body but
-    evaluating the lambda does not run it.
-    """
-    return not isinstance(parent, Lam)
-
-
 def effects_analysis(
     program: Program,
     sub: Optional[SubtransitiveGraph] = None,
@@ -116,66 +93,17 @@ def effects_analysis(
     """Linear-time effects analysis on the subtransitive graph."""
     if sub is None:
         sub = build_subtransitive_graph(program)
-    graph = sub.graph
-    factory = sub.factory
-
-    parent_of: Dict[int, Expr] = {}
-    for node in program.nodes:
-        for child in node.children():
-            parent_of[child.nid] = node
-
-    # ran(e1) graph node -> the application sites whose operator is e1
-    # (rule (a)'s third disjunct fires when that ran node turns red).
-    ran_to_sites: Dict[Node, List[App]] = {}
-    for site in program.applications:
-        ran_node = factory.op_node(("ran",), factory.expr_node(site.fn))
-        ran_to_sites.setdefault(ran_node, []).append(site)
-
-    red_exprs: Set[int] = set()
-    red_graph_nodes: Set[Node] = set()
-    queue = deque()
-
-    def mark_expr(expr: Expr) -> None:
-        if expr.nid in red_exprs:
-            return
-        red_exprs.add(expr.nid)
-        queue.append(("expr", expr))
-
-    def mark_node(node: Node) -> None:
-        if node in red_graph_nodes:
-            return
-        red_graph_nodes.add(node)
-        queue.append(("node", node))
-
+    ctx = FlowContext(program=program, sub=sub)
     with Stopwatch() as watch:
-        for node in program.nodes:
-            if _base_red(node):
-                mark_expr(node)
-        while queue:
-            kind, item = queue.popleft()
-            if kind == "expr":
-                expr: Expr = item
-                # Structural propagation to the AST parent.
-                parent = parent_of.get(expr.nid)
-                if parent is not None and _structural_parent_rule(parent):
-                    mark_expr(parent)
-                # Rule (b): a red expression reddens every ran-node
-                # with an edge into it.
-                graph_node = factory.expr_node(expr)
-                for pred in graph.predecessors(graph_node):
-                    if pred.kind == "op" and pred.opkey == ("ran",):
-                        mark_node(pred)
-            else:
-                graph_node: Node = item
-                # Rule (b) again: red ran-nodes redden upstream
-                # ran-nodes along closure edges.
-                for pred in graph.predecessors(graph_node):
-                    if pred.kind == "op" and pred.opkey == ("ran",):
-                        mark_node(pred)
-                # Rule (a): a red ran(e1) reddens the sites (e1 e2).
-                for site in ran_to_sites.get(graph_node, ()):
-                    mark_expr(site)
-    return EffectsResult(program, frozenset(red_exprs), watch.elapsed)
+        marked = run_flow(
+            EffectsAnalysis(), ctx, fuel=ctx.default_fuel()
+        )
+    # The fixpoint mixes AST expressions with ran graph nodes; the
+    # result exposes only the expression colouring.
+    red = frozenset(
+        item.nid for item in marked if not isinstance(item, Node)
+    )
+    return EffectsResult(program, red, watch.elapsed)
 
 
 def effects_analysis_baseline(

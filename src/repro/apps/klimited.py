@@ -17,12 +17,14 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Optional, Union
 
 from repro._util import Stopwatch
-from repro.apps.propagation import MANY, Annotation, propagate_bounded_sets
+from repro.apps.propagation import MANY, Annotation
 from repro.errors import QueryError
 from repro.lang.ast import App, Expr, Lam, Program
 
 from repro.core.lc import SubtransitiveGraph, build_subtransitive_graph
 from repro.core.nodes import Node
+from repro.flow.analyses import BoundedSetAnalysis
+from repro.flow.framework import FlowContext, run_flow
 
 
 class KLimitedResult:
@@ -93,8 +95,10 @@ def k_limited_cfa(
         node = sub.factory.expr_node(lam)
         seeds.setdefault(node, frozenset())
         seeds[node] = seeds[node] | {lam.label}
+    ctx = FlowContext(program=program, sub=sub)
+    analysis = BoundedSetAnalysis(
+        seeds, k, sub.graph.predecessors, name="klimited"
+    )
     with Stopwatch() as watch:
-        values = propagate_bounded_sets(
-            sub.graph, seeds, k, downstream=sub.graph.predecessors
-        )
+        values = run_flow(analysis, ctx, fuel=ctx.default_fuel())
     return KLimitedResult(sub, k, values, watch.elapsed)

@@ -17,29 +17,25 @@ seed and the values of its *upstream* neighbours, where upstream is
 
 Every node's annotation grows at most k+2 times, so the total work is
 O(k * E).
+
+The lattice and the worklist now live in :mod:`repro.flow`
+(:mod:`repro.flow.lattice`, :mod:`repro.flow.framework`);
+:func:`propagate_bounded_sets` is kept as the stable entry point and
+runs a :class:`~repro.flow.analyses.BoundedSetAnalysis` on the shared
+engine. ``MANY`` is re-exported here for existing importers — it is
+the same singleton object either way.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Callable, Dict, FrozenSet, Hashable, Iterable, Union
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable
 
+from repro.flow.analyses import BoundedSetAnalysis
+from repro.flow.framework import FlowContext, run_flow
+from repro.flow.lattice import MANY, Annotation, _Many  # noqa: F401
 from repro.graph.digraph import Digraph, Node
 
-
-class _Many:
-    """The absorbing 'many' annotation (singleton)."""
-
-    __slots__ = ()
-
-    def __repr__(self) -> str:
-        return "MANY"
-
-
-#: The paper's "many" token.
-MANY = _Many()
-
-Annotation = Union[FrozenSet[Hashable], _Many]
+__all__ = ["MANY", "Annotation", "propagate_bounded_sets"]
 
 
 def propagate_bounded_sets(
@@ -58,41 +54,5 @@ def propagate_bounded_sets(
     ``graph.successors``. Only nodes with a non-bottom value appear in
     the result.
     """
-    if k < 1:
-        raise ValueError(f"k must be >= 1, got {k}")
-    values: Dict[Node, Annotation] = {}
-    queue = deque()
-    queued = set()
-
-    def enqueue(node: Node) -> None:
-        if node not in queued:
-            queued.add(node)
-            queue.append(node)
-
-    for node, seed in seeds.items():
-        if not seed:
-            continue
-        values[node] = MANY if len(seed) > k else frozenset(seed)
-        enqueue(node)
-
-    while queue:
-        node = queue.popleft()
-        queued.discard(node)
-        current = values.get(node)
-        if current is None:
-            continue
-        for neighbour in downstream(node):
-            before = values.get(neighbour)
-            if before is MANY:
-                continue
-            if current is MANY:
-                after: Annotation = MANY
-            else:
-                merged = (
-                    current if before is None else before | current
-                )
-                after = MANY if len(merged) > k else merged
-            if after != before:
-                values[neighbour] = after
-                enqueue(neighbour)
-    return values
+    analysis = BoundedSetAnalysis(seeds, k, downstream)
+    return run_flow(analysis, FlowContext())

@@ -12,6 +12,7 @@ from repro.bench.harness import (
     fit_exponent,
     geometric_sizes,
     lc_row,
+    linear_fit,
     time_call,
 )
 
@@ -20,5 +21,6 @@ __all__ = [
     "fit_exponent",
     "geometric_sizes",
     "lc_row",
+    "linear_fit",
     "time_call",
 ]

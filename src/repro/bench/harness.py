@@ -55,6 +55,39 @@ def fit_exponent(sizes: Sequence[float], values: Sequence[float]) -> float:
     return num / den
 
 
+def linear_fit(
+    xs: Sequence[float], ys: Sequence[float]
+) -> "tuple[float, float, float]":
+    """Least-squares line ``y = slope*x + intercept`` with its R².
+
+    The companion to :func:`fit_exponent` for claims of *linear*
+    scaling: a near-1 exponent says "degree one", while an R² near 1
+    against the raw (not log-log) series says the relationship really
+    is a straight line, constant factor included. A perfectly flat
+    series fits exactly (R² = 1).
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit a line")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    den = sum((x - mean_x) ** 2 for x in xs)
+    if den == 0:
+        raise ValueError("all xs are equal; cannot fit a line")
+    slope = sum(
+        (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+    ) / den
+    intercept = mean_y - slope * mean_x
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    ss_res = sum(
+        (y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys)
+    )
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return slope, intercept, r2
+
+
 def geometric_sizes(start: int, factor: float, count: int) -> List[int]:
     """``count`` sizes growing geometrically from ``start``."""
     sizes = []

@@ -4,12 +4,12 @@ Usage (also available as ``python -m repro``)::
 
     repro analyze  prog.ml [more.ml ... | dir/] [--algorithm subtransitive]
                    [--json] [--metrics out.json] [--trace out.jsonl]
-                   [--sanitize]
+                   [--sanitize] [--audit]
     repro batch    dir/ [more ...] [--jobs N] [--timeout S]
-                   [--cache-dir PATH] [--lint] [--sanitize]
+                   [--cache-dir PATH] [--lint] [--sanitize] [--audit]
                    [--format text|jsonl]
     repro lint     prog.ml [more.ml ... | dir/] [--format json|text]
-                   [--severity info|warning|error] [--rules L001,L002]
+                   [--severity info|warning|error] [--rules L001,T001]
                    [--sanitize] [--metrics out.json] [--trace out.jsonl]
     repro query    prog.ml --label inc [--expr NID]
     repro effects  prog.ml
@@ -44,7 +44,12 @@ import repro
 from repro.apps import MANY, called_once, effects_analysis, k_limited_cfa
 from repro.bench import Table
 from repro.errors import ReproError
-from repro.export import graph_to_dot, result_to_json
+from repro.export import (
+    envelope_provenance,
+    graph_to_dot,
+    result_to_dict,
+    result_to_json,
+)
 from repro.lang import parse, pretty
 from repro.lint import ALL_PASSES, run_lints
 from repro.lint.findings import SCHEMA as LINT_SCHEMA
@@ -70,24 +75,15 @@ def _read_program(path: str):
 
 
 def _expand_cli_inputs(paths: List[str]) -> List[str]:
-    """Directories contribute their ``*.lam`` members; everything
-    else (files, ``-`` for stdin, even missing paths) passes through
-    unchanged so each subcommand keeps its own error reporting."""
-    import glob as _glob
-    import os as _os
+    """Directories contribute their ``*.lam`` members; ``-`` (stdin)
+    and missing paths pass through unchanged so each subcommand keeps
+    its own error reporting. Discovery itself — ordering, symlink
+    dedup — is :func:`repro.serve.jobs.expand_inputs`, the same
+    routine the batch service uses, so every entry point agrees on
+    what a corpus is."""
+    from repro.serve.jobs import expand_inputs
 
-    out: List[str] = []
-    for path in paths:
-        if path != "-" and _os.path.isdir(path):
-            expanded = sorted(
-                _glob.glob(_os.path.join(path, "*.lam"))
-            )
-        else:
-            expanded = [path]
-        for item in expanded:
-            if item not in out:
-                out.append(item)
-    return out
+    return expand_inputs(paths, allow_missing=True, stdin_token="-")
 
 
 #: Algorithms whose drivers accept ``registry``/``tracer`` plumbing
@@ -158,6 +154,25 @@ def _sanitize_result(result, path: str) -> int:
     return 0 if report.ok else 1
 
 
+def _audit_verdict(section) -> str:
+    """One-line human verdict for a linearity-audit section."""
+    if section["forecast"] is None:
+        verdict = (
+            f"bounded (max type size {section['max_type_size']}, "
+            f"predicted {section['predicted_nodes']} nodes within "
+            f"budget {section['node_budget']})"
+        )
+    else:
+        verdict = f"LC' fallback forecast ({section['forecast']})"
+    actual = section.get("actual")
+    if actual is not None:
+        verdict += (
+            f"; actual {actual['nodes']} nodes / "
+            f"{actual['edges']} edges"
+        )
+    return verdict
+
+
 def _render_envelope_table(envelope) -> str:
     """The analyze call-graph table, rebuilt from a ``repro.result/1``
     envelope (what multi-file runs get back from the batch runner)."""
@@ -186,6 +201,7 @@ def _cmd_analyze_many(args, paths: List[str]) -> int:
         options={
             "algorithm": args.algorithm,
             "sanitize": bool(args.sanitize),
+            "audit": bool(args.audit),
         },
     )
     batch = runner.run_paths(paths)
@@ -218,6 +234,9 @@ def _cmd_analyze_many(args, paths: List[str]) -> int:
                 f"{len(section['violations'])} violation(s)"
             )
             print(f"sanitize: {verdict}", file=sys.stderr)
+        section = result.envelope.get("audit")
+        if section is not None:
+            print(f"audit: {_audit_verdict(section)}", file=sys.stderr)
         print()
     return batch.exit_code
 
@@ -247,8 +266,18 @@ def _cmd_analyze(args) -> int:
     status = 0
     try:
         cfa = repro.analyze(program, algorithm=args.algorithm, **kwargs)
+        audit = None
+        if args.audit:
+            from repro.flow.audit import audit_section
+
+            audit = audit_section(program, cfa)
         if args.json:
-            print(result_to_json(cfa))
+            if audit is not None:
+                document = result_to_dict(cfa)
+                document["audit"] = audit
+                print(json.dumps(document, indent=2, sort_keys=True))
+            else:
+                print(result_to_json(cfa))
         else:
             table = Table(["site", "source", "may call"])
             for site in program.applications:
@@ -265,6 +294,8 @@ def _cmd_analyze(args) -> int:
                     f"{stats.close_nodes} close nodes, "
                     f"{stats.total_edges} edges"
                 )
+            if audit is not None:
+                print(f"audit: {_audit_verdict(audit)}", file=sys.stderr)
         if args.sanitize:
             status = _sanitize_result(cfa, args.file)
         if args.metrics:
@@ -291,6 +322,7 @@ def _cmd_batch(args) -> int:
             "algorithm": args.algorithm,
             "lint": bool(args.lint),
             "sanitize": bool(args.sanitize),
+            "audit": bool(args.audit),
         },
         cache_dir=args.cache_dir,
         cache_capacity=args.cache_size,
@@ -304,17 +336,32 @@ def _cmd_batch(args) -> int:
     )
     for result in batch.results:
         detail = result.fallback_reason or result.error or ""
-        lint_section = (
-            (result.envelope or {}).get("lint")
-            if result.envelope
-            else None
-        )
+
+        def append_detail(text: str) -> str:
+            return f"{detail + '; ' if detail else ''}{text}"
+
+        envelope = result.envelope or {}
+        lint_section = envelope.get("lint")
         if lint_section is not None:
             findings = len(lint_section["findings"])
             noun = "finding" if findings == 1 else "findings"
-            detail = (
-                f"{detail + '; ' if detail else ''}{findings} "
-                f"lint {noun}"
+            detail = append_detail(f"{findings} lint {noun}")
+        sanitize_section = envelope.get("sanitize")
+        if sanitize_section is not None:
+            detail = append_detail(
+                "sanitize ok"
+                if sanitize_section["ok"]
+                else (
+                    f"{len(sanitize_section['violations'])} sanitize "
+                    "violation(s)"
+                )
+            )
+        audit_section = envelope.get("audit")
+        if audit_section is not None:
+            detail = append_detail(
+                "audit bounded"
+                if audit_section["forecast"] is None
+                else f"audit forecast: {audit_section['forecast']}"
             )
         table.add_row(
             result.jid,
@@ -380,6 +427,8 @@ def _cmd_lint(args) -> int:
     exit_code = 0
     file_documents = []
     errors = []
+    engines = set()
+    fallback_reasons = []
     totals = {"findings": 0, "by_rule": {}}
     for path in args.files:
         tracer = _make_tracer(args)
@@ -414,6 +463,9 @@ def _cmd_lint(args) -> int:
                 result = result.filtered(
                     min_severity=args.severity, rules=rules
                 )
+                engines.add(result.engine)
+                if result.fallback_reason is not None:
+                    fallback_reasons.append(result.fallback_reason)
                 if result.findings:
                     exit_code = max(exit_code, 1)
                 totals["findings"] += len(result.findings)
@@ -438,8 +490,28 @@ def _cmd_lint(args) -> int:
             errors.append({"path": path, "error": str(error)})
             exit_code = 2
     if args.format == "json":
+        # The same three-key engine-provenance section repro.result/1
+        # documents carry; "mixed" means the hybrid driver fell back
+        # on some inputs but not others.
+        if not engines or engines == {"subtransitive"}:
+            engine_name = "subtransitive"
+        elif engines == {"standard"}:
+            engine_name = "standard"
+        else:
+            engine_name = "mixed"
         envelope = {
             "schema": LINT_SCHEMA,
+            "engine": envelope_provenance(
+                engine_name,
+                driver=(
+                    "lc"
+                    if args.algorithm == "subtransitive"
+                    else "hybrid"
+                ),
+                fallback_reason=(
+                    fallback_reasons[0] if fallback_reasons else None
+                ),
+            ),
             "files": file_documents,
             "errors": errors,
             "summary": {
@@ -597,6 +669,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="validate LC' graph well-formedness after the run",
         )
 
+    def add_audit(p):
+        p.add_argument(
+            "--audit",
+            action="store_true",
+            help="attach the bounded-type linearity audit (predicted "
+            "vs. actual LC' budget) to each result",
+        )
+
     p = sub.add_parser("analyze", help="print the call graph")
     p.add_argument(
         "files",
@@ -631,6 +711,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(single input only)",
     )
     add_sanitize(p)
+    add_audit(p)
     p.set_defaults(run=_cmd_analyze)
 
     p = sub.add_parser(
@@ -682,9 +763,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--lint",
         action="store_true",
-        help="run the L001-L005 lint passes per job",
+        help="run the lint passes (L/F/T series) per job",
     )
     add_sanitize(p)
+    add_audit(p)
     p.add_argument(
         "--format",
         default="text",
@@ -701,8 +783,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="CFA-powered diagnostics (L001-L005) on the "
-        "subtransitive graph",
+        help="CFA-powered diagnostics (L/F series) and the T-series "
+        "linearity auditor on the subtransitive graph",
     )
     p.add_argument(
         "files",

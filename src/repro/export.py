@@ -89,6 +89,25 @@ def graph_to_dot(
 RESULT_SCHEMA = "repro.result/1"
 
 
+def envelope_provenance(
+    name: str,
+    driver: str = "lc",
+    fallback_reason: Optional[str] = None,
+) -> Dict[str, Optional[str]]:
+    """The engine-provenance section every repro envelope shares.
+
+    ``repro.result/1`` documents and the ``repro lint --format json``
+    envelope both carry this exact three-key shape, so consumers can
+    read provenance the same way regardless of which tool produced the
+    document.
+    """
+    return {
+        "name": name,
+        "driver": driver,
+        "fallback_reason": fallback_reason,
+    }
+
+
 def _engine_section(cfa) -> Dict[str, Optional[str]]:
     """Engine provenance for a result document.
 
@@ -114,11 +133,7 @@ def _engine_section(cfa) -> Dict[str, Optional[str]]:
             type(result).__name__.replace("CFAResult", "").lower()
             or "unknown"
         )
-    return {
-        "name": name,
-        "driver": driver,
-        "fallback_reason": fallback_reason,
-    }
+    return envelope_provenance(name, driver, fallback_reason)
 
 
 def result_to_dict(cfa) -> Dict[str, object]:

@@ -1,0 +1,291 @@
+"""Client analyses for the dataflow framework.
+
+Each class here instantiates :class:`~repro.flow.framework.
+FlowAnalysis` with one lattice and one downstream relation; together
+they cover every CFA-consuming traversal the repository ships:
+
+* :class:`BoundedSetAnalysis` — the Section 9 k-bounded token lattice
+  (k-limited CFA, called-once);
+* :class:`ReachabilityAnalysis` — boolean marks along a follow
+  function (the lint L002/L004 probes);
+* :class:`EffectsAnalysis` — the Section 8 effects colouring, mixing
+  AST expressions and graph nodes in one worklist;
+* :class:`TaintAnalysis` — backward marks from mutable-state reads
+  (``!r`` dereferences): a marked node may evaluate to a value read
+  from a cell (lint F001);
+* :class:`EscapeAnalysis` — forward marks from primitive-argument
+  sinks: everything reached may flow out of the analysed call
+  structure (lint L004 + F002);
+* :class:`NeednessAnalysis` — used-variable marks. LC''s build rules
+  (ABS-1 routes ``x -> dom``, uses route edges *into* the variable
+  node) materialise the use relation directly as edges, so the
+  fixpoint is pure seeding with an empty downstream — the degenerate
+  but honest case of the framework (lint F003);
+* :class:`ConstructorAnalysis` — k-bounded constructor-name sets
+  flowing backward from ``Con`` nodes: a node's annotation is the
+  (small) set of constructors it may evaluate to (lint F004).
+
+Directions follow the graph-edge semantics: ``l ∈ L(e)`` iff the
+abstraction node is reachable *from* ``e``'s node via successors, so
+"what may e evaluate to" propagates marks backward (predecessors) from
+value sources, and "where may this value end up" propagates forward
+(successors) from the interested consumers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Iterable, Optional
+
+from repro.core.nodes import Node
+from repro.lang.ast import Assign, Con, Deref, Lam, Prim, Ref
+
+from repro.flow.framework import FlowAnalysis, FlowContext, MarkAnalysis
+from repro.flow.lattice import Annotation, bounded_join, bounded_seed
+
+
+class BoundedSetAnalysis(FlowAnalysis):
+    """Section 9's engine as a framework client: subsets of at most
+    ``k`` tokens topped by MANY, propagated along ``downstream``.
+
+    ``seed_map`` and ``downstream`` are injected because the two
+    shipped users run the same lattice in opposite directions
+    (k-limited CFA against edge direction, called-once along it).
+    """
+
+    def __init__(
+        self,
+        seed_map: Dict[Hashable, frozenset],
+        k: int,
+        downstream: Callable[[Hashable], Iterable[Hashable]],
+        name: str = "bounded-set",
+    ):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.name = name
+        self.k = k
+        self._seed_map = seed_map
+        self._downstream = downstream
+
+    def seeds(self, ctx) -> Dict[Hashable, Annotation]:
+        return {
+            item: bounded_seed(frozenset(tokens), self.k)
+            for item, tokens in self._seed_map.items()
+            if tokens
+        }
+
+    def join(self, old: Annotation, new: Annotation) -> Annotation:
+        return bounded_join(old, new, self.k)
+
+    def downstream(self, ctx, item):
+        return self._downstream(item)
+
+
+class ReachabilityAnalysis(MarkAnalysis):
+    """Multi-source reachability along a follow function, as boolean
+    marks. ``finish`` returns the set of reached items (sources
+    included)."""
+
+    def __init__(
+        self,
+        sources: Iterable[Hashable],
+        follow: Callable[[Hashable], Iterable[Hashable]],
+        name: str = "reach",
+    ):
+        self.name = name
+        self._sources = list(sources)
+        self._follow = follow
+
+    def seeds(self, ctx) -> Dict[Hashable, bool]:
+        return {source: True for source in self._sources}
+
+    def downstream(self, ctx, item):
+        return self._follow(item)
+
+
+# -- Section 8: effects ----------------------------------------------------
+
+
+def base_red(node) -> bool:
+    """Is ``node`` a direct application of a side-effecting
+    operation?"""
+    if isinstance(node, Prim):
+        return node.effectful
+    return isinstance(node, Assign)
+
+
+def structural_parent_rule(parent) -> bool:
+    """May redness of a child make ``parent`` red structurally?
+
+    Everything except abstractions: a lambda *contains* its body but
+    evaluating the lambda does not run it.
+    """
+    return not isinstance(parent, Lam)
+
+
+class EffectsAnalysis(MarkAnalysis):
+    """The paper's Section 8 colouring on the framework.
+
+    Items are a union type: AST expressions (structural redness) and
+    ``ran`` graph nodes (the limited transitive closure that keeps the
+    fixpoint linear). The downstream relation reproduces the paper's
+    two rules exactly:
+
+    (a) a node ``(e1 e2)`` is red if ``e1``, ``e2`` or ``ran(e1)``
+        is red — the expr-to-parent structural step plus the
+        ``ran``-node-to-site index;
+    (b) a node ``ran(e)`` is red if there is an edge
+        ``ran(e) -> e'`` and ``e'`` is red — marks walk backward
+        along graph edges, but only into ``ran`` nodes.
+    """
+
+    name = "effects"
+
+    def seeds(self, ctx) -> Dict[Hashable, bool]:
+        return {
+            node: True for node in ctx.program.nodes if base_red(node)
+        }
+
+    def downstream(self, ctx, item):
+        graph = ctx.graph
+        if isinstance(item, Node):
+            # A red ran-node reddens upstream ran-nodes (rule (b))
+            # and the application sites it is the range of (rule (a)).
+            for pred in graph.predecessors(item):
+                if pred.kind == "op" and pred.opkey == ("ran",):
+                    yield pred
+            for site in ctx.ran_to_sites.get(item, ()):
+                yield site
+        else:
+            # A red expression reddens its AST parent (structurally)
+            # and every ran-node with an edge into it (rule (b)).
+            parent = ctx.parent_of.get(item.nid)
+            if parent is not None and structural_parent_rule(parent):
+                yield parent
+            graph_node = ctx.factory.expr_node(item)
+            for pred in graph.predecessors(graph_node):
+                if pred.kind == "op" and pred.opkey == ("ran",):
+                    yield pred
+
+
+# -- F-series lint clients -------------------------------------------------
+
+
+def _nodes_bearing(ctx: FlowContext, expr_type) -> Iterable:
+    """Graph nodes whose expression (or a congruence-absorbed one) is
+    an instance of ``expr_type``."""
+    for node in ctx.factory.nodes:
+        if node.kind != "expr":
+            continue
+        if isinstance(node.expr, expr_type) or any(
+            isinstance(expr, expr_type) for expr in node.absorbed
+        ):
+            yield node
+
+
+class TaintAnalysis(MarkAnalysis):
+    """Source-sink taint: marks flow backward from every dereference
+    node, so a marked node may evaluate to a value read out of a
+    mutable cell. F001 then flags primitive arguments whose node is
+    marked — external output derived from mutable state."""
+
+    name = "taint"
+
+    def seeds(self, ctx) -> Dict[Hashable, bool]:
+        return {node: True for node in _nodes_bearing(ctx, Deref)}
+
+    def downstream(self, ctx, item):
+        return ctx.graph.predecessors(item)
+
+
+class EscapeAnalysis(MarkAnalysis):
+    """Escape: marks flow forward from every primitive-argument node;
+    a value-bearing node reached is a value that may leave the
+    analysed call structure. One sweep serves both L004 (escaping
+    abstractions) and F002 (escaping mutable cells)."""
+
+    name = "escape"
+
+    def seeds(self, ctx) -> Dict[Hashable, bool]:
+        return {node: True for _, node in ctx.sink_arg_nodes}
+
+    def downstream(self, ctx, item):
+        return ctx.graph.successors(item)
+
+    def reached_exprs(self, marked, expr_type) -> Dict[int, Any]:
+        """The reached expressions of ``expr_type`` (own or absorbed),
+        keyed by nid."""
+        out: Dict[int, Any] = {}
+        for node in marked:
+            if not isinstance(node, Node) or node.kind != "expr":
+                continue
+            candidates = [node.expr]
+            candidates.extend(node.absorbed)
+            for expr in candidates:
+                if isinstance(expr, expr_type):
+                    out[expr.nid] = expr
+        return out
+
+
+class NeednessAnalysis(MarkAnalysis):
+    """Used-variable marks for strictness/neededness (F003).
+
+    LC''s build rules materialise the use relation as graph edges:
+    every *use* of a variable routes an edge into its variable node
+    (operand uses via APP-1, body/binding uses via ABS-2 and the
+    binding edges), while the binder itself only routes edges *out*
+    (ABS-1's ``x -> dom``). A variable node with positive in-degree is
+    therefore exactly a used variable — the fixpoint is pure seeding,
+    the degenerate case of the framework (zero propagation steps)."""
+
+    name = "needness"
+
+    def seeds(self, ctx) -> Dict[Hashable, bool]:
+        graph = ctx.graph
+        return {
+            node: True
+            for node in ctx.factory.nodes
+            if node.kind == "var" and graph.in_degree(node) > 0
+        }
+
+    def downstream(self, ctx, item):
+        return ()
+
+
+class ConstructorAnalysis(BoundedSetAnalysis):
+    """Constructor-name sets for unreachable-branch detection (F004).
+
+    Every graph node bearing a ``Con`` expression seeds its
+    constructor name; names flow backward (a node that may evaluate to
+    the construction inherits them) in the k-bounded lattice, with k
+    the largest constructor count of any declared datatype — so the
+    annotation is exact whenever it is not MANY. A ``case`` scrutinee
+    annotated with a set missing some branch's constructor proves that
+    branch unreachable."""
+
+    def __init__(self, ctx: FlowContext):
+        seed_map: Dict[Hashable, set] = {}
+        for node in _nodes_bearing(ctx, Con):
+            names = set()
+            if isinstance(node.expr, Con):
+                names.add(node.expr.cname)
+            for expr in node.absorbed:
+                if isinstance(expr, Con):
+                    names.add(expr.cname)
+            seed_map[node] = frozenset(names)
+        k = max(
+            (
+                len(decl.constructors)
+                for decl in ctx.program.datatypes.values()
+            ),
+            default=1,
+        )
+        super().__init__(
+            seed_map,
+            max(k, 1),
+            ctx.graph.predecessors,
+            name="constructors",
+        )
+
+
+#: Re-exported for clients that pattern-match on the sources.
+ESCAPE_VALUE_TYPES = (Lam, Ref)

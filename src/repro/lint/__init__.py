@@ -18,7 +18,25 @@ code      severity  finding
                     primitive/external sink
 ``L005``  warning   unused binding — the let/letrec variable node is
                     never demanded by LC'
+``F001``  warning   tainted sink — a primitive argument may carry a
+                    value read from a mutable cell
+``F002``  warning   escaping reference — a ``ref`` cell flows into a
+                    primitive/external sink
+``F003``  info      unneeded parameter — no use demands the
+                    parameter's variable node
+``F004``  warning   unreachable branch — the scrutinee's constructor
+                    set excludes the branch's constructor
+``T001``  warning   unbounded types — the ``P_k`` precondition of
+                    Propositions 3/4 does not hold
+``T002``  info      predicted demanded-node count exceeds the hybrid
+                    LC' node budget
+``T003``  warning   hybrid-fallback forecast, with the predicted
+                    reason
 ========  ========  =====================================================
+
+The F-series rules run on the fused :mod:`repro.flow` sweep (one
+shared worklist per lint session); the T-series rules surface the
+:mod:`repro.flow.audit` linearity auditor and never touch the graph.
 
 :mod:`repro.lint.sanitize` is the companion invariant checker that
 validates LC' output well-formedness (closure-edge justification,
@@ -35,6 +53,7 @@ from repro.lint.findings import (
 from repro.lint.engine import run_lints
 from repro.lint.passes import (
     ALL_PASSES,
+    CORE_PASSES,
     CalledOncePass,
     DeadLambdaPass,
     EscapingFunctionPass,
@@ -43,6 +62,17 @@ from repro.lint.passes import (
     StuckApplicationPass,
     UnusedBindingPass,
     default_passes,
+)
+from repro.lint.flowrules import (
+    AUDIT_PASSES,
+    FLOW_PASSES,
+    EscapingRefPass,
+    FallbackForecastPass,
+    NodeBudgetPass,
+    TaintedSinkPass,
+    UnboundedTypePass,
+    UnneededParamPass,
+    UnreachableBranchPass,
 )
 
 def __getattr__(name):
@@ -60,17 +90,27 @@ def __getattr__(name):
 
 __all__ = [
     "ALL_PASSES",
+    "AUDIT_PASSES",
+    "CORE_PASSES",
     "CalledOncePass",
     "DeadLambdaPass",
     "EscapingFunctionPass",
+    "EscapingRefPass",
+    "FLOW_PASSES",
+    "FallbackForecastPass",
     "Finding",
     "LintContext",
     "LintPass",
     "LintResult",
+    "NodeBudgetPass",
     "SanitizeReport",
     "SCHEMA",
     "SEVERITIES",
     "StuckApplicationPass",
+    "TaintedSinkPass",
+    "UnboundedTypePass",
+    "UnneededParamPass",
+    "UnreachableBranchPass",
     "UnusedBindingPass",
     "default_passes",
     "run_lints",

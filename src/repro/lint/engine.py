@@ -151,6 +151,17 @@ def _fallback_lints(
     sites_of = None
     if "L001" in wanted or "L003" in wanted:
         sites_of = _fb_dead_and_once(program, cfa)
+    # T verdicts need only the program text, so the fallback runs them
+    # with the exact graph-path logic; F rules need the subtransitive
+    # graph and are skipped here (their no-op timers still record).
+    audit_pairs = ()
+    if any(code.startswith("T") for code in wanted) and getattr(
+        program, "root", None
+    ) is not None:
+        from repro.flow.audit import audit_linearity
+        from repro.lint.flowrules import audit_verdicts
+
+        audit_pairs = audit_verdicts(audit_linearity(program))
 
     def emit(code, expr, message, label=None):
         template = wanted[code]
@@ -238,6 +249,10 @@ def _fallback_lints(
                             "its variable node is never demanded "
                             "by LC'",
                         )
+            elif code.startswith("T"):
+                for vcode, message in audit_pairs:
+                    if vcode == code:
+                        emit(code, program.root, message)
         pass_seconds[code] = timer.last_seconds
         registry.counter(f"lint.findings.{code}").inc(
             sum(1 for f in findings if f.rule == code)

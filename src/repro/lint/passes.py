@@ -8,12 +8,15 @@ a label set — a regression test holds the ``queries.labels_of`` /
 ``queries.count`` counters at zero across a full lint run.
 
 The traversals are shared through :class:`LintContext` caches so a run
-of all five passes performs:
+of all the passes performs:
 
 * one ``called_once`` bounded propagation (L001 + L003),
-* one backward BFS from the lambda-bearing nodes (L002),
-* one forward BFS from the primitive-argument sinks (L004),
-* one in-degree probe per let/letrec binder (L005).
+* one *fused* :mod:`repro.flow` sweep — a single shared worklist
+  servicing the backward lambda-reachability probe (L002), the forward
+  escape probe (L004 + F002), the taint (F001), neededness (F003) and
+  constructor-set (F004) analyses,
+* one in-degree probe per let/letrec binder (L005),
+* one type-measure audit for the T-series rules (no graph work).
 
 ``scope`` (a set of nids, or ``None`` for everything) restricts a pass
 to the constructs an incremental session actually needs re-examined;
@@ -26,7 +29,6 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
-from repro.graph.reachability import reachable_from
 from repro.lang.ast import App, Lam, Let, Letrec, Prim
 
 from repro.lint.findings import Finding
@@ -58,8 +60,10 @@ class LintContext:
         )
         self._c_visited = self.registry.counter("lint.visited_nodes")
         self._called_once = None
-        self._reaching_lambda: Optional[Set] = None
+        self._flow = None
+        self._sweep_results = None
         self._escaping: Optional[Dict[str, Lam]] = None
+        self._audit = None
 
     # -- node lookups ------------------------------------------------------
 
@@ -70,17 +74,72 @@ class LintContext:
     def lambda_value_nodes(self) -> List:
         """Graph nodes carrying at least one abstraction value (their
         own expression or a congruence-absorbed one)."""
-        nodes = []
-        for node in self.factory.nodes:
-            if node.kind != "expr":
-                continue
-            if isinstance(node.expr, Lam) or any(
-                isinstance(expr, Lam) for expr in node.absorbed
-            ):
-                nodes.append(node)
-        return nodes
+        return self.flow.lambda_value_nodes
 
     # -- shared traversals -------------------------------------------------
+
+    @property
+    def flow(self):
+        """The :class:`repro.flow.framework.FlowContext` every flow
+        client in this lint run shares (same registry, same caches)."""
+        if self._flow is None:
+            from repro.flow.framework import FlowContext
+
+            self._flow = FlowContext(
+                self.program, self.sub, registry=self.registry
+            )
+        return self._flow
+
+    def _sweep(self) -> Dict[str, object]:
+        """The fused flow sweep: one shared worklist runs the L002
+        backward reachability probe, the L004/F002 forward escape
+        probe, and the F001/F003/F004 analyses together.
+
+        ``lint.visited_nodes`` accounts the two reachability mark sets
+        (the quantity the O(edges) regression tests bound); the flow
+        engine's own ``flow.steps.fused`` counter accounts the full
+        propagation work.
+        """
+        if self._sweep_results is None:
+            from repro.flow.analyses import (
+                ConstructorAnalysis,
+                EscapeAnalysis,
+                NeednessAnalysis,
+                ReachabilityAnalysis,
+                TaintAnalysis,
+            )
+            from repro.flow.framework import run_fused
+
+            flow = self.flow
+            analyses = [
+                ReachabilityAnalysis(
+                    flow.lambda_value_nodes,
+                    self.graph.predecessors,
+                    name="reach-lambda",
+                ),
+                EscapeAnalysis(),
+                TaintAnalysis(),
+                NeednessAnalysis(),
+                ConstructorAnalysis(flow),
+            ]
+            results = run_fused(
+                analyses, flow, fuel=flow.default_fuel()
+            )
+            self._sweep_results = dict(
+                zip(
+                    (
+                        "reach-lambda",
+                        "escape",
+                        "taint",
+                        "needness",
+                        "constructors",
+                    ),
+                    results,
+                )
+            )
+            self._c_visited.inc(len(results[0]))
+            self._c_visited.inc(len(results[1]))
+        return self._sweep_results
 
     @property
     def called_once(self):
@@ -93,32 +152,40 @@ class LintContext:
 
     @property
     def nodes_reaching_lambda(self) -> Set:
-        """Nodes from which some abstraction node is reachable — one
-        backward multi-source BFS, shared by every L002 probe."""
-        if self._reaching_lambda is None:
-            reached = reachable_from(
-                self.graph,
-                self.lambda_value_nodes(),
-                follow=self.graph.predecessors,
-            )
-            self._c_visited.inc(len(reached))
-            self._reaching_lambda = reached
-        return self._reaching_lambda
+        """Nodes from which some abstraction node is reachable — the
+        backward probe of the fused sweep, shared by every L002
+        probe."""
+        return self._sweep()["reach-lambda"]
+
+    @property
+    def escape_marks(self) -> Set:
+        """Nodes reachable from a primitive-argument sink — the
+        forward probe of the fused sweep (L004 + F002)."""
+        return self._sweep()["escape"]
+
+    @property
+    def taint_marks(self) -> Set:
+        """Nodes that may evaluate to a value read from a mutable
+        cell (F001)."""
+        return self._sweep()["taint"]
+
+    @property
+    def needness_marks(self) -> Set:
+        """Variable nodes some use actually demands (F003)."""
+        return self._sweep()["needness"]
+
+    @property
+    def constructor_values(self) -> Dict:
+        """k-bounded constructor-name annotations (F004)."""
+        return self._sweep()["constructors"]
 
     @property
     def escaping_lambdas(self) -> Dict[str, Lam]:
-        """Abstractions reachable from a primitive-argument sink — one
-        forward multi-source BFS, shared by every L004 probe."""
+        """Abstractions reachable from a primitive-argument sink,
+        read off the fused sweep's escape marks (L004)."""
         if self._escaping is None:
-            sinks = []
-            for expr in primitive_sink_args(self.program):
-                node = self.peek(expr)
-                if node is not None:
-                    sinks.append(node)
-            reached = reachable_from(self.graph, sinks)
-            self._c_visited.inc(len(reached))
             escaping: Dict[str, Lam] = {}
-            for node in reached:
+            for node in self.escape_marks:
                 if node.kind != "expr":
                     continue
                 if isinstance(node.expr, Lam):
@@ -128,6 +195,16 @@ class LintContext:
                         escaping[expr.label] = expr
             self._escaping = escaping
         return self._escaping
+
+    @property
+    def linearity_audit(self):
+        """The :class:`repro.flow.audit.LinearityAudit` shared by the
+        T-series rules (one type-inference run per lint session)."""
+        if self._audit is None:
+            from repro.flow.audit import audit_linearity
+
+            self._audit = audit_linearity(self.program)
+        return self._audit
 
 
 def primitive_sink_args(program) -> Iterable:
@@ -335,8 +412,10 @@ class UnusedBindingPass(LintPass):
         return findings
 
 
-#: Registry of shipped passes, in rule-code order.
-ALL_PASSES = (
+#: The graph-traversal passes defined in this module, in rule-code
+#: order. The full registry (:data:`ALL_PASSES`) also includes the
+#: F/T-series passes from :mod:`repro.lint.flowrules`.
+CORE_PASSES = (
     DeadLambdaPass,
     StuckApplicationPass,
     CalledOncePass,
@@ -345,6 +424,25 @@ ALL_PASSES = (
 )
 
 
+def __getattr__(name):
+    # ALL_PASSES is assembled lazily: flowrules subclasses LintPass
+    # from this module, so a module-level import either way would be
+    # circular. First access resolves and caches the full tuple.
+    if name == "ALL_PASSES":
+        from repro.lint.flowrules import AUDIT_PASSES, FLOW_PASSES
+
+        value = CORE_PASSES + FLOW_PASSES + AUDIT_PASSES
+        globals()["ALL_PASSES"] = value
+        return value
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
 def default_passes() -> Sequence[LintPass]:
     """Fresh instances of every shipped pass."""
-    return tuple(cls() for cls in ALL_PASSES)
+    from repro.lint.flowrules import AUDIT_PASSES, FLOW_PASSES
+
+    return tuple(
+        cls() for cls in CORE_PASSES + FLOW_PASSES + AUDIT_PASSES
+    )

@@ -45,12 +45,13 @@ from repro.obs import MetricsRegistry
 KEY_NAMESPACE = "repro.serve/1"
 
 #: Canonical option set folded into cache keys. ``algorithm`` selects
-#: the analysis engine; ``lint``/``sanitize`` change what the envelope
-#: carries, so they are part of the result's identity.
+#: the analysis engine; ``lint``/``sanitize``/``audit`` change what
+#: the envelope carries, so they are part of the result's identity.
 DEFAULT_OPTIONS: Dict[str, object] = {
     "algorithm": "hybrid",
     "lint": False,
     "sanitize": False,
+    "audit": False,
 }
 
 

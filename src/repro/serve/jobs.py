@@ -85,29 +85,49 @@ class JobResult:
 
 
 def expand_inputs(
-    paths: Sequence[str], pattern: str = INPUT_PATTERN
+    paths: Sequence[str],
+    pattern: str = INPUT_PATTERN,
+    allow_missing: bool = False,
+    stdin_token: Optional[str] = None,
 ) -> List[str]:
     """Flatten files and directories into an ordered corpus.
 
-    Files are kept as given (input order preserved, duplicates
-    dropped); each directory contributes its ``pattern`` matches in
-    sorted order. A missing path raises :class:`FileNotFoundError`
-    up front — a batch should fail loudly on a typo, not run a
-    truncated corpus.
+    This is the single discovery routine every entry point shares (the
+    ``analyze``/``lint``/``batch`` CLI subcommands and the batch
+    service), so all of them agree on ordering, deduplication, and
+    symlink handling:
+
+    * files are kept as given (input order preserved); each directory
+      contributes its ``pattern`` matches in sorted order;
+    * duplicates are dropped by *identity*, not spelling — two paths
+      (or a symlink and its target) naming the same file via
+      ``os.path.realpath`` count once, under the first spelling seen;
+    * ``stdin_token`` (e.g. ``"-"``) passes through verbatim, exempt
+      from existence checks and dedup-by-realpath;
+    * a missing path raises :class:`FileNotFoundError` up front — a
+      batch should fail loudly on a typo, not run a truncated corpus —
+      unless ``allow_missing`` is set, in which case it passes through
+      for the caller to report per-file.
     """
     out: List[str] = []
     seen = set()
 
     def add(path: str) -> None:
-        if path not in seen:
-            seen.add(path)
+        identity = os.path.realpath(path)
+        if identity not in seen:
+            seen.add(identity)
             out.append(path)
 
     for path in paths:
-        if os.path.isdir(path):
+        if stdin_token is not None and path == stdin_token:
+            if path not in out:
+                out.append(path)
+        elif os.path.isdir(path):
             for match in sorted(glob.glob(os.path.join(path, pattern))):
                 add(match)
         elif os.path.isfile(path):
+            add(path)
+        elif allow_missing:
             add(path)
         else:
             raise FileNotFoundError(

@@ -10,7 +10,9 @@ in a fixed order:
    (``memory``/``disk``/``miss``), the content-address key and result
    fingerprint, timings, attempts, the hybrid-style
    ``fallback_reason``, and (when the batch ran with ``--lint`` /
-   ``--sanitize``) the lint finding counts and sanitizer verdict;
+   ``--sanitize`` / ``--audit``) the lint finding counts, the
+   sanitizer verdict with its full violation detail, and the
+   linearity-audit verdict;
 3. one **summary** record — per-status counts, wall-clock, cache
    hit/miss/eviction totals with the derived hit rate, the exit code,
    and the full ``serve.*`` registry snapshot.
@@ -91,9 +93,20 @@ def job_record(
             }
         sanitize = envelope.get("sanitize")
         if sanitize is not None:
+            # The full violation dicts ride along (not just the count):
+            # a batch consumer reading only job records must be able to
+            # see *what* the sanitizer rejected, not merely that it did.
             record["sanitize"] = {
                 "ok": sanitize["ok"],
                 "violations": len(sanitize["violations"]),
+                "detail": [dict(v) for v in sanitize["violations"]],
+            }
+        audit = envelope.get("audit")
+        if audit is not None:
+            record["audit"] = {
+                "bounded": audit["bounded"],
+                "forecast": audit["forecast"],
+                "within_budget": audit["within_budget"],
             }
         if include_envelope:
             record["envelope"] = envelope
@@ -260,6 +273,25 @@ def validate_batch_record(record) -> Dict[str, object]:
             _expect(
                 isinstance(record["sanitize"].get("ok"), bool),
                 "$.sanitize.ok",
+                "expected bool",
+            )
+            detail = record["sanitize"].get("detail")
+            if detail is not None:
+                _expect(
+                    isinstance(detail, list)
+                    and all(isinstance(v, dict) for v in detail),
+                    "$.sanitize.detail",
+                    "expected list of objects",
+                )
+        if record.get("audit") is not None:
+            _expect(
+                isinstance(record["audit"], dict),
+                "$.audit",
+                "expected object/null",
+            )
+            _expect(
+                isinstance(record["audit"].get("bounded"), bool),
+                "$.audit.bounded",
                 "expected bool",
             )
     else:  # summary

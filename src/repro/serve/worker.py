@@ -154,6 +154,15 @@ def _sanitize_section(analysis) -> Optional[Dict[str, object]]:
     }
 
 
+def _audit_section(program, analysis) -> Dict[str, object]:
+    """The linearity-audit section: predicted LC' budget (Proposition
+    3/4 preconditions) next to the actual graph growth. Deterministic
+    for equal inputs, so it is safe inside the cached envelope."""
+    from repro.flow.audit import audit_section
+
+    return audit_section(program, analysis)
+
+
 def _analyze(payload: Dict[str, object]) -> Dict[str, object]:
     import repro
     from repro.core.hybrid import HybridResult
@@ -190,6 +199,8 @@ def _analyze(payload: Dict[str, object]) -> Dict[str, object]:
         envelope["lint"] = _lint_section(program, analysis)
     if options.get("sanitize"):
         envelope["sanitize"] = _sanitize_section(analysis)
+    if options.get("audit"):
+        envelope["audit"] = _audit_section(program, analysis)
     response: Dict[str, object] = {
         "status": status,
         "fallback_reason": fallback_reason,

@@ -68,6 +68,65 @@ def make_cubic_program(n: int) -> Program:
     return b.program(b.lets(bindings, b.unit()))
 
 
+def make_unbounded_program(n: int) -> Program:
+    """The unbounded-*type* family: typeable, but outside every
+    practical ``P_k``.
+
+    Classic ML type-size blowup through let-polymorphism::
+
+        let d0 = fn x => (x, x) in
+        let d1 = fn x => (d0 x, d0 x) in
+        ...
+        let dn = fn x => (d{n-1} x, d{n-1} x) in
+        dn 1
+
+    ``d_i`` has principal type ``a -> t_i`` with
+    ``t_i = (t_{i-1}, t_{i-1})`` (and ``t_0 = (a, a)``), so the type
+    tree at the final occurrence has size Θ(2^n): the program stays
+    typeable (no ``P_k`` contains the family) while the cubic family
+    stays inside ``P_7``. This is the positive case the T001 linting
+    rule exists for — LC''s linear-time guarantee silently evaporates
+    here, and only a static type-measure audit can say so up front.
+    """
+    if n < 1:
+        raise ValueError(f"family size must be >= 1, got {n}")
+    bindings: List[Tuple[str, Expr]] = [
+        ("d0", b.lam("x", b.record(b.var("x"), b.var("x")), label="d0"))
+    ]
+    for i in range(1, n + 1):
+        prev = f"d{i - 1}"
+        bindings.append(
+            (
+                f"d{i}",
+                b.lam(
+                    "x",
+                    b.record(
+                        b.app(b.var(prev), b.var("x")),
+                        b.app(b.var(prev), b.var("x")),
+                    ),
+                    label=f"d{i}",
+                ),
+            )
+        )
+    return b.program(
+        b.lets(bindings, b.app(b.var(f"d{n}"), b.lit(1)))
+    )
+
+
+def make_unbounded_source(n: int) -> str:
+    """The unbounded-type family as concrete syntax."""
+    if n < 1:
+        raise ValueError(f"family size must be >= 1, got {n}")
+    lines = ["let d0 = fn[d0] x => (x, x) in"]
+    for i in range(1, n + 1):
+        prev = f"d{i - 1}"
+        lines.append(
+            f"let d{i} = fn[d{i}] x => ({prev} x, {prev} x) in"
+        )
+    lines.append(f"d{n} 1")
+    return "\n".join(lines)
+
+
 def make_cubic_source(n: int) -> str:
     """The same benchmark as concrete syntax (for parser-level runs)."""
     if n < 1:
