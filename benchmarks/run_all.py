@@ -78,10 +78,16 @@ def engine_metrics_document(quick: bool = False):
 
 
 def write_metrics(path, experiments, quick: bool) -> None:
+    from repro.obs import environment_provenance
+
+    # Environment provenance lets `repro obs diff` tell "the code got
+    # slower" apart from "this baseline came from another machine"
+    # (cross-machine wall-clock regressions demote to warnings).
     document = {
         "schema": BENCH_SCHEMA,
         "quick": quick,
         "experiments": experiments,
+        "environment": environment_provenance(),
         "engine_metrics": engine_metrics_document(quick),
     }
     with open(path, "w", encoding="utf-8") as handle:

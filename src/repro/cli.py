@@ -18,6 +18,11 @@ Usage (also available as ``python -m repro``)::
     repro typecheck prog.ml
     repro eval     prog.ml [--fuel N]
     repro dot      prog.ml [-o graph.dot]
+    repro obs diff      baseline.json current.json [--threshold N=R]
+                        [--noise-floor N=V] [--warn-only] [--json]
+    repro obs flame     prog.ml [--algorithm A] [--lint] [-o out.folded]
+    repro obs top       trace.jsonl [--metrics m.json] [--limit N]
+    repro obs waterfall trace.jsonl [--limit N]
 
 ``analyze`` and ``lint`` accept any mix of files and directories
 (directories contribute their ``*.lam`` files); multi-input runs go
@@ -633,6 +638,94 @@ def _cmd_eval(args) -> int:
     return 0
 
 
+def _parse_overrides(pairs, flag: str):
+    """Parse repeated ``NAME=VALUE`` options into a float-valued dict."""
+    overrides = {}
+    for pair in pairs or ():
+        name, sep, value = pair.partition("=")
+        if not sep or not name:
+            raise ReproError(
+                f"{flag} expects NAME=VALUE, got {pair!r}"
+            )
+        try:
+            overrides[name] = float(value)
+        except ValueError:
+            raise ReproError(
+                f"{flag} {name}: expected a number, got {value!r}"
+            ) from None
+    return overrides
+
+
+def _load_json(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _cmd_obs_diff(args) -> int:
+    from repro.obs import diff_documents, diff_exit_code, render_diff
+    from repro.obs.baseline import validate_diff
+
+    report = diff_documents(
+        _load_json(args.baseline),
+        _load_json(args.current),
+        thresholds=_parse_overrides(args.threshold, "--threshold"),
+        noise_floors=_parse_overrides(args.noise_floor, "--noise-floor"),
+    )
+    validate_diff(report)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_diff(report, limit=args.limit))
+    return diff_exit_code(report, warn_only=args.warn_only)
+
+
+def _cmd_obs_flame(args) -> int:
+    from repro.obs import SpanProfiler, validate_folded
+
+    program = _read_program(args.file)
+    profiler = SpanProfiler()
+    analysis = repro.analyze(
+        program, algorithm=args.algorithm, profiler=profiler
+    )
+    if args.lint:
+        run_lints(program, analysis, profiler=profiler)
+    lines = profiler.folded()
+    validate_folded(lines)
+    if args.tree:
+        print(profiler.render(), file=sys.stderr)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + ("\n" if lines else ""))
+        print(
+            f"wrote {len(lines)} folded stack(s) to {args.output}",
+            file=sys.stderr,
+        )
+    else:
+        for line in lines:
+            print(line)
+    return 0
+
+
+def _cmd_obs_top(args) -> int:
+    from repro.obs import read_events
+    from repro.obs.tracetools import provenance_check, render_top
+
+    events = read_events(args.trace)
+    metrics = _load_json(args.metrics) if args.metrics else None
+    print(render_top(events, metrics=metrics, limit=args.limit))
+    if metrics is not None:
+        return 0 if provenance_check(events, metrics)["ok"] else 1
+    return 0
+
+
+def _cmd_obs_waterfall(args) -> int:
+    from repro.obs import read_events
+    from repro.obs.tracetools import render_waterfall
+
+    print(render_waterfall(read_events(args.trace), limit=args.limit))
+    return 0
+
+
 def _cmd_dot(args) -> int:
     program = _read_program(args.file)
     cfa = repro.analyze(program)
@@ -869,6 +962,100 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", help="write to a file")
     add_sanitize(p)
     p.set_defaults(run=_cmd_dot)
+
+    p = sub.add_parser(
+        "obs",
+        help="performance observatory: baseline diffs, flamegraphs, "
+        "trace analytics",
+    )
+    obs = p.add_subparsers(dest="obs_command", required=True)
+
+    q = obs.add_parser(
+        "diff",
+        help="compare two metrics documents against regression "
+        "thresholds (exit 0 ok / 1 warn / 2 regression)",
+    )
+    q.add_argument(
+        "baseline",
+        help="baseline repro.metrics/1 or repro.bench-metrics/1 file",
+    )
+    q.add_argument("current", help="current metrics file to judge")
+    q.add_argument(
+        "--threshold",
+        action="append",
+        metavar="NAME=RATIO",
+        help="override the ratio threshold for one metric "
+        "(repeatable; defaults: 1.5 seconds-metrics, 1.1 counts)",
+    )
+    q.add_argument(
+        "--noise-floor",
+        action="append",
+        metavar="NAME=VALUE",
+        help="override the absolute noise floor for one metric "
+        "(repeatable; defaults: 0.005s seconds-metrics, 16 counts)",
+    )
+    q.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="cap the exit code at 1 (for smoke-mode CI gates)",
+    )
+    q.add_argument("--json", action="store_true", help="print the "
+                   "repro.obs-diff/1 report instead of the table")
+    q.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show only the N most severe rows (default: all)",
+    )
+    q.set_defaults(run=_cmd_obs_diff)
+
+    q = obs.add_parser(
+        "flame",
+        help="profile one analysis and emit folded stacks "
+        "(flamegraph.pl / speedscope compatible)",
+    )
+    q.add_argument("file", help="mini-ML source file, or - for stdin")
+    q.add_argument(
+        "--algorithm",
+        default="subtransitive",
+        choices=list(_INSTRUMENTED_ALGORITHMS),
+    )
+    q.add_argument(
+        "--lint",
+        action="store_true",
+        help="also run (and profile) the lint passes",
+    )
+    q.add_argument(
+        "--tree",
+        action="store_true",
+        help="print the span tree to stderr as well",
+    )
+    q.add_argument("-o", "--output", help="write folded stacks to a file")
+    q.set_defaults(run=_cmd_obs_flame)
+
+    q = obs.add_parser(
+        "top",
+        help="rule/node hotspot tables from a trace.jsonl stream "
+        "(with --metrics: exit 1 on a provenance mismatch)",
+    )
+    q.add_argument("trace", help="trace.jsonl written by --trace")
+    q.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="repro.metrics/1 document from the same run, to "
+        "cross-check CLOSE-* edge provenance",
+    )
+    q.add_argument("--limit", type=int, default=10, metavar="N")
+    q.set_defaults(run=_cmd_obs_top)
+
+    q = obs.add_parser(
+        "waterfall",
+        help="demand-sweep waterfall from a trace.jsonl stream",
+    )
+    q.add_argument("trace", help="trace.jsonl written by --trace")
+    q.add_argument("--limit", type=int, default=20, metavar="N")
+    q.set_defaults(run=_cmd_obs_waterfall)
 
     return parser
 

@@ -68,16 +68,21 @@ def analyze_hybrid(
     node_budget: Optional[int] = None,
     registry=None,
     tracer=None,
+    profiler=None,
 ) -> HybridResult:
     """Try LC' with a linear node budget; fall back to the cubic
     standard algorithm if the budget trips.
 
     Always terminates: LC' either reaches a fixpoint within budget
     (and is exact — Propositions 1-2 hold regardless of typing) or the
-    standard algorithm provides the answer. ``registry``/``tracer``
-    (see :mod:`repro.obs`) instrument the LC' attempt; a fallback is
-    recorded on the registry (``hybrid.fallbacks``) and the tracer, so
-    metrics consumers can see the abandoned attempt's budget burn.
+    standard algorithm provides the answer. ``registry``/``tracer``/
+    ``profiler`` (see :mod:`repro.obs`) instrument the LC' attempt; a
+    fallback is recorded on the registry (``hybrid.fallbacks``) and
+    the tracer, so metrics consumers can see the abandoned attempt's
+    budget burn — and the profiler keeps the abandoned attempt's spans
+    (the engine's try/finally span sites stay balanced across the
+    budget trip), so a flamegraph shows the burn next to the
+    ``hybrid.fallback`` span of the cubic re-run.
     """
     if node_budget is None:
         node_budget = budget_factor * max(program.size, 16)
@@ -87,6 +92,7 @@ def analyze_hybrid(
             node_budget=node_budget,
             registry=registry,
             tracer=tracer,
+            profiler=profiler,
         )
         return HybridResult("subtransitive", result, registry=registry)
     except (AnalysisBudgetExceeded, TypeInferenceError) as error:
@@ -104,9 +110,16 @@ def analyze_hybrid(
         if tracer is not None:
             tracer.emit("budget", resource="hybrid", action="fallback",
                         reason=reason)
+        if profiler is not None:
+            profiler.push("hybrid.fallback")
+        try:
+            standard = analyze_standard(program)
+        finally:
+            if profiler is not None:
+                profiler.pop()
         return HybridResult(
             "standard",
-            analyze_standard(program),
+            standard,
             fallback_reason=reason,
             registry=registry,
         )

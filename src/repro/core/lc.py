@@ -238,6 +238,7 @@ class LCEngine:
         max_depth: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
         tracer=None,
+        profiler=None,
     ):
         if congruence is not None and congruence.requires_types:
             if inference is None:
@@ -258,6 +259,11 @@ class LCEngine:
         #: default) is the no-op mode — every emission site guards on
         #: it, so uninstrumented runs pay one pointer test.
         self.tracer = tracer
+        #: Optional :class:`repro.obs.profile.SpanProfiler`; same
+        #: opt-in contract as the tracer (one ``is not None`` test per
+        #: span site). Span sites are coarse — phases, demand sweeps,
+        #: rule-family loops — never per rule firing.
+        self.profiler = profiler
         #: Edges whose first insertion came from a closure rule.
         self.close_edge_set: Set[Tuple[Node, Node]] = set()
         # Hot-path counter bindings (one attribute lookup per firing).
@@ -290,11 +296,18 @@ class LCEngine:
         ensure_recursion_limit()
         registry = self.stats.registry
         tracer = self.tracer
+        profiler = self.profiler
         build_timer = registry.timer("phase.build")
         if tracer is not None:
             tracer.emit("phase", phase="build", action="start")
-        with build_timer:
-            self.build()
+        if profiler is not None:
+            profiler.push("phase.build")
+        try:
+            with build_timer:
+                self.build()
+        finally:
+            if profiler is not None:
+                profiler.pop()
         self.stats.build_seconds = build_timer.last_seconds
         self.stats.build_nodes = self.factory.node_count
         self.stats.build_edges = self.graph.edge_count
@@ -309,8 +322,14 @@ class LCEngine:
         close_timer = registry.timer("phase.close")
         if tracer is not None:
             tracer.emit("phase", phase="close", action="start")
-        with close_timer:
-            self.close()
+        if profiler is not None:
+            profiler.push("phase.close")
+        try:
+            with close_timer:
+                self.close()
+        finally:
+            if profiler is not None:
+                profiler.pop()
         self.stats.close_seconds = close_timer.last_seconds
         self.stats.close_nodes = (
             self.factory.node_count - self.stats.build_nodes
@@ -564,8 +583,15 @@ class LCEngine:
         self.stats.demanded_nodes += 1
         if self.tracer is not None:
             self.tracer.emit("demand", node=node.describe())
-        for opkey, inner in node.members:
-            self._sweep_member(node, opkey, inner)
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.push("sweep")
+        try:
+            for opkey, inner in node.members:
+                self._sweep_member(node, opkey, inner)
+        finally:
+            if profiler is not None:
+                profiler.pop()
 
     def _sweep_member(
         self, node: Node, opkey: OpKey, inner: Node
@@ -573,18 +599,31 @@ class LCEngine:
         cov = self._c_close_cov
         contra = self._c_close_contra
         mkop = self.factory.op_node
+        profiler = self.profiler
         if self.tracer is not None:
             self.tracer.emit(
                 "sweep", node=node.describe(), inner=inner.describe()
             )
         if op_is_covariant(opkey):
-            for dst in list(self.graph.successors(inner)):
-                if self._edge(node, mkop(opkey, dst), close=True):
-                    cov.value += 1
+            if profiler is not None:
+                profiler.push("rule.CLOSE-COV")
+            try:
+                for dst in list(self.graph.successors(inner)):
+                    if self._edge(node, mkop(opkey, dst), close=True):
+                        cov.value += 1
+            finally:
+                if profiler is not None:
+                    profiler.pop()
         if op_is_contravariant(opkey):
-            for src in list(self.graph.predecessors(inner)):
-                if self._edge(node, mkop(opkey, src), close=True):
-                    contra.value += 1
+            if profiler is not None:
+                profiler.push("rule.CLOSE-CONTRA")
+            try:
+                for src in list(self.graph.predecessors(inner)):
+                    if self._edge(node, mkop(opkey, src), close=True):
+                        contra.value += 1
+            finally:
+                if profiler is not None:
+                    profiler.pop()
 
     def register_member_sweep(
         self, node: Node, opkey: OpKey, inner: Node
@@ -651,6 +690,7 @@ def build_subtransitive_graph(
     polyvariant_lets: Optional[frozenset] = None,
     registry: Optional[MetricsRegistry] = None,
     tracer=None,
+    profiler=None,
 ) -> SubtransitiveGraph:
     """Run LC' on ``program`` and return the subtransitive graph.
 
@@ -691,5 +731,6 @@ def build_subtransitive_graph(
         else None,
         registry=registry,
         tracer=tracer,
+        profiler=profiler,
     )
     return engine.run()

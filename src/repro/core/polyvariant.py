@@ -97,6 +97,7 @@ def analyze_polyvariant(
     node_budget: Optional[int] = None,
     registry=None,
     tracer=None,
+    profiler=None,
 ) -> SubtransitiveCFA:
     """Polyvariant subtransitive CFA.
 
@@ -116,6 +117,7 @@ def analyze_polyvariant(
         instance_budget=instance_budget,
         registry=registry,
         tracer=tracer,
+        profiler=profiler,
     )
     return SubtransitiveCFA(engine.run())
 

@@ -227,11 +227,12 @@ def analyze_subtransitive(
     polyvariant_lets: Optional[frozenset] = None,
     registry=None,
     tracer=None,
+    profiler=None,
 ) -> SubtransitiveCFA:
     """Convenience: run LC' and wrap the result in the query layer.
 
-    ``registry``/``tracer`` (see :mod:`repro.obs`) instrument the run;
-    both default to off.
+    ``registry``/``tracer``/``profiler`` (see :mod:`repro.obs`)
+    instrument the run; all default to off.
     """
     from repro.core.lc import build_subtransitive_graph
 
@@ -243,5 +244,6 @@ def analyze_subtransitive(
         polyvariant_lets=polyvariant_lets,
         registry=registry,
         tracer=tracer,
+        profiler=profiler,
     )
     return SubtransitiveCFA(sub)

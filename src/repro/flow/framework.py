@@ -59,7 +59,7 @@ class FlowContext:
     cached here.
     """
 
-    def __init__(self, program=None, sub=None, registry=None):
+    def __init__(self, program=None, sub=None, registry=None, profiler=None):
         self.program = program
         self.sub = sub
         self.graph = sub.graph if sub is not None else None
@@ -71,6 +71,10 @@ class FlowContext:
                 else MetricsRegistry()
             )
         self.registry = registry
+        #: Optional :class:`repro.obs.profile.SpanProfiler`; every
+        #: ``run_flow``/``run_fused`` pass on this context records one
+        #: ``flow.<name>`` span (same opt-in contract as the engine's).
+        self.profiler = profiler
         self._parent_of = None
         self._lambda_nodes = None
         self._sink_args = None
@@ -248,8 +252,15 @@ def run_flow(
         ctx = FlowContext()
     if registry is None:
         registry = ctx.registry
-    with registry.timer(f"flow.pass.{analysis.name}"):
-        result, steps, updates = _fixpoint([analysis], ctx, fuel)
+    profiler = ctx.profiler
+    if profiler is not None:
+        profiler.push(f"flow.{analysis.name}")
+    try:
+        with registry.timer(f"flow.pass.{analysis.name}"):
+            result, steps, updates = _fixpoint([analysis], ctx, fuel)
+    finally:
+        if profiler is not None:
+            profiler.pop()
     registry.counter(f"flow.steps.{analysis.name}").inc(steps)
     registry.counter(f"flow.updates.{analysis.name}").inc(
         updates[0]
@@ -280,8 +291,15 @@ def run_fused(
     """
     if registry is None:
         registry = ctx.registry
-    with registry.timer("flow.pass.fused"):
-        values, steps, updates = _fixpoint(list(analyses), ctx, fuel)
+    profiler = ctx.profiler
+    if profiler is not None:
+        profiler.push("flow.fused")
+    try:
+        with registry.timer("flow.pass.fused"):
+            values, steps, updates = _fixpoint(list(analyses), ctx, fuel)
+    finally:
+        if profiler is not None:
+            profiler.pop()
     registry.counter("flow.steps.fused").inc(steps)
     registry.gauge("flow.fused.analyses").set(len(analyses))
     for analysis, changed in zip(analyses, updates):

@@ -67,13 +67,17 @@ def run_lints(
     registry=None,
     scope: Optional[Set[int]] = None,
     tracer=None,
+    profiler=None,
 ) -> LintResult:
     """Run lint passes over ``program``.
 
     ``result`` is an existing analysis to reuse (see module docstring);
     ``scope`` restricts incremental passes to a set of nids;
-    ``registry``/``tracer`` instrument the run (defaulting to the
-    graph's own registry so one metrics document covers everything).
+    ``registry``/``tracer``/``profiler`` instrument the run
+    (defaulting to the graph's own registry so one metrics document
+    covers everything; the profiler records one ``lint.<code>`` span
+    per pass with the shared flow sweep's ``flow.fused`` span nested
+    under whichever pass demanded it first).
     """
     lint_passes = _normalise_passes(passes)
     sub, engine, fallback_reason, cfa = _resolve(result)
@@ -81,7 +85,8 @@ def run_lints(
         from repro.core.lc import build_subtransitive_graph
 
         sub = build_subtransitive_graph(
-            program, registry=registry, tracer=tracer
+            program, registry=registry, tracer=tracer,
+            profiler=profiler,
         )
     if engine == "standard":
         return _fallback_lints(
@@ -95,14 +100,20 @@ def run_lints(
 
     if registry is None:
         registry = sub.stats.registry
-    ctx = LintContext(program, sub, registry=registry)
+    ctx = LintContext(program, sub, registry=registry, profiler=profiler)
     findings: List[Finding] = []
     pass_seconds: Dict[str, float] = {}
     for lint_pass in lint_passes:
         pass_scope = scope if lint_pass.incremental else None
         timer = registry.timer(f"lint.pass.{lint_pass.code}")
-        with timer:
-            found = lint_pass.run(ctx, pass_scope)
+        if profiler is not None:
+            profiler.push(f"lint.{lint_pass.code}")
+        try:
+            with timer:
+                found = lint_pass.run(ctx, pass_scope)
+        finally:
+            if profiler is not None:
+                profiler.pop()
         pass_seconds[lint_pass.code] = timer.last_seconds
         registry.counter(f"lint.findings.{lint_pass.code}").inc(
             len(found)

@@ -50,7 +50,7 @@ class LintContext:
     tests bound by the graph size.
     """
 
-    def __init__(self, program, sub, registry=None):
+    def __init__(self, program, sub, registry=None, profiler=None):
         self.program = program
         self.sub = sub
         self.graph = sub.graph
@@ -58,6 +58,7 @@ class LintContext:
         self.registry = (
             registry if registry is not None else sub.stats.registry
         )
+        self.profiler = profiler
         self._c_visited = self.registry.counter("lint.visited_nodes")
         self._called_once = None
         self._flow = None
@@ -86,7 +87,10 @@ class LintContext:
             from repro.flow.framework import FlowContext
 
             self._flow = FlowContext(
-                self.program, self.sub, registry=self.registry
+                self.program,
+                self.sub,
+                registry=self.registry,
+                profiler=self.profiler,
             )
         return self._flow
 

@@ -15,12 +15,30 @@ single home for that accounting:
 * :mod:`repro.obs.export` — the versioned JSON metrics document
   (:data:`SCHEMA`), :func:`collect_metrics` to produce it from any
   analysis result, and :func:`validate_metrics`, the structural
-  validator that freezes the contract.
+  validator that freezes the contract;
+* :mod:`repro.obs.profile` — :class:`SpanProfiler`, a hierarchical
+  span profiler (phase → rule family → flow pass) with folded-stack
+  flamegraph export; opt-in exactly like the tracer;
+* :mod:`repro.obs.baseline` — the ``repro.obs-diff/1`` regression
+  report: diff two metrics documents against per-metric thresholds
+  and noise floors, with an exit-code verdict for CI gates;
+* :mod:`repro.obs.tracetools` — offline analytics over ``trace.jsonl``
+  streams (hotspot tables, demand-sweep waterfall, edge-provenance
+  cross-checks against the metrics accounting).
 
 See ``docs/OBSERVABILITY.md`` for the schema reference and CLI usage
-(``repro analyze --metrics out.json --trace out.jsonl``).
+(``repro analyze --metrics out.json --trace out.jsonl``,
+``repro obs diff|flame|top|waterfall``).
 """
 
+from repro.obs.baseline import (
+    DIFF_SCHEMA,
+    diff_documents,
+    diff_exit_code,
+    environment_provenance,
+    render_diff,
+    validate_diff,
+)
 from repro.obs.export import (
     SCHEMA,
     collect_metrics,
@@ -28,19 +46,40 @@ from repro.obs.export import (
     validate_metrics,
 )
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
+from repro.obs.profile import Span, SpanProfiler, validate_folded
 from repro.obs.trace import EVENT_KINDS, NULL_TRACER, NullTracer, Tracer
+from repro.obs.tracetools import (
+    demand_waterfall,
+    node_hotspots,
+    provenance_check,
+    read_events,
+    rule_hotspots,
+)
 
 __all__ = [
     "Counter",
+    "DIFF_SCHEMA",
     "EVENT_KINDS",
     "Gauge",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "SCHEMA",
+    "Span",
+    "SpanProfiler",
     "Timer",
     "Tracer",
     "collect_metrics",
+    "demand_waterfall",
+    "diff_documents",
+    "diff_exit_code",
+    "environment_provenance",
     "metrics_to_json",
-    "validate_metrics",
+    "node_hotspots",
+    "provenance_check",
+    "read_events",
+    "render_diff",
+    "rule_hotspots",
+    "validate_diff",
+    "validate_folded",
 ]

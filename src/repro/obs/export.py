@@ -332,6 +332,15 @@ def validate_metrics(document) -> Dict[str, object]:
             _check_number(
                 timer.get(key), f"$.registry.timers.{name}.{key}"
             )
+        # Distribution fields (min/max/mean) arrived after the schema
+        # froze; they are optional — older documents without them stay
+        # valid, newer ones get their types checked. No schema bump:
+        # additive, and every required key above is unchanged.
+        for key in ("min_seconds", "max_seconds", "mean_seconds"):
+            if timer.get(key) is not None:
+                _check_number(
+                    timer[key], f"$.registry.timers.{name}.{key}"
+                )
 
     session = document.get("session")
     if session is not None:

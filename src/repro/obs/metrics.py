@@ -86,13 +86,25 @@ class Timer:
         timer.total_seconds   # all sections so far
     """
 
-    __slots__ = ("name", "count", "total_seconds", "last_seconds", "_start")
+    __slots__ = (
+        "name",
+        "count",
+        "total_seconds",
+        "last_seconds",
+        "min_seconds",
+        "max_seconds",
+        "_start",
+    )
 
     def __init__(self, name: str):
         self.name = name
         self.count = 0
         self.total_seconds = 0.0
         self.last_seconds = 0.0
+        #: Extremes over all observed sections; 0.0 until the first
+        #: observation (mirroring ``last_seconds``).
+        self.min_seconds = 0.0
+        self.max_seconds = 0.0
         self._start = 0.0
 
     def __enter__(self) -> "Timer":
@@ -104,9 +116,18 @@ class Timer:
 
     def observe(self, seconds: float) -> None:
         """Record an externally measured section."""
+        if self.count == 0 or seconds < self.min_seconds:
+            self.min_seconds = seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
         self.count += 1
         self.last_seconds = seconds
         self.total_seconds += seconds
+
+    @property
+    def mean_seconds(self) -> float:
+        """Average section length (0.0 with no observations)."""
+        return self.total_seconds / self.count if self.count else 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -172,6 +193,9 @@ class MetricsRegistry:
                     "count": timer.count,
                     "total_seconds": timer.total_seconds,
                     "last_seconds": timer.last_seconds,
+                    "min_seconds": timer.min_seconds,
+                    "max_seconds": timer.max_seconds,
+                    "mean_seconds": timer.mean_seconds,
                 }
                 for name, timer in sorted(self._timers.items())
             },

@@ -77,6 +77,10 @@ class JobResult:
     error: Optional[str] = None
     seconds: float = 0.0
     attempts: int = 1
+    #: Folded-stack span-profile lines (``repro.obs.profile``), present
+    #: only when the batch ran with profiling on and this job was
+    #: actually executed (cache hits have no profile to report).
+    profile: Optional[List[str]] = None
 
     @property
     def ok(self) -> bool:

@@ -160,6 +160,7 @@ class BatchRunner:
         registry: Optional[MetricsRegistry] = None,
         max_attempts: int = 2,
         degrade_timeouts: bool = True,
+        profile: bool = False,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -180,6 +181,11 @@ class BatchRunner:
         )
         self.max_attempts = max_attempts
         self.degrade_timeouts = degrade_timeouts
+        #: Per-job span profiling (``repro.obs.profile``). Deliberately
+        #: NOT an analysis option: options feed the cache key, and a
+        #: profile request must not shard the cache. Consequence: jobs
+        #: served from cache carry no profile.
+        self.profile = profile
 
     # -- entry points ------------------------------------------------------
 
@@ -269,6 +275,7 @@ class BatchRunner:
                 error=response.get("error"),
                 seconds=response.get("seconds", 0.0),
                 attempts=response.get("attempts", 1),
+                profile=response.get("profile"),
             )
             if result.ok and envelope is not None:
                 self.cache.put(result.key, envelope)
@@ -284,6 +291,7 @@ class BatchRunner:
             "options": job.options,
             "timeout": job.timeout,
             "fault": job.fault,
+            "profile": self.profile,
         }
 
     @staticmethod

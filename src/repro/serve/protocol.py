@@ -110,6 +110,8 @@ def job_record(
             }
         if include_envelope:
             record["envelope"] = envelope
+    if result.profile is not None:
+        record["profile"] = list(result.profile)
     return record
 
 
@@ -294,6 +296,20 @@ def validate_batch_record(record) -> Dict[str, object]:
                 "$.audit.bounded",
                 "expected bool",
             )
+        if record.get("profile") is not None:
+            profile = record["profile"]
+            _expect(
+                isinstance(profile, list)
+                and all(isinstance(line, str) for line in profile),
+                "$.profile",
+                "expected list of folded-stack strings",
+            )
+            try:
+                from repro.obs.profile import validate_folded
+
+                validate_folded(profile)
+            except ValueError as error:
+                _fail("$.profile", str(error))
     else:  # summary
         _check_int(record.get("jobs"), "$.jobs")
         counts = record.get("counts")

@@ -94,6 +94,19 @@ def _apply_faults(fault: Dict[str, object]) -> None:
         raise RuntimeError(str(message))
 
 
+class _NoSpan:
+    """No-op stand-in for a profiler span (profile not requested)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        pass
+
+
+_NO_SPAN = _NoSpan()
+
+
 def _sub_of(analysis):
     """The SubtransitiveGraph inside an analysis result, or None."""
     from repro.core.hybrid import HybridResult
@@ -109,7 +122,7 @@ def _sub_of(analysis):
     return None
 
 
-def _lint_section(program, analysis) -> Dict[str, object]:
+def _lint_section(program, analysis, profiler=None) -> Dict[str, object]:
     """Run the lint passes and shape them for the result envelope.
 
     Timings (``pass_seconds``) are deliberately dropped: the envelope
@@ -124,7 +137,7 @@ def _lint_section(program, analysis) -> Dict[str, object]:
         # timeout-degrade re-run): route it through the lint driver's
         # standard-CFA fallback path.
         analysis = HybridResult("standard", analysis)
-    result = run_lints(program, analysis)
+    result = run_lints(program, analysis, profiler=profiler)
     counts: Dict[str, int] = {}
     for finding in result.findings:
         counts[finding.rule] = counts.get(finding.rule, 0) + 1
@@ -163,6 +176,12 @@ def _audit_section(program, analysis) -> Dict[str, object]:
     return audit_section(program, analysis)
 
 
+#: Algorithms whose drivers accept the ``profiler=`` kwarg. The
+#: standard/cubic algorithms have no span sites; profiled jobs running
+#: them still get the job-stage spans (parse/analyze/lint/...).
+_PROFILED_ALGORITHMS = ("subtransitive", "hybrid", "polyvariant")
+
+
 def _analyze(payload: Dict[str, object]) -> Dict[str, object]:
     import repro
     from repro.core.hybrid import HybridResult
@@ -170,11 +189,27 @@ def _analyze(payload: Dict[str, object]) -> Dict[str, object]:
     from repro.export import result_fingerprint, result_to_dict
 
     options: Dict[str, object] = payload["options"]
-    program = repro.parse(payload["source"])
+    profiler = None
+    if payload.get("profile"):
+        from repro.obs.profile import SpanProfiler
+
+        profiler = SpanProfiler()
+
+    def stage(name):
+        return profiler.span(name) if profiler is not None else _NO_SPAN
+
+    with stage("job.parse"):
+        program = repro.parse(payload["source"])
     status = "ok"
     fallback_reason = None
+    analyze_kwargs = {}
+    if profiler is not None and options["algorithm"] in _PROFILED_ALGORITHMS:
+        analyze_kwargs["profiler"] = profiler
     try:
-        analysis = repro.analyze(program, algorithm=options["algorithm"])
+        with stage("job.analyze"):
+            analysis = repro.analyze(
+                program, algorithm=options["algorithm"], **analyze_kwargs
+            )
     except (AnalysisBudgetExceeded, TypeInferenceError) as error:
         # Graceful degradation: the LC' attempt blew its budget (or
         # no congruence could be inferred); the cubic standard
@@ -196,11 +231,16 @@ def _analyze(payload: Dict[str, object]) -> Dict[str, object]:
         fallback_reason = analysis.fallback_reason
     envelope = result_to_dict(analysis)
     if options.get("lint"):
-        envelope["lint"] = _lint_section(program, analysis)
+        with stage("job.lint"):
+            envelope["lint"] = _lint_section(
+                program, analysis, profiler=profiler
+            )
     if options.get("sanitize"):
-        envelope["sanitize"] = _sanitize_section(analysis)
+        with stage("job.sanitize"):
+            envelope["sanitize"] = _sanitize_section(analysis)
     if options.get("audit"):
-        envelope["audit"] = _audit_section(program, analysis)
+        with stage("job.audit"):
+            envelope["audit"] = _audit_section(program, analysis)
     response: Dict[str, object] = {
         "status": status,
         "fallback_reason": fallback_reason,
@@ -208,6 +248,12 @@ def _analyze(payload: Dict[str, object]) -> Dict[str, object]:
         "fingerprint": result_fingerprint(envelope),
         "error": None,
     }
+    if profiler is not None:
+        # The profile rides the *response*, never the envelope: the
+        # envelope is content-addressed and must stay byte-stable for
+        # equal inputs, and wall-clock spans never are. Cache hits
+        # therefore carry no profile (documented in docs/SERVICE.md).
+        response["profile"] = profiler.folded()
     section = envelope.get("sanitize")
     if section is not None and not section["ok"]:
         # A sanitizer violation means the engine produced a graph it

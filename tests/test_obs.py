@@ -298,3 +298,122 @@ class TestSessionMetrics:
         with pytest.raises(ScopeError):
             session.define("b", "fn[dup] y => y")
         assert [e["op"] for e in session.history] == ["define"]
+
+
+# ---------------------------------------------------------------------------
+# timer distribution fields (min/max/mean)
+
+
+class TestTimerDistribution:
+    def test_min_max_mean_track_observations(self):
+        timer = MetricsRegistry().timer("t")
+        for seconds in (0.4, 0.1, 0.7):
+            timer.observe(seconds)
+        assert timer.min_seconds == 0.1
+        assert timer.max_seconds == 0.7
+        assert timer.mean_seconds == pytest.approx(0.4)
+
+    def test_zero_observations_report_zero(self):
+        timer = MetricsRegistry().timer("t")
+        assert timer.min_seconds == 0.0
+        assert timer.max_seconds == 0.0
+        assert timer.mean_seconds == 0.0
+
+    def test_snapshot_carries_distribution_fields(self):
+        registry = MetricsRegistry()
+        registry.timer("t").observe(0.25)
+        snap = registry.snapshot()["timers"]["t"]
+        assert snap["min_seconds"] == 0.25
+        assert snap["max_seconds"] == 0.25
+        assert snap["mean_seconds"] == 0.25
+
+    def test_validator_accepts_and_type_checks_new_fields(self):
+        prog = parse(SAMPLES[0])
+        cfa = analyze_subtransitive(prog)
+        document = validate_metrics(collect_metrics(cfa))
+        timers = document["registry"]["timers"]
+        assert timers  # engine runs always time their phases
+        name = next(iter(timers))
+        # Same schema tag: the fields are additive, not a v2.
+        assert document["schema"] == SCHEMA
+        # Older documents without the fields stay valid...
+        for key in ("min_seconds", "max_seconds", "mean_seconds"):
+            legacy = json.loads(metrics_to_json(document))
+            del legacy["registry"]["timers"][name][key]
+            validate_metrics(legacy)
+        # ...but present-and-wrongly-typed is rejected by path.
+        broken = json.loads(metrics_to_json(document))
+        broken["registry"]["timers"][name]["max_seconds"] = "slow"
+        with pytest.raises(ValueError, match="max_seconds"):
+            validate_metrics(broken)
+
+
+# ---------------------------------------------------------------------------
+# sink lifecycle under mid-run failure
+
+
+class TestTracerSinkLifecycle:
+    def test_sink_flushed_when_analysed_program_raises(self, tmp_path):
+        # Regression: a path-opened sink must be flushed and closed
+        # even when the analysis aborts mid-run (budget trip) — the
+        # partial trace is exactly what the post-mortem needs.
+        path = tmp_path / "trace.jsonl"
+        with pytest.raises(AnalysisBudgetExceeded):
+            with Tracer(sink=str(path)) as tracer:
+                analyze_subtransitive(
+                    make_cubic_program(8), node_budget=5, tracer=tracer
+                )
+        assert tracer._sink is None  # owned handle released
+        lines = path.read_text().splitlines()
+        assert lines  # the events up to the abort reached disk
+        events = [json.loads(line) for line in lines]
+        assert events[-1]["seq"] == len(events) - 1
+        assert tracer.event_count == len(events)
+
+    def test_close_is_idempotent(self, tmp_path):
+        tracer = Tracer(sink=str(tmp_path / "t.jsonl"))
+        tracer.emit("phase", phase="build", action="start")
+        tracer.close()
+        tracer.close()  # second close must be a no-op, not a crash
+
+
+# ---------------------------------------------------------------------------
+# ring-buffer properties
+
+
+class TestRingBufferProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        capacity=st.integers(min_value=1, max_value=16),
+        kinds=st.lists(
+            st.sampled_from(["rule", "edge", "demand"]), max_size=64
+        ),
+    )
+    def test_event_count_includes_rotated_events(self, capacity, kinds):
+        tracer = Tracer(capacity=capacity)
+        for kind in kinds:
+            tracer.emit(kind)
+        assert tracer.event_count == len(kinds)
+        assert len(tracer.events()) == min(len(kinds), capacity)
+        assert tracer.dropped == max(0, len(kinds) - capacity)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        capacity=st.integers(min_value=1, max_value=16),
+        kinds=st.lists(
+            st.sampled_from(["rule", "edge", "demand"]), max_size=64
+        ),
+    )
+    def test_kind_filter_preserves_seq_order(self, capacity, kinds):
+        tracer = Tracer(capacity=capacity)
+        for kind in kinds:
+            tracer.emit(kind)
+        seqs = [event["seq"] for event in tracer.events("rule")]
+        assert seqs == sorted(seqs)
+        # And it is exactly the buffered subsequence of that kind.
+        expected = [
+            seq
+            for seq, kind in enumerate(kinds)
+            if kind == "rule" and seq >= len(kinds) - capacity
+        ]
+        assert seqs == expected

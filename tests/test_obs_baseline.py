@@ -1,0 +1,305 @@
+"""The baseline regression gate: ``repro.obs-diff/1`` reports, their
+thresholds and exit codes, and the ``repro obs diff`` CLI.
+
+The two acceptance scenarios from the issue are the anchor tests:
+identical documents must diff clean (exit 0, verdict ok), and a
+document with ``phases.close.seconds`` doubled plus an inflated
+``flow.steps.fused`` counter must exit nonzero *naming both regressed
+metrics*.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.queries import analyze_subtransitive
+from repro.obs import (
+    collect_metrics,
+    diff_documents,
+    diff_exit_code,
+    environment_provenance,
+    render_diff,
+    validate_metrics,
+)
+from repro.obs.baseline import (
+    DIFF_SCHEMA,
+    extract_metrics,
+    validate_diff,
+)
+from repro.workloads.cubic import make_cubic_program
+
+
+@pytest.fixture(scope="module")
+def engine_doc():
+    program = make_cubic_program(10)
+    cfa = analyze_subtransitive(program)
+    for site in program.nontrivial_applications():
+        cfa.may_call(site)
+    return validate_metrics(collect_metrics(cfa))
+
+
+def bench_doc(engine, quick=True, environment=None):
+    return {
+        "schema": "repro.bench-metrics/1",
+        "quick": quick,
+        "experiments": {},
+        "environment": (
+            environment_provenance() if environment is None else environment
+        ),
+        "engine_metrics": engine,
+    }
+
+
+class TestExtraction:
+    def test_engine_document_flattens(self, engine_doc):
+        flat, meta = extract_metrics(engine_doc)
+        assert meta["kind"] == "repro.metrics/1"
+        assert "phases.close.seconds" in flat
+        assert "rules.CLOSE-COV" in flat
+        assert "graph.close_edges" in flat
+        assert "timers.phase.build.total_seconds" in flat
+
+    def test_bench_document_flattens_engine_section(self, engine_doc):
+        flat, meta = extract_metrics(bench_doc(engine_doc))
+        assert meta["kind"] == "repro.bench-metrics/1"
+        assert meta["quick"] is True
+        assert meta["environment"]["machine"]
+        assert "phases.close.seconds" in flat
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            extract_metrics({"schema": "something/9"})
+
+
+class TestDiffVerdicts:
+    def test_identical_documents_all_ok(self, engine_doc):
+        report = diff_documents(engine_doc, engine_doc)
+        validate_diff(report)
+        assert report["schema"] == DIFF_SCHEMA
+        assert report["verdict"] == "ok"
+        assert report["regressions"] == []
+        assert report["warnings"] == []
+        assert all(row["verdict"] == "ok" for row in report["metrics"])
+        assert diff_exit_code(report) == 0
+
+    def test_injected_regressions_named(self, engine_doc):
+        # Acceptance scenario: 2x phase.close seconds + an inflated
+        # fused-step counter -> nonzero exit naming both metrics.
+        baseline = copy.deepcopy(engine_doc)
+        baseline["registry"]["counters"]["flow.steps.fused"] = 100
+        current = copy.deepcopy(baseline)
+        current["phases"]["close"]["seconds"] = (
+            baseline["phases"]["close"]["seconds"] * 2 + 1.0
+        )
+        current["registry"]["counters"]["flow.steps.fused"] = 200
+        report = diff_documents(baseline, current)
+        validate_diff(report)
+        assert report["verdict"] == "regression"
+        assert "phases.close.seconds" in report["regressions"]
+        assert "counters.flow.steps.fused" in report["regressions"]
+        assert diff_exit_code(report) == 2
+        assert diff_exit_code(report, warn_only=True) == 1
+
+    def test_noise_floor_suppresses_tiny_seconds_ratios(self, engine_doc):
+        baseline = copy.deepcopy(engine_doc)
+        baseline["phases"]["close"]["seconds"] = 0.0001
+        current = copy.deepcopy(baseline)
+        current["phases"]["close"]["seconds"] = 0.0009  # 9x but micro
+        report = diff_documents(baseline, current)
+        assert report["verdict"] == "ok"
+
+    def test_warn_band_between_half_headroom_and_threshold(
+        self, engine_doc
+    ):
+        baseline = copy.deepcopy(engine_doc)
+        baseline["phases"]["close"]["seconds"] = 1.0
+        current = copy.deepcopy(baseline)
+        current["phases"]["close"]["seconds"] = 1.3  # 1.25 <= r < 1.5
+        report = diff_documents(baseline, current)
+        assert report["verdict"] == "warn"
+        assert "phases.close.seconds" in report["warned_metrics"]
+        assert diff_exit_code(report) == 1
+
+    def test_improvement_is_ok_and_flagged(self, engine_doc):
+        baseline = copy.deepcopy(engine_doc)
+        baseline["phases"]["close"]["seconds"] = 2.0
+        current = copy.deepcopy(baseline)
+        current["phases"]["close"]["seconds"] = 1.0
+        report = diff_documents(baseline, current)
+        assert report["verdict"] == "ok"
+        row = next(
+            r
+            for r in report["metrics"]
+            if r["name"] == "phases.close.seconds"
+        )
+        assert row["improved"] is True
+
+    def test_threshold_override(self, engine_doc):
+        baseline = copy.deepcopy(engine_doc)
+        baseline["phases"]["close"]["seconds"] = 1.0
+        current = copy.deepcopy(baseline)
+        current["phases"]["close"]["seconds"] = 1.4
+        report = diff_documents(
+            baseline, current, thresholds={"phases.close.seconds": 1.2}
+        )
+        assert "phases.close.seconds" in report["regressions"]
+
+    def test_zero_baseline_increase_is_regression(self, engine_doc):
+        baseline = copy.deepcopy(engine_doc)
+        baseline["registry"]["counters"]["edges.dropped"] = 0
+        current = copy.deepcopy(baseline)
+        current["registry"]["counters"]["edges.dropped"] = 50
+        report = diff_documents(baseline, current)
+        row = next(
+            r
+            for r in report["metrics"]
+            if r["name"] == "counters.edges.dropped"
+        )
+        assert row["ratio"] is None
+        assert row["verdict"] == "regression"
+
+    def test_missing_and_added_metrics_warn(self, engine_doc):
+        current = copy.deepcopy(engine_doc)
+        current["registry"]["counters"]["brand.new"] = 1
+        baseline = copy.deepcopy(engine_doc)
+        baseline["registry"]["counters"]["gone.now"] = 1
+        report = diff_documents(baseline, current)
+        assert report["verdict"] == "warn"
+        assert any("brand.new" in w for w in report["warnings"])
+        assert any("gone.now" in w for w in report["warnings"])
+
+
+class TestCrossMachineDemotion:
+    def test_cross_machine_seconds_regression_demoted(self, engine_doc):
+        env_a = environment_provenance()
+        env_b = dict(env_a, machine="arm64-other")
+        baseline = bench_doc(copy.deepcopy(engine_doc), environment=env_a)
+        baseline["engine_metrics"]["phases"]["close"]["seconds"] = 1.0
+        current = bench_doc(copy.deepcopy(engine_doc), environment=env_b)
+        current["engine_metrics"]["phases"]["close"]["seconds"] = 5.0
+        report = diff_documents(baseline, current)
+        assert report["verdict"] == "warn"
+        assert "phases.close.seconds" in report["warned_metrics"]
+        assert any("cross-machine" in w for w in report["warnings"])
+
+    def test_cross_machine_count_regression_still_fails(self, engine_doc):
+        env_a = environment_provenance()
+        env_b = dict(env_a, machine="arm64-other")
+        baseline = bench_doc(copy.deepcopy(engine_doc), environment=env_a)
+        current = bench_doc(copy.deepcopy(engine_doc), environment=env_b)
+        current["engine_metrics"]["graph"]["edges"] = (
+            baseline["engine_metrics"]["graph"]["edges"] * 3 + 100
+        )
+        report = diff_documents(baseline, current)
+        assert report["verdict"] == "regression"
+        assert "graph.edges" in report["regressions"]
+
+    def test_quick_mismatch_demotes_seconds(self, engine_doc):
+        baseline = bench_doc(copy.deepcopy(engine_doc), quick=True)
+        baseline["engine_metrics"]["phases"]["close"]["seconds"] = 1.0
+        current = bench_doc(copy.deepcopy(engine_doc), quick=False)
+        current["engine_metrics"]["phases"]["close"]["seconds"] = 5.0
+        report = diff_documents(baseline, current)
+        assert report["verdict"] == "warn"
+        assert any("quick-mode mismatch" in w for w in report["warnings"])
+
+
+class TestValidatorAndRender:
+    def test_validator_rejects_bad_verdict(self, engine_doc):
+        report = diff_documents(engine_doc, engine_doc)
+        report["verdict"] = "fine"
+        with pytest.raises(ValueError, match=r"\$\.verdict"):
+            validate_diff(report)
+
+    def test_validator_rejects_bad_row(self, engine_doc):
+        report = diff_documents(engine_doc, engine_doc)
+        report["metrics"][0]["baseline"] = "lots"
+        with pytest.raises(ValueError, match=r"\$\.metrics\[0\]"):
+            validate_diff(report)
+
+    def test_report_is_json_safe(self, engine_doc):
+        report = diff_documents(engine_doc, engine_doc)
+        json.loads(json.dumps(report))
+
+    def test_render_names_regressions(self, engine_doc):
+        baseline = copy.deepcopy(engine_doc)
+        baseline["phases"]["close"]["seconds"] = 1.0
+        current = copy.deepcopy(baseline)
+        current["phases"]["close"]["seconds"] = 9.0
+        text = render_diff(diff_documents(baseline, current))
+        assert "regression" in text
+        assert "phases.close.seconds" in text
+
+
+class TestObsDiffCli:
+    def _write(self, tmp_path, name, document):
+        path = tmp_path / name
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    def test_identical_exits_zero(self, tmp_path, capsys, engine_doc):
+        a = self._write(tmp_path, "a.json", engine_doc)
+        assert main(["obs", "diff", a, a]) == 0
+        assert "baseline diff: ok" in capsys.readouterr().out
+
+    def test_regression_exits_two_and_names_metrics(
+        self, tmp_path, capsys, engine_doc
+    ):
+        baseline = copy.deepcopy(engine_doc)
+        baseline["registry"]["counters"]["flow.steps.fused"] = 100
+        current = copy.deepcopy(baseline)
+        current["phases"]["close"]["seconds"] = (
+            baseline["phases"]["close"]["seconds"] * 2 + 1.0
+        )
+        current["registry"]["counters"]["flow.steps.fused"] = 200
+        a = self._write(tmp_path, "a.json", baseline)
+        b = self._write(tmp_path, "b.json", current)
+        assert main(["obs", "diff", a, b]) == 2
+        out = capsys.readouterr().out
+        assert "phases.close.seconds" in out
+        assert "counters.flow.steps.fused" in out
+        assert main(["obs", "diff", a, b, "--warn-only"]) == 1
+
+    def test_json_output_validates(self, tmp_path, capsys, engine_doc):
+        a = self._write(tmp_path, "a.json", engine_doc)
+        assert main(["obs", "diff", a, a, "--json"]) == 0
+        validate_diff(json.loads(capsys.readouterr().out))
+
+    def test_threshold_override_flag(self, tmp_path, capsys, engine_doc):
+        baseline = copy.deepcopy(engine_doc)
+        baseline["phases"]["close"]["seconds"] = 1.0
+        current = copy.deepcopy(baseline)
+        current["phases"]["close"]["seconds"] = 1.2
+        a = self._write(tmp_path, "a.json", baseline)
+        b = self._write(tmp_path, "b.json", current)
+        assert main(["obs", "diff", a, b]) == 0
+        assert (
+            main(
+                [
+                    "obs", "diff", a, b,
+                    "--threshold", "phases.close.seconds=1.1",
+                ]
+            )
+            == 2
+        )
+
+    def test_bad_threshold_spelling_is_user_error(
+        self, tmp_path, capsys, engine_doc
+    ):
+        a = self._write(tmp_path, "a.json", engine_doc)
+        assert main(["obs", "diff", a, a, "--threshold", "oops"]) == 1
+        assert "NAME=VALUE" in capsys.readouterr().err
+
+
+class TestCommittedBaseline:
+    def test_committed_baseline_self_diffs_clean(self):
+        with open("benchmarks/BASELINE.json") as handle:
+            document = json.load(handle)
+        assert document["schema"] == "repro.bench-metrics/1"
+        assert document["quick"] is True
+        assert isinstance(document["environment"], dict)
+        validate_metrics(document["engine_metrics"])
+        report = diff_documents(document, document)
+        assert report["verdict"] == "ok"
