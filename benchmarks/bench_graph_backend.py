@@ -1,0 +1,176 @@
+"""E17 — graph backends: object adjacency sets vs the CSR core.
+
+The CSR backend (:mod:`repro.graph.csr`) is *result-identical* to the
+object graph by construction — every row here first checks the
+``repro.result/1`` fingerprints match — so the only question is
+wall-clock. Three phases are timed per size of the cubic family:
+
+* **lc**: build + close (graph construction; mostly backend-neutral
+  per-edge Python work);
+* **query**: ``may_call`` over every non-trivial application (the
+  quadratic Table 1 sweep — bitset BFS vs set-based BFS);
+* **flow**: the fused five-analysis sweep of E16 (flat mark sweeps on
+  the frozen arrays vs the generic worklist).
+
+The speedup columns (object time / csr time) are the PR acceptance
+metric recorded into the ``repro.bench-metrics/1`` artifact. The CSR
+advantage grows with size: the query phase dominates at large ``n``
+and is where flat arrays pay off most.
+"""
+
+import pytest
+
+from repro.bench import Table, time_call
+from repro.core.lc import build_subtransitive_graph
+from repro.core.queries import SubtransitiveCFA
+from repro.export import result_fingerprint
+from repro.obs import MetricsRegistry
+from repro.workloads.cubic import make_cubic_program
+
+from bench_flow import _fused_sweep
+
+SIZES = [40, 80, 160]
+BACKENDS = ("object", "csr")
+
+
+def _measure(program, backend, repeats=3):
+    """Best-of-``repeats`` phase timings for one backend, plus the
+    result fingerprint (for the identity check)."""
+    lc_time = query_time = flow_time = float("inf")
+    fingerprint = None
+    sites = program.nontrivial_applications()
+    for _ in range(repeats):
+        box = {}
+
+        def run_lc():
+            box["sub"] = build_subtransitive_graph(
+                program, graph_backend=backend
+            )
+
+        lc_time = min(lc_time, time_call(run_lc, repeat=1))
+        sub = box["sub"]
+        cfa = SubtransitiveCFA(sub)
+
+        def run_queries():
+            for site in sites:
+                cfa.may_call(site)
+
+        query_time = min(query_time, time_call(run_queries, repeat=1))
+
+        def run_flow():
+            _fused_sweep(program, sub, MetricsRegistry())
+
+        flow_time = min(flow_time, time_call(run_flow, repeat=1))
+        fingerprint = result_fingerprint(cfa)
+    return {
+        "lc_time": lc_time,
+        "query_time": query_time,
+        "flow_time": flow_time,
+        "fingerprint": fingerprint,
+    }
+
+
+def _merge(best, sample):
+    if best is None:
+        return sample
+    return {
+        "lc_time": min(best["lc_time"], sample["lc_time"]),
+        "query_time": min(best["query_time"], sample["query_time"]),
+        "flow_time": min(best["flow_time"], sample["flow_time"]),
+        "fingerprint": sample["fingerprint"],
+    }
+
+
+def run_report(sizes=SIZES, rounds=3):
+    table = Table(
+        [
+            "n",
+            "lc obj",
+            "lc csr",
+            "query obj",
+            "query csr",
+            "flow obj",
+            "flow csr",
+            "query x",
+            "flow x",
+            "total x",
+        ],
+        title="E17 — graph backends: object vs CSR (identical results)",
+    )
+    rows = []
+    for n in sizes:
+        program = make_cubic_program(n)
+        # Alternate backends per round so cache/GC drift penalises
+        # neither side systematically; keep the per-phase minimum.
+        per = {backend: None for backend in BACKENDS}
+        for _ in range(rounds):
+            for backend in BACKENDS:
+                per[backend] = _merge(
+                    per[backend], _measure(program, backend, repeats=1)
+                )
+        obj, csr = per["object"], per["csr"]
+        # The golden-twin contract: byte-identical envelopes.
+        assert obj["fingerprint"] == csr["fingerprint"], n
+        obj_total = (
+            obj["lc_time"] + obj["query_time"] + obj["flow_time"]
+        )
+        csr_total = (
+            csr["lc_time"] + csr["query_time"] + csr["flow_time"]
+        )
+        row = {
+            "n": n,
+            "size": program.size,
+            "object": {
+                key: obj[key]
+                for key in ("lc_time", "query_time", "flow_time")
+            },
+            "csr": {
+                key: csr[key]
+                for key in ("lc_time", "query_time", "flow_time")
+            },
+            "fingerprints_match": True,
+            "query_speedup": obj["query_time"] / max(csr["query_time"], 1e-9),
+            "flow_speedup": obj["flow_time"] / max(csr["flow_time"], 1e-9),
+            "total_speedup": obj_total / max(csr_total, 1e-9),
+        }
+        rows.append(row)
+        table.add_row(
+            n,
+            obj["lc_time"],
+            csr["lc_time"],
+            obj["query_time"],
+            csr["query_time"],
+            obj["flow_time"],
+            csr["flow_time"],
+            f"{row['query_speedup']:.2f}",
+            f"{row['flow_speedup']:.2f}",
+            f"{row['total_speedup']:.2f}",
+        )
+    return table, rows
+
+
+# -- pytest checks ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [16, 32])
+def test_backends_result_identical(n):
+    program = make_cubic_program(n)
+    fingerprints = set()
+    for backend in BACKENDS:
+        sub = build_subtransitive_graph(program, graph_backend=backend)
+        fingerprints.add(result_fingerprint(SubtransitiveCFA(sub)))
+    assert len(fingerprints) == 1
+
+
+if __name__ == "__main__":
+    from repro._util import ensure_recursion_limit
+
+    ensure_recursion_limit()
+    table, rows = run_report()
+    print(table.render())
+    last = rows[-1]
+    print(
+        f"largest size query speedup {last['query_speedup']:.2f}x, "
+        f"flow {last['flow_speedup']:.2f}x, "
+        f"total {last['total_speedup']:.2f}x"
+    )

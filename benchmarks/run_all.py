@@ -29,6 +29,7 @@ import bench_constant_factor
 import bench_equality_cfa
 import bench_flow
 import bench_frontend
+import bench_graph_backend
 import bench_hybrid
 import bench_joinpoint
 import bench_lint
@@ -246,6 +247,22 @@ def main(quick: bool = False, metrics_path=None) -> None:
     print(
         f"steps ~= {fit['slope']:.3f}*(n+e) + {fit['intercept']:.1f} "
         f"(R^2 = {fit['r2']:.5f})"
+    )
+
+    print("\n" + "=" * 72)
+    print("E17 (extra) — graph backends: object vs CSR")
+    print("=" * 72)
+    table, rows = bench_graph_backend.run_report(
+        sizes=[40, 80] if quick else bench_graph_backend.SIZES
+    )
+    record("E17", "graph backends: object vs CSR speedup", rows)
+    print(table.render())
+    last = rows[-1]
+    print(
+        f"n={last['n']}: identical envelopes; CSR speedup "
+        f"query {last['query_speedup']:.2f}x, "
+        f"flow {last['flow_speedup']:.2f}x, "
+        f"total {last['total_speedup']:.2f}x"
     )
 
     if metrics_path is not None:

@@ -205,6 +205,7 @@ def _cmd_analyze_many(args, paths: List[str]) -> int:
         jobs=1,
         options={
             "algorithm": args.algorithm,
+            "graph_backend": getattr(args, "graph_backend", "object"),
             "sanitize": bool(args.sanitize),
             "audit": bool(args.audit),
         },
@@ -257,6 +258,16 @@ def _cmd_analyze(args) -> int:
     program = _read_program(args.file)
     tracer = None
     kwargs = {}
+    backend = getattr(args, "graph_backend", "object")
+    if backend != "object":
+        if args.algorithm not in _INSTRUMENTED_ALGORITHMS:
+            print(
+                "error: --graph-backend requires one of: "
+                + ", ".join(_INSTRUMENTED_ALGORITHMS),
+                file=sys.stderr,
+            )
+            return 1
+        kwargs["graph_backend"] = backend
     if args.metrics or args.trace:
         if args.algorithm not in _INSTRUMENTED_ALGORITHMS:
             print(
@@ -325,6 +336,7 @@ def _cmd_batch(args) -> int:
         timeout=args.timeout,
         options={
             "algorithm": args.algorithm,
+            "graph_backend": getattr(args, "graph_backend", "object"),
             "lint": bool(args.lint),
             "sanitize": bool(args.sanitize),
             "audit": bool(args.audit),
@@ -441,13 +453,20 @@ def _cmd_lint(args) -> int:
             try:
                 program = _read_program(path)
                 registry = MetricsRegistry()
+                backend = getattr(args, "graph_backend", "object")
                 if args.algorithm == "subtransitive":
                     analysis = build_subtransitive_graph(
-                        program, registry=registry, tracer=tracer
+                        program,
+                        registry=registry,
+                        tracer=tracer,
+                        graph_backend=backend,
                     )
                 else:
                     analysis = analyze_hybrid(
-                        program, registry=registry, tracer=tracer
+                        program,
+                        registry=registry,
+                        tracer=tracer,
+                        graph_backend=backend,
                     )
                 result = run_lints(
                     program, analysis, registry=registry, tracer=tracer
@@ -770,6 +789,20 @@ def build_parser() -> argparse.ArgumentParser:
             "vs. actual LC' budget) to each result",
         )
 
+    def add_graph_backend(p):
+        from repro.graph import GRAPH_BACKENDS
+
+        p.add_argument(
+            "--graph-backend",
+            default="object",
+            choices=list(GRAPH_BACKENDS),
+            help="graph representation for the LC' engines: 'object' "
+            "(adjacency sets, the default) or 'csr' (flat-array "
+            "CSR core; identical results, faster on large graphs). "
+            "Only the subtransitive/hybrid/polyvariant engines "
+            "build a graph",
+        )
+
     p = sub.add_parser("analyze", help="print the call graph")
     p.add_argument(
         "files",
@@ -791,6 +824,7 @@ def build_parser() -> argparse.ArgumentParser:
         ],
     )
     p.add_argument("--json", action="store_true", help="JSON output")
+    add_graph_backend(p)
     p.add_argument(
         "--metrics",
         metavar="PATH",
@@ -853,6 +887,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="analysis engine (default: hybrid — total on untypeable "
         "programs)",
     )
+    add_graph_backend(p)
     p.add_argument(
         "--lint",
         action="store_true",
@@ -909,6 +944,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="hybrid (default) lints any program, falling back to "
         "standard CFA label sets when LC' is abandoned",
     )
+    add_graph_backend(p)
     p.add_argument(
         "--metrics",
         metavar="PATH",

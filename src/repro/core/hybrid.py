@@ -69,6 +69,7 @@ def analyze_hybrid(
     registry=None,
     tracer=None,
     profiler=None,
+    graph_backend: str = "object",
 ) -> HybridResult:
     """Try LC' with a linear node budget; fall back to the cubic
     standard algorithm if the budget trips.
@@ -93,6 +94,7 @@ def analyze_hybrid(
             registry=registry,
             tracer=tracer,
             profiler=profiler,
+            graph_backend=graph_backend,
         )
         return HybridResult("subtransitive", result, registry=registry)
     except (AnalysisBudgetExceeded, TypeInferenceError) as error:

@@ -38,11 +38,12 @@ from __future__ import annotations
 
 from collections import deque
 from collections.abc import Mapping
-from typing import Deque, Dict, FrozenSet, Optional, Set, Tuple
+from typing import Deque, Dict, FrozenSet, List, Optional, Tuple
 
 from repro._util import ensure_recursion_limit
 from repro.errors import AnalysisBudgetExceeded
 from repro.obs.metrics import MetricsRegistry
+from repro.graph import make_graph
 from repro.graph.digraph import Digraph
 from repro.lang.ast import (
     App,
@@ -67,12 +68,12 @@ from repro.types.infer import InferenceResult
 
 from repro.core.datatypes import Congruence
 from repro.core.nodes import (
+    CONTRAVARIANT_HEADS,
+    COVARIANT_HEADS,
     Context,
     Node,
     NodeFactory,
     OpKey,
-    op_is_contravariant,
-    op_is_covariant,
 )
 
 #: Default node budget multiplier: LC' may create at most this many
@@ -239,6 +240,7 @@ class LCEngine:
         registry: Optional[MetricsRegistry] = None,
         tracer=None,
         profiler=None,
+        graph_backend: str = "object",
     ):
         if congruence is not None and congruence.requires_types:
             if inference is None:
@@ -253,7 +255,10 @@ class LCEngine:
             program, congruence, inference, node_budget, max_depth,
             tracer=tracer,
         )
-        self.graph = Digraph()
+        #: Which graph representation backs this run: ``"object"``
+        #: (the adjacency-set golden twin) or ``"csr"`` (flat arrays).
+        self.graph_backend = graph_backend
+        self.graph = make_graph(graph_backend)
         self.stats = LCStatistics(registry)
         #: Optional :class:`repro.obs.trace.Tracer`; ``None`` (the
         #: default) is the no-op mode — every emission site guards on
@@ -264,8 +269,11 @@ class LCEngine:
         #: span site). Span sites are coarse — phases, demand sweeps,
         #: rule-family loops — never per rule firing.
         self.profiler = profiler
-        #: Edges whose first insertion came from a closure rule.
-        self.close_edge_set: Set[Tuple[Node, Node]] = set()
+        #: Edges whose first insertion came from a closure rule, in
+        #: insertion order. Only genuinely-new edges are recorded
+        #: (``_edge`` appends after ``add_edge`` reports the edge as
+        #: new), so a list needs no dedup and skips per-edge hashing.
+        self.close_edge_set: List[Tuple[Node, Node]] = []
         # Hot-path counter bindings (one attribute lookup per firing).
         rules = self.stats._rules
         self._c_abs1 = rules["ABS-1"]
@@ -337,6 +345,10 @@ class LCEngine:
         self.stats.close_edges = (
             self.graph.edge_count - self.stats.build_edges
         )
+        # Compact the mutable adjacency before the read-heavy query/
+        # lint/flow phases (no-op on the object backend; later
+        # incremental mutation invalidates and rebuilds lazily).
+        self.graph.freeze()
         self._export_gauges()
         if tracer is not None:
             tracer.emit(
@@ -532,7 +544,7 @@ class LCEngine:
         if self.graph.add_edge(src, dst):
             self.pending.append((src, dst))
             if close:
-                self.close_edge_set.add((src, dst))
+                self.close_edge_set.append((src, dst))
             if self.tracer is not None:
                 self.tracer.emit(
                     "edge",
@@ -555,23 +567,42 @@ class LCEngine:
         graph and must not inflate the Table 1/2 accounting.
         """
         pending = self.pending
+        popleft = pending.popleft
         cov = self._c_close_cov
         contra = self._c_close_contra
         mkop = self.factory.op_node
+        edge = self._edge
+        # Without a congruence, ``op_node`` only ever touches the ops
+        # dict of the node it is formed over — never the one the
+        # premise scan is iterating (self-edges are dropped before
+        # queueing) — so the live dicts are safe to walk. A
+        # congruence's member sweeps can reach arbitrary nodes, so
+        # snapshot then.
+        snapshot = self.factory.congruence is not None
+        cov_heads = COVARIANT_HEADS
+        contra_heads = CONTRAVARIANT_HEADS
         while pending:
-            src, dst = pending.popleft()
+            src, dst = popleft()
             # Premise-1 of the covariant rule: src is n1, dst is n2;
             # fire for every demanded covariant operator over src.
-            for opkey, opnode in list(src.ops.items()):
-                if opnode.demanded and op_is_covariant(opkey):
-                    if self._edge(opnode, mkop(opkey, dst), close=True):
-                        cov.value += 1
+            ops = src.ops
+            if ops:
+                for opkey, opnode in (
+                    list(ops.items()) if snapshot else ops.items()
+                ):
+                    if opnode.demanded and opkey[0] in cov_heads:
+                        if edge(opnode, mkop(opkey, dst), close=True):
+                            cov.value += 1
             # Premise-1 of the contravariant rule: fire for every
             # demanded contravariant operator over dst.
-            for opkey, opnode in list(dst.ops.items()):
-                if opnode.demanded and op_is_contravariant(opkey):
-                    if self._edge(opnode, mkop(opkey, src), close=True):
-                        contra.value += 1
+            ops = dst.ops
+            if ops:
+                for opkey, opnode in (
+                    list(ops.items()) if snapshot else ops.items()
+                ):
+                    if opnode.demanded and opkey[0] in contra_heads:
+                        if edge(opnode, mkop(opkey, src), close=True):
+                            contra.value += 1
             # Premise-2: the edge's target just became demanded.
             if dst.kind == "op" and not dst.demanded:
                 self._demand(dst)
@@ -604,26 +635,31 @@ class LCEngine:
             self.tracer.emit(
                 "sweep", node=node.describe(), inner=inner.describe()
             )
-        if op_is_covariant(opkey):
-            if profiler is not None:
-                profiler.push("rule.CLOSE-COV")
-            try:
-                for dst in list(self.graph.successors(inner)):
-                    if self._edge(node, mkop(opkey, dst), close=True):
-                        cov.value += 1
-            finally:
+        head = opkey[0]
+        if head in COVARIANT_HEADS:
+            succs = self.graph.successors(inner)
+            if succs:
                 if profiler is not None:
-                    profiler.pop()
-        if op_is_contravariant(opkey):
-            if profiler is not None:
-                profiler.push("rule.CLOSE-CONTRA")
-            try:
-                for src in list(self.graph.predecessors(inner)):
-                    if self._edge(node, mkop(opkey, src), close=True):
-                        contra.value += 1
-            finally:
+                    profiler.push("rule.CLOSE-COV")
+                try:
+                    for dst in list(succs):
+                        if self._edge(node, mkop(opkey, dst), close=True):
+                            cov.value += 1
+                finally:
+                    if profiler is not None:
+                        profiler.pop()
+        if head in CONTRAVARIANT_HEADS:
+            preds = self.graph.predecessors(inner)
+            if preds:
                 if profiler is not None:
-                    profiler.pop()
+                    profiler.push("rule.CLOSE-CONTRA")
+                try:
+                    for src in list(preds):
+                        if self._edge(node, mkop(opkey, src), close=True):
+                            contra.value += 1
+                finally:
+                    if profiler is not None:
+                        profiler.pop()
 
     def register_member_sweep(
         self, node: Node, opkey: OpKey, inner: Node
@@ -691,6 +727,7 @@ def build_subtransitive_graph(
     registry: Optional[MetricsRegistry] = None,
     tracer=None,
     profiler=None,
+    graph_backend: str = "object",
 ) -> SubtransitiveGraph:
     """Run LC' on ``program`` and return the subtransitive graph.
 
@@ -699,7 +736,9 @@ def build_subtransitive_graph(
     ``make_congruence('exact')`` to force the exact node grammar.
     Type inference is attempted once up front to derive the Section 4
     type-template depth bound; untypeable programs run uncapped under
-    the node budget alone.
+    the node budget alone. ``graph_backend`` selects the graph
+    representation (``"object"`` | ``"csr"``); the analysis result is
+    identical either way.
 
     Raises :class:`AnalysisBudgetExceeded` if the program does not
     appear to be bounded-type (use :mod:`repro.core.hybrid` to fall
@@ -732,5 +771,6 @@ def build_subtransitive_graph(
         registry=registry,
         tracer=tracer,
         profiler=profiler,
+        graph_backend=graph_backend,
     )
     return engine.run()

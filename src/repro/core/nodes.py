@@ -56,15 +56,27 @@ EXPR = "expr"
 VAR = "var"
 OP = "op"
 
+#: Shared empty occurrence bucket (callers must not mutate).
+_NO_NODES: List["Node"] = []
+
+
+#: Operator heads participating in the covariant closure rule (the
+#: engine's close loop tests these inline — set membership on the
+#: head, no call overhead).
+COVARIANT_HEADS = frozenset(("ran", "proj", "con", "cell"))
+
+#: Operator heads participating in the contravariant closure rule.
+CONTRAVARIANT_HEADS = frozenset(("dom", "cell"))
+
 
 def op_is_covariant(opkey: OpKey) -> bool:
     """Does ``opkey`` participate in the covariant closure rule?"""
-    return opkey[0] in ("ran", "proj", "con", "cell")
+    return opkey[0] in COVARIANT_HEADS
 
 
 def op_is_contravariant(opkey: OpKey) -> bool:
     """Does ``opkey`` participate in the contravariant closure rule?"""
-    return opkey[0] in ("dom", "cell")
+    return opkey[0] in CONTRAVARIANT_HEADS
 
 
 class Node:
@@ -185,6 +197,23 @@ class NodeFactory:
         #: Count of operator creations suppressed by the depth cap.
         self.depth_truncations = 0
         self._intern: Dict[tuple, Node] = {}
+        #: ``(kind, ident) -> [node, ...]``: the resolved node of every
+        #: interned occurrence key, across contexts (one entry per
+        #: distinct context; under a congruence several contexts may
+        #: resolve to the same class node). Queries use this instead
+        #: of scanning the intern table.
+        self._occurrences: Dict[tuple, List[Node]] = {}
+        #: ``type(expr) -> [node, ...]``: the node each expression
+        #: occurrence resolved to, keyed by the expression's concrete
+        #: class. Under a congruence one class node may recur (once per
+        #: absorbed occurrence); :meth:`nodes_bearing` deduplicates.
+        #: Seed scans (flow analyses, lint) read this instead of
+        #: filtering the full node list.
+        self._bearing: Dict[type, List[Node]] = {}
+        #: Every ``var``-kind node, in creation order (class nodes a
+        #: congruence substitutes for a variable are *not* here — they
+        #: are ``expr`` kind, exactly as when filtering :attr:`nodes`).
+        self.var_nodes: List[Node] = []
         self.nodes: List[Node] = []
         #: Callback invoked when a new (opkey, inner) member joins an
         #: existing node; the LC engine uses it to sweep the closure
@@ -249,11 +278,15 @@ class NodeFactory:
                 node = self._class_node(canon, ty)
                 node.absorbed.append(expr)
                 self._intern[key] = node
+                self._record_occurrence(EXPR, expr.nid, node)
+                self._record_bearing(expr, node)
                 return node
         node = self._new_node(key, EXPR)
         node.expr = expr
         node.ty = ty
         node.context = context
+        self._record_occurrence(EXPR, expr.nid, node)
+        self._record_bearing(expr, node)
         return node
 
     def var_node(self, name: str, context: Context = ()) -> Node:
@@ -268,12 +301,54 @@ class NodeFactory:
             if canon is not None:
                 node = self._class_node(canon, ty)
                 self._intern[key] = node
+                self._record_occurrence(VAR, name, node)
                 return node
         node = self._new_node(key, VAR)
         node.name = name
         node.ty = ty
         node.context = context
+        self.var_nodes.append(node)
+        self._record_occurrence(VAR, name, node)
         return node
+
+    def _record_occurrence(self, kind: str, ident, node: Node) -> None:
+        bucket_key = (kind, ident)
+        bucket = self._occurrences.get(bucket_key)
+        if bucket is None:
+            self._occurrences[bucket_key] = [node]
+        else:
+            bucket.append(node)
+
+    def _record_bearing(self, expr: Expr, node: Node) -> None:
+        bucket = self._bearing.get(type(expr))
+        if bucket is None:
+            self._bearing[type(expr)] = [node]
+        else:
+            bucket.append(node)
+
+    def nodes_bearing(self, expr_type) -> List[Node]:
+        """Nodes whose expression — their own or a congruence-absorbed
+        one — is an instance of ``expr_type`` (a class or tuple of
+        classes), deduplicated, in node-creation order. Equivalent to
+        filtering :attr:`nodes` but touches only the matching buckets.
+        Do not mutate the returned list."""
+        buckets = [
+            bucket
+            for cls, bucket in self._bearing.items()
+            if issubclass(cls, expr_type)
+        ]
+        if not buckets:
+            return _NO_NODES
+        unique = dict.fromkeys(
+            node for bucket in buckets for node in bucket
+        )
+        return sorted(unique, key=lambda node: node.uid)
+
+    def occurrences(self, kind: str, ident) -> List[Node]:
+        """Every node the ``(kind, ident)`` occurrence resolved to,
+        over all contexts (possibly with repeats under a congruence).
+        Do not mutate the returned list."""
+        return self._occurrences.get((kind, ident), _NO_NODES)
 
     def peek_expr(self, expr: Expr, context: Context = ()) -> Optional[Node]:
         """The node of an expression occurrence *if it was built* —
@@ -332,12 +407,12 @@ class NodeFactory:
         if canon_key is not None:
             node = self._intern.get(canon_key)
             if node is None:
-                node = self._make_op(canon_key, opkey, inner, ty)
+                node = self._make_op(canon_key, opkey, inner, ty, new_depth)
         else:
             key = (OP, opkey, inner.uid)
             node = self._intern.get(key)
             if node is None:
-                node = self._make_op(key, opkey, inner, ty)
+                node = self._make_op(key, opkey, inner, ty, new_depth)
         inner.ops[opkey] = node
         node.members.append((opkey, inner))
         if self.on_member is not None:
@@ -345,13 +420,18 @@ class NodeFactory:
         return node
 
     def _make_op(
-        self, key: tuple, opkey: OpKey, inner: Node, ty: Optional[Type]
+        self,
+        key: tuple,
+        opkey: OpKey,
+        inner: Node,
+        ty: Optional[Type],
+        depth: int,
     ) -> Node:
         node = self._new_node(key, OP)
         node.opkey = opkey
         node.inner = inner
         node.base = inner.base
-        node.depth = 1 if opkey[0] == "con" else inner.depth + 1
+        node.depth = depth
         node.has_decon = inner.has_decon or opkey[0] == "con"
         node.ty = ty
         node.context = inner.context
@@ -367,7 +447,10 @@ class NodeFactory:
         ty = inner.ty
         if ty is None:
             return None
+        # Path-compress the pruned type back onto the node so repeated
+        # operator formation over the same node prunes once.
         ty = prune(ty)
+        inner.ty = ty
         if opkey[0] == "dom" and isinstance(ty, TFun):
             return prune(ty.param)
         if opkey[0] == "ran" and isinstance(ty, TFun):

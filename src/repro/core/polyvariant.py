@@ -98,6 +98,7 @@ def analyze_polyvariant(
     registry=None,
     tracer=None,
     profiler=None,
+    graph_backend: str = "object",
 ) -> SubtransitiveCFA:
     """Polyvariant subtransitive CFA.
 
@@ -107,6 +108,8 @@ def analyze_polyvariant(
     polyvariant algorithm to be linear-time by restricting
     polyvariance so that there is some global bound on the number of
     times each graph fragment is effectively duplicated").
+    ``graph_backend`` selects the graph representation; the
+    summarisation step's extended reachability works on both.
     """
     if binders is None:
         binders = choose_polyvariant_binders(program)
@@ -118,6 +121,7 @@ def analyze_polyvariant(
         registry=registry,
         tracer=tracer,
         profiler=profiler,
+        graph_backend=graph_backend,
     )
     return SubtransitiveCFA(engine.run())
 

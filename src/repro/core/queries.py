@@ -26,8 +26,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set
 
-from repro.cfa.base import CFAResult, FlowKey, ValueToken
+from repro.cfa.base import CFAResult, FlowKey, ValueToken, labels_of_tokens
 from repro.errors import QueryError
+from repro.graph.csr import CSRDigraph
 from repro.graph.reachability import reachable_from
 from repro.lang.ast import App, Con, Expr, Lam, Program, Record, Ref, Var
 
@@ -56,6 +57,13 @@ class SubtransitiveCFA(CFAResult):
         registry = sub.stats.registry
         self._c_queries = registry.counter("queries.count")
         self._c_visited = registry.counter("queries.visited_nodes")
+        # CSR fast-path cache: ``(id, tokens)`` per token-bearing
+        # graph node, invalidated when the graph grows (incremental
+        # updates); see :meth:`_csr_token_entries`.
+        self._token_entries: Optional[List] = None
+        self._token_entries_nodes = -1
+        self._label_entries: Optional[List] = None
+        self._label_entries_nodes = -1
         # Label-set materialisations. The lint passes must keep this
         # at zero — they are contractually O(edges) consumers of the
         # graph itself (a regression test pins it).
@@ -93,19 +101,10 @@ class SubtransitiveCFA(CFAResult):
         return starts
 
     def _context_nodes(self, kind: str, ident) -> Iterable[Node]:
-        intern = self.factory._intern
-        # Fast path: the monovariant node, if present.
-        mono = intern.get((kind, ident, ()))
-        if mono is not None:
-            yield mono
-        for key, node in intern.items():
-            if (
-                len(key) == 3
-                and key[0] == kind
-                and key[1] == ident
-                and key[2] != ()
-            ):
-                yield node
+        # The factory's occurrence index: O(contexts) per lookup, not
+        # O(interned nodes). May repeat a class node (one entry per
+        # context); consumers dedup via sets or BFS marks.
+        return self.factory.occurrences(kind, ident)
 
     def _reachable(self, starts: Iterable[Node]) -> Set[Node]:
         reached = reachable_from(self.graph, starts)
@@ -130,11 +129,120 @@ class SubtransitiveCFA(CFAResult):
                         tokens.add(expr)
         return tokens
 
+    def _csr_token_entries(self) -> List:
+        """``(id, (token, ...))`` for every token-bearing node the CSR
+        graph contains, in id order. Rebuilt whenever the graph grew
+        (an incremental update may intern new value nodes)."""
+        graph = self.graph
+        if (
+            self._token_entries is None
+            or self._token_entries_nodes != graph.node_count
+        ):
+            entries = []
+            for idx, node in enumerate(graph._interner.values):
+                if node.kind != "expr":
+                    continue
+                if node.expr is not None:
+                    if isinstance(node.expr, (Lam, Record, Con, Ref)):
+                        entries.append((idx, (node.expr,)))
+                else:
+                    absorbed = tuple(
+                        expr
+                        for expr in node.absorbed
+                        if isinstance(expr, (Lam, Record, Con, Ref))
+                    )
+                    if absorbed:
+                        entries.append((idx, absorbed))
+            self._token_entries = entries
+            self._token_entries_nodes = graph.node_count
+        return self._token_entries
+
+    def _csr_label_entries(self) -> List:
+        """``(id, (label, ...))`` for every abstraction-bearing node —
+        the label-set projection of :meth:`_csr_token_entries`, so
+        ``labels_of``/``may_call`` skip token materialisation."""
+        graph = self.graph
+        if (
+            self._label_entries is None
+            or self._label_entries_nodes != graph.node_count
+        ):
+            entries = []
+            for idx, node in enumerate(graph._interner.values):
+                if node.kind != "expr":
+                    continue
+                if node.expr is not None:
+                    if isinstance(node.expr, Lam):
+                        entries.append((idx, (node.expr.label,)))
+                else:
+                    labels = tuple(
+                        expr.label
+                        for expr in node.absorbed
+                        if isinstance(expr, Lam)
+                    )
+                    if labels:
+                        entries.append((idx, labels))
+            self._label_entries = entries
+            self._label_entries_nodes = graph.node_count
+        return self._label_entries
+
+    def _labels_at_csr(self, starts: List[Node]) -> FrozenSet[str]:
+        """Algorithm 2 restricted to labels: byte-mark reachability,
+        then one pass over the label index. Counter accounting matches
+        the token path exactly (one label-set materialisation, one
+        traversal, same visit total)."""
+        graph = self.graph
+        start_ids, extras = graph._start_ids(starts)
+        seen, order = graph._reached_ids(start_ids)
+        self._c_label_sets.inc()
+        self._c_queries.inc()
+        self._c_visited.inc(len(order) + len(extras))
+        labels: Set[str] = set()
+        for idx, entry in self._csr_label_entries():
+            if seen[idx]:
+                labels.update(entry)
+        if extras:
+            labels.update(
+                token.label
+                for token in self._tokens_in(extras)
+                if isinstance(token, Lam)
+            )
+        return frozenset(labels)
+
+    def _tokens_at_csr(self, starts: List[Node]) -> Set[ValueToken]:
+        """Algorithm 2 on the flat arrays: byte-mark reachability,
+        then one pass over the precomputed token index — no node-set
+        materialisation."""
+        graph = self.graph
+        start_ids, extras = graph._start_ids(starts)
+        seen, order = graph._reached_ids(start_ids)
+        self._c_queries.inc()
+        self._c_visited.inc(len(order) + len(extras))
+        tokens: Set[ValueToken] = set()
+        for idx, entry in self._csr_token_entries():
+            if seen[idx]:
+                tokens.update(entry)
+        if extras:
+            tokens.update(self._tokens_in(extras))
+        return tokens
+
     # -- CFAResult interface --------------------------------------------------
 
     def tokens_at(self, key: FlowKey) -> Set[ValueToken]:
         self._c_label_sets.inc()
+        if isinstance(self.graph, CSRDigraph):
+            return self._tokens_at_csr(self._start_nodes(key))
         return self._tokens_in(self._reachable(self._start_nodes(key)))
+
+    def labels_of(self, expr: Expr) -> FrozenSet[str]:
+        self._check(expr)
+        if isinstance(self.graph, CSRDigraph):
+            return self._labels_at_csr(self._start_nodes(expr.nid))
+        return labels_of_tokens(self.tokens_at(expr.nid))
+
+    def labels_of_var(self, name: str) -> FrozenSet[str]:
+        if isinstance(self.graph, CSRDigraph):
+            return self._labels_at_csr(self._start_nodes(name))
+        return labels_of_tokens(self.tokens_at(name))
 
     def is_label_in(self, label: str, expr: Expr) -> bool:
         """Algorithm 1: early-exit reachability to the abstraction."""
@@ -143,6 +251,13 @@ class SubtransitiveCFA(CFAResult):
         target_nodes = set(self._context_nodes("expr", target.nid))
         if not target_nodes:
             return False
+        if isinstance(self.graph, CSRDigraph):
+            found, visited = self.graph.reaches_any(
+                self._start_nodes(expr.nid), target_nodes
+            )
+            self._c_queries.inc()
+            self._c_visited.inc(visited)
+            return found
         seen: Set[Node] = set()
         queue = deque(self._start_nodes(expr.nid))
         seen.update(queue)
@@ -228,11 +343,14 @@ def analyze_subtransitive(
     registry=None,
     tracer=None,
     profiler=None,
+    graph_backend: str = "object",
 ) -> SubtransitiveCFA:
     """Convenience: run LC' and wrap the result in the query layer.
 
     ``registry``/``tracer``/``profiler`` (see :mod:`repro.obs`)
-    instrument the run; all default to off.
+    instrument the run; all default to off. ``graph_backend`` picks
+    the graph representation (``"object"`` adjacency sets or the
+    ``"csr"`` flat-array core); results are identical either way.
     """
     from repro.core.lc import build_subtransitive_graph
 
@@ -245,5 +363,6 @@ def analyze_subtransitive(
         registry=registry,
         tracer=tracer,
         profiler=profiler,
+        graph_backend=graph_backend,
     )
     return SubtransitiveCFA(sub)

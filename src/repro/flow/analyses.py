@@ -101,6 +101,18 @@ class ReachabilityAnalysis(MarkAnalysis):
     def downstream(self, ctx, item):
         return self._follow(item)
 
+    def flat_direction(self, ctx):
+        graph = ctx.graph
+        if graph is None:
+            return None
+        # Bound-method equality: the same ``successors`` /
+        # ``predecessors`` of the same graph object.
+        if self._follow == graph.successors:
+            return "successors"
+        if self._follow == graph.predecessors:
+            return "predecessors"
+        return None
+
 
 # -- Section 8: effects ----------------------------------------------------
 
@@ -172,14 +184,9 @@ class EffectsAnalysis(MarkAnalysis):
 
 def _nodes_bearing(ctx: FlowContext, expr_type) -> Iterable:
     """Graph nodes whose expression (or a congruence-absorbed one) is
-    an instance of ``expr_type``."""
-    for node in ctx.factory.nodes:
-        if node.kind != "expr":
-            continue
-        if isinstance(node.expr, expr_type) or any(
-            isinstance(expr, expr_type) for expr in node.absorbed
-        ):
-            yield node
+    an instance of ``expr_type`` — the factory's bearing index, so
+    seed scans skip the full node list."""
+    return ctx.factory.nodes_bearing(expr_type)
 
 
 class TaintAnalysis(MarkAnalysis):
@@ -196,6 +203,9 @@ class TaintAnalysis(MarkAnalysis):
     def downstream(self, ctx, item):
         return ctx.graph.predecessors(item)
 
+    def flat_direction(self, ctx):
+        return "predecessors"
+
 
 class EscapeAnalysis(MarkAnalysis):
     """Escape: marks flow forward from every primitive-argument node;
@@ -210,6 +220,9 @@ class EscapeAnalysis(MarkAnalysis):
 
     def downstream(self, ctx, item):
         return ctx.graph.successors(item)
+
+    def flat_direction(self, ctx):
+        return "successors"
 
     def reached_exprs(self, marked, expr_type) -> Dict[int, Any]:
         """The reached expressions of ``expr_type`` (own or absorbed),
@@ -243,12 +256,15 @@ class NeednessAnalysis(MarkAnalysis):
         graph = ctx.graph
         return {
             node: True
-            for node in ctx.factory.nodes
-            if node.kind == "var" and graph.in_degree(node) > 0
+            for node in ctx.factory.var_nodes
+            if graph.in_degree(node) > 0
         }
 
     def downstream(self, ctx, item):
         return ()
+
+    def flat_direction(self, ctx):
+        return "seeds-only"
 
 
 class ConstructorAnalysis(BoundedSetAnalysis):

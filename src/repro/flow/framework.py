@@ -105,15 +105,7 @@ class FlowContext:
         from repro.lang.ast import Lam
 
         if self._lambda_nodes is None:
-            nodes = []
-            for node in self.factory.nodes:
-                if node.kind != "expr":
-                    continue
-                if isinstance(node.expr, Lam) or any(
-                    isinstance(expr, Lam) for expr in node.absorbed
-                ):
-                    nodes.append(node)
-            self._lambda_nodes = nodes
+            self._lambda_nodes = self.factory.nodes_bearing(Lam)
         return self._lambda_nodes
 
     @property
@@ -211,6 +203,23 @@ class FlowAnalysis:
 
     def finish(self, ctx: FlowContext, values: Dict[Item, Any]) -> Any:
         return values
+
+    def flat_direction(self, ctx: FlowContext) -> Optional[str]:
+        """Declare ``downstream`` as a plain graph relation, enabling
+        the engine's flat sweep.
+
+        Return ``"successors"`` / ``"predecessors"`` when
+        ``downstream(ctx, item)`` is exactly that relation of
+        ``ctx.graph`` for every item, ``"seeds-only"`` when it is
+        always empty, or ``None`` (the default) for anything else.
+        The engine only acts on the declaration for boolean mark
+        analyses (identity transfer, or-join, set finish) on a CSR
+        graph, where the fixpoint is literally multi-source
+        reachability and runs as a bitset BFS over the frozen arrays
+        — with step/update/fuel accounting identical to the generic
+        worklist, so metrics and results do not depend on the path
+        taken."""
+        return None
 
 
 class MarkAnalysis(FlowAnalysis):
@@ -313,10 +322,64 @@ def run_fused(
     ]
 
 
+def _flat_plan(analysis, ctx, seed_map) -> Optional[str]:
+    """The flat-sweep direction for ``analysis``, or ``None`` when it
+    must run on the generic worklist. Eligibility is strict: boolean
+    mark semantics (default transfer, or-join, set finish), a declared
+    graph direction, all-``True`` seeds, and — for the BFS directions
+    — a CSR graph to run the bitset sweep on."""
+    cls = type(analysis)
+    if cls.transfer is not FlowAnalysis.transfer:
+        return None
+    if cls.join is not MarkAnalysis.join:
+        return None
+    if cls.finish is not MarkAnalysis.finish:
+        return None
+    direction = analysis.flat_direction(ctx)
+    if direction is None:
+        return None
+    if not all(value is True for value in seed_map.values()):
+        return None
+    if direction == "seeds-only":
+        return direction
+    graph = ctx.graph
+    if graph is None or getattr(graph, "backend", None) != "csr":
+        return None
+    return direction
+
+
+def _flat_mark_sweep(graph, seed_map, direction):
+    """Run one boolean mark analysis as multi-source reachability on
+    the frozen CSR arrays. Returns ``(values, steps, updates)`` with
+    the exact numbers the generic worklist would have produced: each
+    marked item is dequeued once there, so steps is the sum of marked
+    out-degrees (in the flow direction) and updates counts the marked
+    non-seeds."""
+    if direction == "seeds-only":
+        return dict(seed_map), 0, 0
+    reverse = direction == "predecessors"
+    start_ids, extras = graph._start_ids(seed_map)
+    _, order = graph._reached_ids(start_ids, reverse=reverse)
+    soff, _, poff, _ = graph._csr()
+    off = poff if reverse else soff
+    steps = 0
+    for v in order:
+        steps += off[v + 1] - off[v]
+    marked = dict.fromkeys(
+        map(graph._interner.values.__getitem__, order), True
+    )
+    for extra in extras:
+        marked[extra] = True
+    return marked, steps, len(marked) - len(seed_map)
+
+
 def _fixpoint(analyses, ctx, fuel):
     """The worklist core shared by :func:`run_flow` and
     :func:`run_fused`: chaotic iteration over ``(slot, item)`` pairs,
-    one fuel unit per edge propagation."""
+    one fuel unit per edge propagation. Eligible boolean mark analyses
+    (see :meth:`FlowAnalysis.flat_direction`) peel off into bitset
+    sweeps over the CSR arrays first; everything else shares the
+    generic worklist."""
     values: List[Dict[Item, Any]] = [dict() for _ in analyses]
     queue = deque()
     queued = set()
@@ -330,26 +393,54 @@ def _fixpoint(analyses, ctx, fuel):
     fused_name = (
         analyses[0].name if len(analyses) == 1 else "fused"
     )
+    flat_steps = 0
+    flat_updates = [0] * len(analyses)
     for slot, analysis in enumerate(analyses):
         analysis.prepare(ctx)
-        for item, value in analysis.seeds(ctx).items():
+        seed_map = analysis.seeds(ctx)
+        direction = _flat_plan(analysis, ctx, seed_map)
+        if direction is not None:
+            marked, spent, changed = _flat_mark_sweep(
+                ctx.graph, seed_map, direction
+            )
+            values[slot] = marked
+            flat_steps += spent
+            flat_updates[slot] = changed
+            _spend(fused_name, flat_steps, fuel)
+            continue
+        for item, value in seed_map.items():
             values[slot][item] = value
             enqueue(slot, item)
 
-    steps = 0
-    updates = [0] * len(analyses)
+    # Analyses with the default identity transfer skip the per-edge
+    # call entirely — every shipped mark analysis hits this path, and
+    # the transfer call is otherwise the single hottest line.
+    identity_transfer = [
+        type(analysis).transfer is FlowAnalysis.transfer
+        for analysis in analyses
+    ]
+    steps = flat_steps
+    updates = flat_updates
+    popleft = queue.popleft
+    discard = queued.discard
     while queue:
-        slot, item = queue.popleft()
-        queued.discard((slot, item))
+        key = popleft()
+        discard(key)
+        slot, item = key
         analysis = analyses[slot]
         slot_values = values[slot]
         value = slot_values[item]
+        plain = identity_transfer[slot]
         for dst in analysis.downstream(ctx, item):
             steps += 1
-            _spend(fused_name, steps, fuel)
-            out = analysis.transfer(ctx, item, dst, value)
-            if out is None:
-                continue
+            if fuel is not None and steps > fuel:
+                _spend(fused_name, steps, fuel)
+            if plain:
+                out = value
+            else:
+                out = analysis.transfer(ctx, item, dst, value)
+                if out is None:
+                    continue
             old = slot_values.get(dst)
             new = out if old is None else analysis.join(old, out)
             if old is None or new != old:

@@ -10,6 +10,7 @@ baseline).
 """
 
 from repro.graph.closure import transitive_closure
+from repro.graph.csr import CSRDigraph, Interner
 from repro.graph.digraph import Digraph
 from repro.graph.reachability import (
     reachable_from,
@@ -19,9 +20,31 @@ from repro.graph.reachability import (
 from repro.graph.tarjan import condensation, strongly_connected_components
 from repro.graph.unionfind import UnionFind
 
+#: The selectable graph backends, by flag value.
+GRAPH_BACKENDS = ("object", "csr")
+
+
+def make_graph(backend: str = "object"):
+    """A fresh graph of the requested backend: ``"object"`` for the
+    adjacency-set :class:`Digraph` (the golden twin), ``"csr"`` for
+    the flat-array :class:`CSRDigraph`."""
+    if backend == "object":
+        return Digraph()
+    if backend == "csr":
+        return CSRDigraph()
+    raise ValueError(
+        f"unknown graph backend {backend!r}; expected one of "
+        f"{GRAPH_BACKENDS}"
+    )
+
+
 __all__ = [
+    "CSRDigraph",
     "Digraph",
+    "GRAPH_BACKENDS",
+    "Interner",
     "UnionFind",
+    "make_graph",
     "condensation",
     "reachable_from",
     "reachable_to",

@@ -8,13 +8,49 @@ sweeps over *incoming* edges, and the CFA-consuming applications
 
 from __future__ import annotations
 
+from collections.abc import Set as AbstractSet
 from typing import Dict, Hashable, Iterable, Iterator, Set, Tuple
 
 Node = Hashable
 
 
+class _SetView(AbstractSet):
+    """Immutable set-like view over a live internal adjacency set.
+
+    Handing out the internal set itself lets any caller mutation
+    silently desynchronise ``edge_count`` and the reverse adjacency;
+    the view supports the whole read-side ``set`` protocol (iteration,
+    membership, ``==`` against real sets, binary operators) while
+    mutation is an ``AttributeError`` by construction.
+    """
+
+    __slots__ = ("_members",)
+
+    def __init__(self, members: Set[Node]) -> None:
+        self._members = members
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._members
+
+    @classmethod
+    def _from_iterable(cls, iterable):
+        # Binary set operations produce plain sets, not views.
+        return set(iterable)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{{view: {set(self._members)!r}}}"
+
+
 class Digraph:
     """A directed graph with O(1) amortised edge insertion and dedup."""
+
+    backend = "object"
 
     def __init__(self) -> None:
         self._succ: Dict[Node, Set[Node]] = {}
@@ -68,17 +104,26 @@ class Digraph:
             for dst in dsts:
                 yield src, dst
 
-    def successors(self, node: Node) -> Set[Node]:
-        """Successor set of ``node`` (empty for unknown nodes).
+    def successors(self, node: Node) -> AbstractSet:
+        """Successor set of ``node`` (empty for unknown nodes), as an
+        immutable view of the live internal set."""
+        members = self._succ.get(node)
+        return _EMPTY if members is None else _SetView(members)
 
-        The returned set is the live internal set; callers must not
-        mutate it.
-        """
-        return self._succ.get(node, _EMPTY)
-
-    def predecessors(self, node: Node) -> Set[Node]:
+    def predecessors(self, node: Node) -> AbstractSet:
         """Predecessor set of ``node`` (empty for unknown nodes)."""
-        return self._pred.get(node, _EMPTY)
+        members = self._pred.get(node)
+        return _EMPTY if members is None else _SetView(members)
+
+    def freeze(self) -> "Digraph":
+        """API parity with :meth:`repro.graph.csr.CSRDigraph.freeze`;
+        the object backend has no compact form, so this is a no-op."""
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        """API parity with the CSR backend (always current)."""
+        return True
 
     def has_edge(self, src: Node, dst: Node) -> bool:
         return dst in self._succ.get(src, _EMPTY)

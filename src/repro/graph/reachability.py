@@ -1,7 +1,21 @@
-"""Reachability on :class:`~repro.graph.digraph.Digraph`.
+"""Reachability on either graph backend.
 
 These are the O(V + E) primitives behind the paper's Algorithms 1
-and 2 ("Apply LC' to P; use graph reachability ...").
+and 2 ("Apply LC' to P; use graph reachability ..."). They accept
+both the object :class:`~repro.graph.digraph.Digraph` and the
+flat-array :class:`~repro.graph.csr.CSRDigraph`:
+
+* with the default successor/predecessor step on a CSR graph, the
+  traversal dispatches to the frozen-array walk (byte marks + int
+  worklist) — the hot path of the query phase;
+* any *custom* ``follow`` callable (the polyvariant summariser's
+  dom/ran extension, for instance) runs the generic BFS, which only
+  ever calls ``follow`` — so it works identically on both backends
+  and never forces a fallback to the object graph.
+
+Sources are always included in the result, whether or not the graph
+contains them — an occurrence's node can be absent from the graph
+(no build rule touched it) yet trivially reach itself.
 """
 
 from __future__ import annotations
@@ -9,6 +23,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Iterable, Optional, Set
 
+from repro.graph.csr import CSRDigraph
 from repro.graph.digraph import Digraph, Node
 
 
@@ -23,6 +38,11 @@ def reachable_from(
     summariser uses this to extend reachability through ``dom``/``ran``
     formation, as Section 7 requires).
     """
+    if isinstance(graph, CSRDigraph):
+        if follow is None or follow == graph.successors:
+            return graph.reachable_set(sources)
+        if follow == graph.predecessors:
+            return graph.reachable_set(sources, reverse=True)
     step = follow if follow is not None else graph.successors
     seen: Set[Node] = set()
     queue = deque()
@@ -41,11 +61,23 @@ def reachable_from(
 
 def reachable_to(graph: Digraph, targets: Iterable[Node]) -> Set[Node]:
     """All nodes that can reach some node in ``targets`` (inclusive)."""
+    if isinstance(graph, CSRDigraph):
+        return graph.reachable_set(targets, reverse=True)
     return reachable_from(graph, targets, follow=graph.predecessors)
 
 
 def reaches(graph: Digraph, src: Node, dst: Node) -> bool:
-    """True if ``dst`` is reachable from ``src`` (early-exit BFS)."""
+    """True if ``dst`` is reachable from ``src`` (early-exit BFS).
+
+    Consistent with :func:`reachable_from`'s membership semantics for
+    graph members, but strict about the graph itself: ``reaches(g, x,
+    x)`` is False when ``x`` is not a node of ``g`` — there is no
+    empty path in a graph that does not contain its endpoints.
+    """
+    if isinstance(graph, CSRDigraph):
+        return graph.reaches_node(src, dst)
+    if src not in graph:
+        return False
     if src == dst:
         return True
     seen: Set[Node] = {src}

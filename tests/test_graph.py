@@ -253,3 +253,230 @@ class TestUnionFind:
             comp = list(comp)
             for x in comp[1:]:
                 assert uf.same(comp[0], x)
+
+
+# -- backend twins ---------------------------------------------------------
+
+from repro.graph import CSRDigraph, GRAPH_BACKENDS, Interner, make_graph
+
+BACKENDS = [Digraph, CSRDigraph]
+
+
+def build_backend(make, edges):
+    g = make()
+    g.add_edges(edges)
+    return g
+
+
+class TestMakeGraph:
+    def test_backends_by_flag_value(self):
+        assert isinstance(make_graph("object"), Digraph)
+        assert isinstance(make_graph("csr"), CSRDigraph)
+        assert set(GRAPH_BACKENDS) == {"object", "csr"}
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            make_graph("adjacency-matrix")
+
+
+class TestBackendContract:
+    """Behaviours the object graph and its CSR twin must share."""
+
+    @pytest.mark.parametrize("make", BACKENDS)
+    def test_neighbour_views_equal_sets(self, make):
+        g = build_backend(make, [(1, 2), (1, 3), (4, 2)])
+        assert g.successors(1) == {2, 3}
+        assert g.predecessors(2) == {1, 4}
+        assert set(g.successors(1) | g.predecessors(2)) == {1, 2, 3, 4}
+
+    @pytest.mark.parametrize("make", BACKENDS)
+    def test_neighbour_views_refuse_mutation(self, make):
+        g = build_backend(make, [(1, 2)])
+        for view in (g.successors(1), g.predecessors(2)):
+            with pytest.raises(AttributeError):
+                view.add(99)
+            with pytest.raises(AttributeError):
+                view.discard(2)
+        # The attempted mutations changed nothing.
+        assert g.successors(1) == {2}
+        assert g.predecessors(2) == {1}
+        assert g.edge_count == 1
+
+    @pytest.mark.parametrize("make", BACKENDS)
+    def test_ghost_neighbourhoods_empty(self, make):
+        g = make()
+        assert set(g.successors("ghost")) == set()
+        assert set(g.predecessors("ghost")) == set()
+        assert g.out_degree("ghost") == 0
+        assert g.in_degree("ghost") == 0
+
+    @pytest.mark.parametrize("make", BACKENDS)
+    def test_add_edge_dedup_flag(self, make):
+        g = make()
+        assert g.add_edge("a", "b") is True
+        assert g.add_edge("a", "b") is False
+        assert g.edge_count == 1
+        assert g.node_count == 2
+
+    @pytest.mark.parametrize("make", BACKENDS)
+    def test_reverse_and_copy(self, make):
+        g = build_backend(make, [(1, 2), (2, 3)])
+        r = g.reverse()
+        assert r.has_edge(2, 1) and r.has_edge(3, 2)
+        c = g.copy()
+        c.add_edge(3, 4)
+        assert not g.has_edge(3, 4)
+
+    @settings(max_examples=60, deadline=None)
+    @given(edges=edge_lists)
+    def test_structure_agrees(self, edges):
+        obj = build_backend(Digraph, edges)
+        csr = build_backend(CSRDigraph, edges)
+        assert csr.node_count == obj.node_count
+        assert csr.edge_count == obj.edge_count
+        assert set(csr.nodes()) == set(obj.nodes())
+        assert set(csr.edges()) == set(obj.edges())
+        for node in obj.nodes():
+            assert csr.successors(node) == obj.successors(node)
+            assert csr.predecessors(node) == obj.predecessors(node)
+
+
+class TestReachesGhostNodes:
+    """``reaches`` endpoint semantics: no empty path through a node
+    the graph does not contain (regression tests for the ghost-node
+    sweep; both backends)."""
+
+    @pytest.mark.parametrize("make", BACKENDS)
+    def test_absent_src_never_reaches(self, make):
+        g = build_backend(make, [(1, 2)])
+        assert not reaches(g, 99, 99)
+        assert not reaches(g, 99, 1)
+
+    @pytest.mark.parametrize("make", BACKENDS)
+    def test_present_node_reaches_itself(self, make):
+        g = build_backend(make, [(1, 2)])
+        assert reaches(g, 1, 1)
+        assert reaches(g, 2, 2)  # present via an incoming edge only
+
+    @pytest.mark.parametrize("make", BACKENDS)
+    def test_present_src_absent_dst(self, make):
+        g = build_backend(make, [(1, 2)])
+        assert not reaches(g, 1, 99)
+
+    @pytest.mark.parametrize("make", BACKENDS)
+    def test_empty_graph(self, make):
+        g = make()
+        assert not reaches(g, 0, 0)
+
+
+class TestCSRDigraph:
+    """The flat-array backend's own lifecycle: freeze, invalidation on
+    mutation, lazy rebuild."""
+
+    def test_freeze_is_idempotent(self):
+        g = build_backend(CSRDigraph, [(1, 2), (2, 3)])
+        assert not g.frozen
+        g.freeze()
+        assert g.frozen
+        first = g._csr()
+        g.freeze()
+        assert g._csr() is first
+
+    def test_mutation_invalidates_frozen_form(self):
+        g = build_backend(CSRDigraph, [(1, 2)])
+        g.freeze()
+        g.add_edge(2, 3)
+        assert not g.frozen
+        # The next frozen-path query rebuilds and sees the new edge.
+        assert reachable_from(g, [1]) == {1, 2, 3}
+        assert g.frozen
+
+    def test_duplicate_edge_keeps_frozen_form(self):
+        g = build_backend(CSRDigraph, [(1, 2)])
+        g.freeze()
+        assert g.add_edge(1, 2) is False
+        assert g.frozen
+
+    def test_add_node_after_freeze(self):
+        g = build_backend(CSRDigraph, [(1, 2)])
+        g.freeze()
+        g.add_node(99)
+        assert reachable_from(g, [99]) == {99}
+
+    def test_views_read_live_adjacency(self):
+        g = build_backend(CSRDigraph, [(1, 2)])
+        view = g.successors(1)
+        g.add_edge(1, 3)
+        assert view == {2, 3}
+
+    def test_interner_bijection(self):
+        interner = Interner()
+        ids = [interner.intern(v) for v in ("a", "b", "a", "c")]
+        assert ids == [0, 1, 0, 2]
+        assert interner.values == ["a", "b", "c"]
+        assert interner.id_of("b") == 1
+        assert interner.id_of("zzz") is None
+        assert "c" in interner and len(interner) == 3
+
+    def test_reaches_any_accounting(self):
+        g = build_backend(CSRDigraph, [(1, 2), (2, 3)])
+        hit, visited = g.reaches_any([1], [3])
+        assert hit and visited >= 1
+        miss, visited = g.reaches_any([3], [1])
+        assert not miss and visited >= 1
+
+    def test_reaches_any_stray_endpoints(self):
+        g = build_backend(CSRDigraph, [(1, 2)])
+        hit, _ = g.reaches_any([99], [99])
+        assert hit  # a stray source trivially reaches itself
+        miss, _ = g.reaches_any([99], [1])
+        assert not miss
+
+
+class TestBackendReachabilityAgreement:
+    """Property: the CSR fast paths compute exactly what the generic
+    BFS computes on the object graph."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(edges=edge_lists, sources=st.lists(st.integers(0, 16), max_size=4))
+    def test_reachable_from_agrees(self, edges, sources):
+        obj = build_backend(Digraph, edges)
+        csr = build_backend(CSRDigraph, edges)
+        assert reachable_from(csr, sources) == reachable_from(obj, sources)
+
+    @settings(max_examples=60, deadline=None)
+    @given(edges=edge_lists, targets=st.lists(st.integers(0, 16), max_size=4))
+    def test_reachable_to_agrees(self, edges, targets):
+        obj = build_backend(Digraph, edges)
+        csr = build_backend(CSRDigraph, edges)
+        assert reachable_to(csr, targets) == reachable_to(obj, targets)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        edges=edge_lists,
+        src=st.integers(0, 16),
+        dst=st.integers(0, 16),
+    )
+    def test_reaches_agrees(self, edges, src, dst):
+        obj = build_backend(Digraph, edges)
+        csr = build_backend(CSRDigraph, edges)
+        assert reaches(csr, src, dst) == reaches(obj, src, dst)
+
+    @settings(max_examples=40, deadline=None)
+    @given(edges=edge_lists, sources=st.lists(st.integers(0, 16), max_size=4))
+    def test_custom_follow_agrees(self, edges, sources):
+        obj = build_backend(Digraph, edges)
+        csr = build_backend(CSRDigraph, edges)
+        # A custom follow forces the generic BFS on both backends.
+        assert reachable_from(
+            csr, sources, follow=csr.predecessors
+        ) == reachable_from(obj, sources, follow=obj.predecessors)
+
+    @settings(max_examples=40, deadline=None)
+    @given(edges=edge_lists)
+    def test_tarjan_agrees(self, edges):
+        obj = build_backend(Digraph, edges)
+        csr = build_backend(CSRDigraph, edges)
+        ours = {frozenset(c) for c in strongly_connected_components(csr)}
+        theirs = {frozenset(c) for c in strongly_connected_components(obj)}
+        assert ours == theirs
