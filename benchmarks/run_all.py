@@ -5,7 +5,7 @@ Usage::
     python benchmarks/run_all.py [--quick] [--metrics PATH | --no-metrics]
 
 Prints the reproduction of each experiment indexed in DESIGN.md (E1 -
-E16), in order. ``--quick`` shrinks the sweeps for a fast smoke run.
+E18), in order. ``--quick`` shrinks the sweeps for a fast smoke run.
 EXPERIMENTS.md records a reference run of this script.
 
 Every run also writes a machine-readable metrics document (default
@@ -34,6 +34,7 @@ import bench_hybrid
 import bench_joinpoint
 import bench_lint
 import bench_polyvariant
+import bench_rules
 import bench_serve
 import bench_table1_cubic_family
 import bench_table2_ml_programs
@@ -263,6 +264,23 @@ def main(quick: bool = False, metrics_path=None) -> None:
         f"query {last['query_speedup']:.2f}x, "
         f"flow {last['flow_speedup']:.2f}x, "
         f"total {last['total_speedup']:.2f}x"
+    )
+
+    print("\n" + "=" * 72)
+    print("E18 (extra) — compiled rule sweep vs hand-written sweep")
+    print("=" * 72)
+    table, report = bench_rules.run_report(
+        sizes=[8, 16, 32] if quick else bench_rules.SIZES
+    )
+    record("E18", "compiled rule sweep vs hand-written sweep", report)
+    print(table.render())
+    fit = report["fit"]
+    worst = max(r["ratio"] for r in report["rows"])
+    print(
+        f"rule steps ~= {fit['slope']:.3f}*(n+e) + "
+        f"{fit['intercept']:.1f} (R^2 = {fit['r2']:.5f}); "
+        f"worst step ratio {worst:.3f}x "
+        f"(bound {bench_rules.RATIO_BOUND}x)"
     )
 
     if metrics_path is not None:

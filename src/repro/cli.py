@@ -10,11 +10,13 @@ Usage (also available as ``python -m repro``)::
                    [--format text|jsonl]
     repro lint     prog.ml [more.ml ... | dir/] [--format json|text]
                    [--severity info|warning|error] [--rules L001,T001]
+                   [--impl hand|rules] [--explain]
                    [--sanitize] [--metrics out.json] [--trace out.jsonl]
     repro query    prog.ml --label inc [--expr NID]
     repro effects  prog.ml
     repro klimited prog.ml -k 2
-    repro called-once prog.ml
+    repro called-once prog.ml [--impl hand|rules]
+    repro rules    list | show NAME | check [--fixture NAME]
     repro typecheck prog.ml
     repro eval     prog.ml [--fuel N]
     repro dot      prog.ml [-o graph.dot]
@@ -408,12 +410,51 @@ def _cmd_batch(args) -> int:
     return batch.exit_code
 
 
+def _print_derivations(result) -> None:
+    """Text-mode ``--explain``: each explained finding's derivation
+    chain, derived fact first, ground premises on the right."""
+    for finding in result.findings:
+        if not finding.derivation:
+            continue
+        print(f"  derivation of {finding.rule} at nid {finding.nid}:")
+        for step in finding.derivation:
+            premises = ", ".join(step["premises"])
+            tail = f" <- {premises}" if premises else ""
+            print(f"    {step['fact']}{tail}   [{step['rule']}]")
+
+
 def _cmd_lint(args) -> int:
     from repro.core.hybrid import analyze_hybrid
     from repro.core.lc import build_subtransitive_graph
 
     args.files = _expand_cli_inputs(args.files)
     if not args.files:
+        if args.format == "json":
+            # An empty corpus is not an error for machine consumers:
+            # emit a valid empty envelope so downstream parsers always
+            # get the schema they asked for.
+            envelope = {
+                "schema": LINT_SCHEMA,
+                "engine": envelope_provenance(
+                    "subtransitive",
+                    driver=(
+                        "lc"
+                        if args.algorithm == "subtransitive"
+                        else "hybrid"
+                    ),
+                    fallback_reason=None,
+                ),
+                "files": [],
+                "errors": [],
+                "summary": {
+                    "files": 0,
+                    "findings": 0,
+                    "by_rule": {},
+                    "exit_code": 0,
+                },
+            }
+            print(json.dumps(envelope, indent=2, sort_keys=True))
+            return 0
         print("error: no inputs found", file=sys.stderr)
         return 2
     if args.metrics and len(args.files) != 1:
@@ -469,7 +510,8 @@ def _cmd_lint(args) -> int:
                         graph_backend=backend,
                     )
                 result = run_lints(
-                    program, analysis, registry=registry, tracer=tracer
+                    program, analysis, registry=registry, tracer=tracer,
+                    impl=args.impl, explain=args.explain,
                 )
                 if args.sanitize:
                     sub = _sub_of(analysis)
@@ -499,6 +541,8 @@ def _cmd_lint(args) -> int:
                     )
                 if args.format == "text":
                     print(result.render_text(path))
+                    if args.explain:
+                        _print_derivations(result)
                 else:
                     file_documents.append(result.to_dict(path))
                 if args.metrics:
@@ -615,7 +659,12 @@ def _cmd_called_once(args) -> int:
 
     program = _read_program(args.file)
     sub = build_subtransitive_graph(program)
-    result = called_once(program, sub=sub)
+    if getattr(args, "impl", "hand") == "rules":
+        from repro.rules.programs import rules_called_once
+
+        result = rules_called_once(program, sub=sub)
+    else:
+        result = called_once(program, sub=sub)
     table = Table(["label", "verdict", "unique site"])
     for lam in program.abstractions:
         verdict = result.classify(lam.label)
@@ -628,6 +677,72 @@ def _cmd_called_once(args) -> int:
     print(table.render())
     if args.sanitize:
         return _sanitize_result(sub, args.file)
+    return 0
+
+
+def _cmd_rules(args) -> int:
+    from repro.rules import (
+        GRAPH_SCHEMA,
+        RuleCheckError,
+        SHIPPED_PROGRAMS,
+        check_programs,
+        shipped_fingerprint,
+    )
+    from repro.rules.fixtures import FIXTURES
+
+    if args.rules_command == "list":
+        table = Table(["program", "rules", "outputs"])
+        for program in SHIPPED_PROGRAMS:
+            table.add_row(
+                program.name,
+                len(program.rules),
+                ", ".join(rel.name for rel in program.outputs),
+            )
+        print(table.render())
+        print(f"\nfingerprint: {shipped_fingerprint()}")
+        return 0
+
+    if args.rules_command == "show":
+        program = next(
+            (p for p in SHIPPED_PROGRAMS if p.name == args.name), None
+        )
+        if program is None:
+            known = ", ".join(p.name for p in SHIPPED_PROGRAMS)
+            print(
+                f"error: unknown rule program {args.name!r} "
+                f"(known: {known})",
+                file=sys.stderr,
+            )
+            return 2
+        print(program.render())
+        checked = check_programs([program], schema=GRAPH_SCHEMA)
+        print()
+        print(checked.render_report())
+        return 0
+
+    # rules check [--fixture NAME]
+    if args.fixture:
+        builder = FIXTURES.get(args.fixture)
+        if builder is None:
+            print(
+                f"error: unknown fixture {args.fixture!r} "
+                f"(known: {', '.join(sorted(FIXTURES))})",
+                file=sys.stderr,
+            )
+            return 2
+        programs = builder()
+    else:
+        programs = list(SHIPPED_PROGRAMS)
+    try:
+        checked = check_programs(programs, schema=GRAPH_SCHEMA)
+    except RuleCheckError as error:
+        print(error, file=sys.stderr)
+        return 2
+    names = ", ".join(p.name for p in programs)
+    print(
+        f"ok: {len(checked.rules)} rule(s) across {names} — "
+        "stratified, range-restricted, linear"
+    )
     return 0
 
 
@@ -916,9 +1031,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "files",
-        nargs="+",
+        nargs="*",
         help="mini-ML source files, directories of *.lam files, "
-        "or - for stdin",
+        "or - for stdin (an empty set is an error in text mode but "
+        "a valid empty envelope with --format json)",
     )
     p.add_argument(
         "--format",
@@ -958,6 +1074,20 @@ def build_parser() -> argparse.ArgumentParser:
         "(single input file only)",
     )
     add_sanitize(p)
+    p.add_argument(
+        "--impl",
+        default="hand",
+        choices=["hand", "rules"],
+        help="implementation for the ported passes (L002/L004): "
+        "hand-written traversals (default) or their rule-program "
+        "twins (see docs/RULES.md)",
+    )
+    p.add_argument(
+        "--explain",
+        action="store_true",
+        help="attach per-finding derivation provenance (implies "
+        "--impl rules)",
+    )
     p.set_defaults(run=_cmd_lint)
 
     p = sub.add_parser("query", help="reachability queries")
@@ -982,7 +1112,44 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("called-once", help="called-once analysis")
     add_common(p)
     add_sanitize(p)
+    p.add_argument(
+        "--impl",
+        default="hand",
+        choices=["hand", "rules"],
+        help="hand-written propagation (default) or the "
+        "app-called-once rule program",
+    )
     p.set_defaults(run=_cmd_called_once)
+
+    p = sub.add_parser(
+        "rules",
+        help="the declarative rule layer: list, show and statically "
+        "check rule programs",
+    )
+    rules_sub = p.add_subparsers(dest="rules_command", required=True)
+    q = rules_sub.add_parser(
+        "list", help="shipped rule programs and their fingerprint"
+    )
+    q.set_defaults(run=_cmd_rules)
+    q = rules_sub.add_parser(
+        "show",
+        help="render one shipped program plus its strata and "
+        "linearity report",
+    )
+    q.add_argument("name", help="program name (see 'repro rules list')")
+    q.set_defaults(run=_cmd_rules)
+    q = rules_sub.add_parser(
+        "check",
+        help="run the static checker; exit 2 with actionable errors "
+        "on rejection",
+    )
+    q.add_argument(
+        "--fixture",
+        metavar="NAME",
+        help="check a known-bad fixture from repro.rules.fixtures "
+        "instead of the shipped programs",
+    )
+    q.set_defaults(run=_cmd_rules)
 
     p = sub.add_parser("typecheck", help="bounded-type report")
     add_common(p)

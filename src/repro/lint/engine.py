@@ -68,6 +68,8 @@ def run_lints(
     scope: Optional[Set[int]] = None,
     tracer=None,
     profiler=None,
+    impl: str = "hand",
+    explain: bool = False,
 ) -> LintResult:
     """Run lint passes over ``program``.
 
@@ -78,8 +80,27 @@ def run_lints(
     covers everything; the profiler records one ``lint.<code>`` span
     per pass with the shared flow sweep's ``flow.fused`` span nested
     under whichever pass demanded it first).
+
+    ``impl="rules"`` swaps the ported passes (L002, L004) for their
+    rule-program twins (:mod:`repro.lint.ruleimpl`); ``explain=True``
+    implies it and attaches per-finding derivation provenance. Both
+    only apply on the subtransitive engine — the standard-CFA
+    fallback has no graph for a rule program to run on.
     """
+    if explain:
+        impl = "rules"
+    if impl not in ("hand", "rules"):
+        raise ValueError(
+            f"impl must be 'hand' or 'rules', got {impl!r}"
+        )
     lint_passes = _normalise_passes(passes)
+    if impl == "rules":
+        from repro.lint.ruleimpl import RULE_PASSES
+
+        lint_passes = [
+            RULE_PASSES[p.code]() if p.code in RULE_PASSES else p
+            for p in lint_passes
+        ]
     sub, engine, fallback_reason, cfa = _resolve(result)
     if sub is None and engine == "subtransitive":
         from repro.core.lc import build_subtransitive_graph
@@ -100,7 +121,10 @@ def run_lints(
 
     if registry is None:
         registry = sub.stats.registry
-    ctx = LintContext(program, sub, registry=registry, profiler=profiler)
+    ctx = LintContext(
+        program, sub, registry=registry, profiler=profiler,
+        explain=explain,
+    )
     findings: List[Finding] = []
     pass_seconds: Dict[str, float] = {}
     for lint_pass in lint_passes:

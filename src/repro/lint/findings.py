@@ -48,6 +48,7 @@ class Finding:
         "column",
         "message",
         "via",
+        "derivation",
     )
 
     def __init__(
@@ -60,6 +61,7 @@ class Finding:
         line: Optional[int] = None,
         column: Optional[int] = None,
         via: str = "subtransitive",
+        derivation: Optional[List[Dict[str, object]]] = None,
     ):
         if severity not in _SEVERITY_RANK:
             raise ValueError(f"unknown severity {severity!r}")
@@ -73,6 +75,10 @@ class Finding:
         self.message = message
         #: ``"subtransitive"`` or ``"standard"`` (hybrid fallback).
         self.via = via
+        #: Rule-engine provenance (``repro lint --explain``): the
+        #: derivation chain as ``{"rule", "fact", "premises"}`` steps,
+        #: or ``None`` when the run carried no provenance.
+        self.derivation = derivation
 
     @property
     def sort_key(self) -> Tuple:
@@ -84,7 +90,7 @@ class Finding:
         )
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        document: Dict[str, object] = {
             "rule": self.rule,
             "severity": self.severity,
             "nid": self.nid,
@@ -94,6 +100,11 @@ class Finding:
             "message": self.message,
             "via": self.via,
         }
+        # Only explained runs carry the key, so unexplained envelopes
+        # stay byte-identical whichever implementation produced them.
+        if self.derivation is not None:
+            document["derivation"] = self.derivation
+        return document
 
     def render(self, path: Optional[str] = None) -> str:
         """One text line, grep-able ``path:line:col: CODE sev: msg``."""

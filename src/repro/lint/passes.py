@@ -50,7 +50,9 @@ class LintContext:
     tests bound by the graph size.
     """
 
-    def __init__(self, program, sub, registry=None, profiler=None):
+    def __init__(
+        self, program, sub, registry=None, profiler=None, explain=False
+    ):
         self.program = program
         self.sub = sub
         self.graph = sub.graph
@@ -59,10 +61,14 @@ class LintContext:
             registry if registry is not None else sub.stats.registry
         )
         self.profiler = profiler
+        #: When True, the rule-based passes run their programs with
+        #: provenance recording and attach derivations to findings.
+        self.explain = explain
         self._c_visited = self.registry.counter("lint.visited_nodes")
         self._called_once = None
         self._flow = None
         self._sweep_results = None
+        self._rules_evaluation = None
         self._escaping: Optional[Dict[str, Lam]] = None
         self._audit = None
 
@@ -144,6 +150,26 @@ class LintContext:
             self._c_visited.inc(len(results[0]))
             self._c_visited.inc(len(results[1]))
         return self._sweep_results
+
+    @property
+    def rules_evaluation(self):
+        """The compiled L002 + L004 rule programs, evaluated once per
+        lint run on the shared flow context (one fused sweep services
+        both, mirroring :meth:`_sweep`). Only the rule-based pass
+        implementations (:mod:`repro.lint.ruleimpl`) demand this."""
+        if self._rules_evaluation is None:
+            from repro.rules.programs import lint_rule_set
+
+            self._rules_evaluation = lint_rule_set().run(
+                ctx=self.flow, explain=self.explain
+            )
+            self._c_visited.inc(
+                len(self._rules_evaluation.extents.data["reach_lam"])
+            )
+            self._c_visited.inc(
+                len(self._rules_evaluation.extents.data["escape"])
+            )
+        return self._rules_evaluation
 
     @property
     def called_once(self):

@@ -1,0 +1,93 @@
+"""Rule-program implementations of the ported lint passes.
+
+These are drop-in twins of :class:`~repro.lint.passes.
+StuckApplicationPass` (L002) and :class:`~repro.lint.passes.
+EscapingFunctionPass` (L004): same codes, severities, messages,
+iteration orders and scope semantics, but the verdicts are read off
+the compiled rule programs in :mod:`repro.rules.programs` instead of
+hand-written traversals. ``run_lints(impl="rules")`` swaps them in;
+the golden tests hold both implementations to byte-identical
+envelopes.
+
+When the lint context carries ``explain=True`` each finding is
+annotated with its derivation chain — which rules fired on which
+ground facts — rendered by :meth:`repro.rules.engine.RuleEvaluation.
+derivation` and surfaced by ``repro lint --explain``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.passes import LintPass
+
+
+class RuleStuckApplicationPass(LintPass):
+    """L002 as the ``lint-l002`` rule program: a site ``S`` is stuck
+    when ``app_op(S, N)`` holds and ``N`` is in ``reach_lam``'s
+    stratified complement."""
+
+    code = "L002"
+    name = "stuck-application"
+    severity = "error"
+
+    def run(self, ctx, scope=None):
+        evaluation = ctx.rules_evaluation
+        findings = []
+        for site in ctx.program.applications:
+            if not self._in_scope(site, scope):
+                continue
+            op_node = ctx.peek(site.fn)
+            if op_node is None:
+                continue  # depth-capped away; no verdict
+            if not evaluation.holds("stuck", site.nid):
+                continue
+            finding = self.finding(
+                site,
+                "this application can never fire: the "
+                "operator's label set is provably empty",
+            )
+            if ctx.explain:
+                finding.derivation = evaluation.derivation(
+                    "stuck", (site.nid,)
+                )
+            findings.append(finding)
+        return findings
+
+
+class RuleEscapingFunctionPass(LintPass):
+    """L004 as the ``lint-l004`` rule program: ``escaping_fun(N, L)``
+    joins the forward escape marks with the lambda-bearing index."""
+
+    code = "L004"
+    name = "escaping-function"
+    severity = "warning"
+    incremental = False
+
+    def run(self, ctx, scope=None):
+        evaluation = ctx.rules_evaluation
+        escaping = {}
+        for node, label in evaluation.rows("escaping_fun"):
+            escaping[label] = node
+        findings = []
+        for label in sorted(escaping):
+            lam = ctx.program.abstraction(label)
+            if not self._in_scope(lam, scope):
+                continue
+            finding = self.finding(
+                lam,
+                f"function '{label}' flows into a primitive sink "
+                "and escapes the analysed call structure",
+                label=label,
+            )
+            if ctx.explain:
+                finding.derivation = evaluation.derivation(
+                    "escaping_fun", (escaping[label], label)
+                )
+            findings.append(finding)
+        return findings
+
+
+#: Hand-written pass code -> its rule-program twin.
+RULE_PASSES = {
+    "L002": RuleStuckApplicationPass,
+    "L004": RuleEscapingFunctionPass,
+}

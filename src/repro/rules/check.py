@@ -1,0 +1,616 @@
+"""The static rule checker: stratification, safety, linearity.
+
+:func:`check_rules` validates a merged rule set before anything
+evaluates it, and produces the **evaluation plan** both evaluators
+(:mod:`repro.rules.naive`, :mod:`repro.rules.engine`) share:
+
+* **schema conformance** — every base relation a rule mentions must be
+  declared in the supplied schema with an identical signature, and no
+  derived relation may shadow a base name;
+* **range restriction** (safety) — every head variable and every
+  variable of a negated atom must be bound by a positive body atom, so
+  derivations are grounded in enumerable facts;
+* **bounded-value discipline** — the value column of a k-bounded
+  relation is an *annotation*, not an enumerable column: a body atom
+  may read it only through the transport pattern (a variable occurring
+  exactly there and in the head's own value column), and negating a
+  bounded relation is meaningless (negate a boolean view instead);
+* **stratification** — the predicate dependency graph is condensed
+  into SCCs; a negative dependency inside an SCC (a relation defined,
+  transitively, in terms of its own complement) is rejected;
+* the **linearity classifier** — a sufficient condition for the
+  paper's O(n + e) budget, checked per rule (see
+  :class:`LinearityVerdict`). Nonlinear rules are rejected by default
+  (``require_linear=False`` demotes them to carried verdicts, which
+  the naive reference evaluator can still run).
+
+The linearity condition mirrors how the compiled engine executes a
+rule. Facts arrive one at a time (a scan for non-recursive rules, a
+worklist delta for recursive ones); the remaining premises are index
+probes. A rule stays within the linear budget when:
+
+1. its head fact space is O(n + e): the head relation is *small* —
+   at most one key column, or every rule deriving it copies its key
+   out of a single positive atom over a small/base relation;
+2. it has at most one premise in its own recursion (SCC) — and for a
+   recursive rule that premise is the driver;
+3. one join ordering exists in which every non-driver premise is
+   probed with at least one bound column, at most one probe is
+   *expanding* (may yield more than one row — e.g. ``edge`` with one
+   endpoint bound), and that expanding probe's bound columns cover
+   all of the driver's key variables (so distinct driver facts probe
+   distinct index buckets, and the total expansion is bounded by the
+   probed relation's size, not the product).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ReproError
+from repro.rules.dsl import Atom, Rel, Rule, RuleProgram, Var
+
+
+class RuleCheckError(ReproError):
+    """One or more static errors in a rule set. ``errors`` keeps the
+    individual messages; the rendered message joins them."""
+
+    def __init__(self, errors: Sequence[str]):
+        self.errors = tuple(errors)
+        super().__init__(
+            "rule check failed:\n" + "\n".join(f"- {e}" for e in self.errors)
+        )
+
+
+class LinearityVerdict:
+    """The classifier's answer for one rule: ``linear`` plus the
+    reasons it is not (each reason names the rule and suggests the
+    repair — the actionable part)."""
+
+    __slots__ = ("rule", "linear", "reasons")
+
+    def __init__(self, rule: Rule, reasons: Sequence[str]):
+        self.rule = rule
+        self.reasons = tuple(reasons)
+        self.linear = not self.reasons
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = "linear" if self.linear else "nonlinear"
+        return f"<LinearityVerdict {self.rule.name}: {tag}>"
+
+
+class RelationPlan:
+    """How one derived relation is evaluated: its seed (non-recursive)
+    rules, its step (recursive) rules, and its level in the plan."""
+
+    __slots__ = ("rel", "level", "recursive", "seed_rules", "step_rules")
+
+    def __init__(self, rel: Rel, level: int, recursive: bool,
+                 seed_rules: Sequence[Rule], step_rules: Sequence[Rule]):
+        self.rel = rel
+        self.level = level
+        self.recursive = recursive
+        self.seed_rules = tuple(seed_rules)
+        self.step_rules = tuple(step_rules)
+
+
+class CheckedRules:
+    """A validated rule set plus its evaluation plan.
+
+    ``levels`` is the stratified schedule: a list of levels, each a
+    list of :class:`RelationPlan` (every relation at one level depends
+    only on strictly earlier levels, so one level's relations may be
+    evaluated together — the compiled engine fuses a level's recursive
+    sweeps into one ``run_fused`` call)."""
+
+    def __init__(self, rules, relations, schema, levels, verdicts):
+        self.rules: Tuple[Rule, ...] = tuple(rules)
+        self.relations: Dict[str, Rel] = dict(relations)
+        self.schema: Dict[str, Rel] = dict(schema)
+        self.levels: List[List[RelationPlan]] = levels
+        self.verdicts: Tuple[LinearityVerdict, ...] = tuple(verdicts)
+
+    @property
+    def linear(self) -> bool:
+        return all(v.linear for v in self.verdicts)
+
+    def plan_for(self, name: str) -> RelationPlan:
+        for level in self.levels:
+            for plan in level:
+                if plan.rel.name == name:
+                    return plan
+        raise KeyError(name)
+
+    def render_report(self) -> str:
+        """Human-readable strata + linearity report (``repro rules
+        show`` prints this)."""
+        lines = []
+        for depth, level in enumerate(self.levels):
+            members = ", ".join(
+                plan.rel.name + ("*" if plan.recursive else "")
+                for plan in level
+            )
+            lines.append(f"level {depth}: {members}")
+        for verdict in self.verdicts:
+            tag = "linear" if verdict.linear else "NONLINEAR"
+            lines.append(f"rule {verdict.rule.name}: {tag}")
+            for reason in verdict.reasons:
+                lines.append(f"  - {reason}")
+        return "\n".join(lines)
+
+
+# -- helpers -------------------------------------------------------------------
+
+
+def _same_signature(a: Rel, b: Rel) -> bool:
+    return (
+        a.name == b.name
+        and a.columns == b.columns
+        and a.kind == b.kind
+        and a.k == b.k
+    )
+
+
+def _value_var(atom: Atom) -> Optional[Var]:
+    """The variable in a bounded atom's value (last) column, if any."""
+    if not atom.rel.bounded:
+        return None
+    term = atom.terms[-1]
+    return term if isinstance(term, Var) else None
+
+
+def _occurrences(rule: Rule, var: Var) -> int:
+    count = 0
+    for atom in rule.body:
+        count += sum(1 for t in atom.terms if t == var)
+    return count
+
+
+def _tarjan_sccs(nodes: Sequence[str],
+                 succ: Dict[str, Set[str]]) -> List[List[str]]:
+    """Iterative Tarjan; SCCs returned in reverse topological order
+    (callees before callers)."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    for root in nodes:
+        if root in index:
+            continue
+        work = [(root, iter(sorted(succ.get(root, ()))))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(succ.get(nxt, ())))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(sorted(scc))
+    return sccs
+
+
+# -- the checker ---------------------------------------------------------------
+
+
+def merge_programs(
+    programs: Iterable[RuleProgram],
+) -> Tuple[Tuple[Rule, ...], Dict[str, Rel]]:
+    """Union several programs' rules and relations, rejecting a name
+    bound to two different declarations across programs."""
+    rules: List[Rule] = []
+    relations: Dict[str, Rel] = {}
+    for program in programs:
+        rules.extend(program.rules)
+        for name, rel in program.relations().items():
+            known = relations.get(name)
+            if known is None:
+                relations[name] = rel
+            elif known is not rel and not _same_signature(known, rel):
+                raise RuleCheckError([
+                    f"relation '{name}' declared as «{known.signature()}» "
+                    f"by one program and «{rel.signature()}» by another"
+                ])
+    return tuple(rules), relations
+
+
+def check_rules(
+    rules: Sequence[Rule],
+    schema: Optional[Dict[str, Rel]] = None,
+    require_linear: bool = True,
+) -> CheckedRules:
+    """Validate a rule set and build its evaluation plan.
+
+    Raises :class:`RuleCheckError` listing every violation (not just
+    the first). With ``require_linear=True`` (the default) nonlinear
+    verdicts are errors too — the "unbounded" rejection the compiled
+    engine relies on.
+    """
+    errors: List[str] = []
+    relations: Dict[str, Rel] = {}
+    for rule in rules:
+        for atom in (rule.head, *rule.body):
+            known = relations.get(atom.rel.name)
+            if known is None:
+                relations[atom.rel.name] = atom.rel
+            elif known is not atom.rel and not _same_signature(
+                known, atom.rel
+            ):
+                errors.append(
+                    f"rule {rule.name}: relation '{atom.rel.name}' "
+                    f"conflicts with an earlier declaration "
+                    f"(«{known.signature()}» vs «{atom.rel.signature()}»)"
+                )
+
+    # Schema conformance.
+    if schema is not None:
+        for name, rel in sorted(relations.items()):
+            declared = schema.get(name)
+            if rel.kind == "edb":
+                if declared is None:
+                    errors.append(
+                        f"base relation '{name}' is not in the schema "
+                        f"(known: {', '.join(sorted(schema))})"
+                    )
+                elif not _same_signature(rel, declared):
+                    errors.append(
+                        f"base relation '{name}' declared as "
+                        f"«{rel.signature()}» but the schema says "
+                        f"«{declared.signature()}»"
+                    )
+            elif declared is not None:
+                errors.append(
+                    f"derived relation '{name}' shadows the base "
+                    f"relation of the same name; rename it"
+                )
+
+    # Per-rule safety and bounded-value discipline.
+    for rule in rules:
+        positive_vars: Set[Var] = set()
+        for atom in rule.body:
+            if not atom.negated:
+                positive_vars.update(atom.variables)
+        for var in rule.head.variables:
+            if var not in positive_vars:
+                errors.append(
+                    f"rule {rule.name}: head variable {var!r} is not "
+                    "bound by any positive body atom (range "
+                    "restriction); add a positive premise binding it"
+                )
+        for atom in rule.body:
+            if atom.negated:
+                if atom.rel.bounded:
+                    errors.append(
+                        f"rule {rule.name}: cannot negate k-bounded "
+                        f"relation '{atom.rel.name}' (its value column "
+                        "is an annotation, not a fact set); negate a "
+                        "boolean view of it instead"
+                    )
+                for var in atom.variables:
+                    if var not in positive_vars:
+                        errors.append(
+                            f"rule {rule.name}: variable {var!r} of "
+                            f"negated atom {atom.render()} is not "
+                            "bound by any positive body atom"
+                        )
+        # Bounded value columns: head must carry a variable; body
+        # reads must be the transport pattern.
+        if rule.head.rel.bounded:
+            if not isinstance(rule.head.terms[-1], Var):
+                errors.append(
+                    f"rule {rule.name}: the value column of bounded "
+                    f"head '{rule.head.rel.name}' must be a variable"
+                )
+        for atom in rule.body:
+            if not atom.rel.bounded or atom.negated:
+                continue
+            value = _value_var(atom)
+            if value is None:
+                errors.append(
+                    f"rule {rule.name}: the value column of bounded "
+                    f"atom {atom.render()} must be a variable (an "
+                    "annotation cannot be matched against a constant)"
+                )
+                continue
+            head_value = (
+                rule.head.terms[-1] if rule.head.rel.bounded else None
+            )
+            transported = (
+                head_value == value
+                and _occurrences(rule, value) == 1
+                and sum(1 for t in rule.head.terms if t == value) == 1
+            )
+            if not transported:
+                errors.append(
+                    f"rule {rule.name}: bounded value variable "
+                    f"{value!r} of {atom.render()} may only transport "
+                    "into the head's own value column (appearing "
+                    "exactly once in the body and once in the head); "
+                    "annotations are not enumerable rows"
+                )
+
+    # Dependency graph over derived relations.
+    idb_names = sorted(
+        name for name, rel in relations.items() if rel.kind == "idb"
+    )
+    succ: Dict[str, Set[str]] = {name: set() for name in idb_names}
+    negative_deps: Set[Tuple[str, str]] = set()
+    for rule in rules:
+        head = rule.head.rel.name
+        for atom in rule.body:
+            if atom.rel.kind != "idb":
+                continue
+            succ.setdefault(head, set()).add(atom.rel.name)
+            if atom.negated:
+                negative_deps.add((head, atom.rel.name))
+
+    sccs = _tarjan_sccs(idb_names, succ)  # reverse topological
+    scc_of: Dict[str, int] = {}
+    for sid, members in enumerate(sccs):
+        for name in members:
+            scc_of[name] = sid
+
+    # Stratification: no negative dependency inside an SCC.
+    for head, dep in sorted(negative_deps):
+        if scc_of[head] == scc_of[dep]:
+            errors.append(
+                f"not stratified: '{head}' depends negatively on "
+                f"'{dep}' inside its own recursion; split the "
+                "negation into a lower stratum"
+            )
+
+    recursive_names: Set[str] = set()
+    for sid, members in enumerate(sccs):
+        if len(members) > 1:
+            recursive_names.update(members)
+        else:
+            (name,) = members
+            if name in succ.get(name, set()):
+                recursive_names.add(name)
+
+    # Levels: longest-path depth over the SCC condensation.
+    level_of_scc: Dict[int, int] = {}
+    for sid, members in enumerate(sccs):  # callees first
+        depth = 0
+        for name in members:
+            for dep in succ.get(name, ()):  # only IDB deps
+                dep_sid = scc_of[dep]
+                if dep_sid != sid:
+                    depth = max(depth, level_of_scc[dep_sid] + 1)
+        level_of_scc[sid] = depth
+
+    verdicts = [
+        _classify(rule, relations, scc_of, recursive_names, rules)
+        for rule in rules
+    ]
+
+    # Mutual recursion: flagged per-rule by the classifier; emit one
+    # summary error per offending SCC so the repair is obvious.
+    for members in sccs:
+        if len(members) > 1:
+            errors.append(
+                "mutually recursive relations "
+                + ", ".join(f"'{m}'" for m in members)
+                + " cannot be compiled to a bounded sweep; fold them "
+                "into one relation with a tag column or chain them "
+                "through separate strata"
+            )
+
+    if require_linear:
+        for verdict in verdicts:
+            errors.extend(verdict.reasons)
+
+    if errors:
+        # Deduplicate while keeping first-seen order.
+        raise RuleCheckError(list(dict.fromkeys(errors)))
+
+    # Assemble the plan.
+    max_level = max(level_of_scc.values(), default=-1)
+    levels: List[List[RelationPlan]] = [[] for _ in range(max_level + 1)]
+    for name in idb_names:
+        rel = relations[name]
+        level = level_of_scc[scc_of[name]]
+        seed_rules = []
+        step_rules = []
+        for rule in rules:
+            if rule.head.rel.name != name:
+                continue
+            if any(
+                not a.negated
+                and a.rel.kind == "idb"
+                and scc_of[a.rel.name] == scc_of[name]
+                for a in rule.body
+            ):
+                step_rules.append(rule)
+            else:
+                seed_rules.append(rule)
+        levels[level].append(
+            RelationPlan(
+                rel, level, name in recursive_names,
+                seed_rules, step_rules,
+            )
+        )
+    for level in levels:
+        level.sort(key=lambda plan: plan.rel.name)
+
+    return CheckedRules(rules, relations, schema or {}, levels, verdicts)
+
+
+def _classify(
+    rule: Rule,
+    relations: Dict[str, Rel],
+    scc_of: Dict[str, int],
+    recursive_names: Set[str],
+    all_rules: Sequence[Rule],
+) -> LinearityVerdict:
+    """The linearity classifier for one rule (see module docstring)."""
+    reasons: List[str] = []
+    head_rel = rule.head.rel
+    head_scc = scc_of.get(head_rel.name)
+
+    # 1. Head fact space must be O(n + e).
+    if not _head_is_small(head_rel, relations, all_rules, scc_of):
+        reasons.append(
+            f"rule {rule.name}: head relation '{head_rel.name}' has "
+            f"{head_rel.key_arity} key columns and no single positive "
+            "premise covers the head, so its fact space is not "
+            "bounded by O(n+e); key it by one column, bound the last "
+            "column with k=, or copy the key tuple out of one base "
+            "premise"
+        )
+
+    # 2. At most one premise in the head's own recursion.
+    recursive_atoms = [
+        a for a in rule.body
+        if not a.negated
+        and a.rel.kind == "idb"
+        and scc_of.get(a.rel.name) == head_scc
+        and a.rel.name in recursive_names
+    ]
+    if len(recursive_atoms) > 1:
+        reasons.append(
+            f"rule {rule.name}: {len(recursive_atoms)} premises are "
+            "in the head's own recursion; a semi-naive delta can "
+            "drive only one — split the rule"
+        )
+        return LinearityVerdict(rule, reasons)
+
+    # 3. A join ordering with at most one covering expanding probe.
+    if recursive_atoms:
+        drivers = [recursive_atoms[0]]
+    else:
+        drivers = [a for a in rule.body if not a.negated]
+    ok = any(_join_plan_ok(rule, driver) for driver in drivers)
+    if not ok:
+        reasons.append(
+            f"rule {rule.name}: no join ordering keeps the rule "
+            "within the linear budget (every non-driver premise "
+            "needs a bound column, at most one probe may expand, and "
+            "the expanding probe must cover the driver's key "
+            "variables); restructure the body or stage it through an "
+            "intermediate relation"
+        )
+    return LinearityVerdict(rule, reasons)
+
+
+def _head_is_small(
+    rel: Rel,
+    relations: Dict[str, Rel],
+    all_rules: Sequence[Rule],
+    scc_of: Dict[str, int],
+) -> bool:
+    """Is ``rel``'s fact space O(n + e)? Small = at most one key
+    column, or every deriving rule copies the head out of one positive
+    base/small premise. Computed with a memoised recursion bounded by
+    the (acyclic across SCCs) dependency order; within an SCC the
+    key-arity test alone decides."""
+    return _small_memo(rel, relations, all_rules, scc_of, set())
+
+
+def _small_memo(rel, relations, all_rules, scc_of, visiting) -> bool:
+    if rel.kind == "edb":
+        return True  # base relations are O(n + e) by construction
+    if rel.key_arity <= 1:
+        return True
+    if rel.name in visiting:
+        return False  # recursive wide head: not provably small
+    visiting = visiting | {rel.name}
+    deriving = [r for r in all_rules if r.head.rel.name == rel.name]
+    if not deriving:
+        return False
+    for rule in deriving:
+        head_vars = set(rule.head.variables)
+        covered = False
+        for atom in rule.body:
+            if atom.negated:
+                continue
+            if head_vars <= set(atom.variables) and _small_memo(
+                atom.rel, relations, all_rules, scc_of, visiting
+            ):
+                covered = True
+                break
+        if not covered:
+            return False
+    return True
+
+
+def _join_plan_ok(rule: Rule, driver: Atom) -> bool:
+    """Can the positive body be ordered from ``driver`` with every
+    later premise probed on >= 1 bound column, at most one expanding
+    probe, and that probe covering the driver's key variables?"""
+    driver_keys = set(driver.variables)
+    if driver.rel.bounded:
+        value = _value_var(driver)
+        if value is not None:
+            driver_keys.discard(value)
+    bound: Set[Var] = set(driver.variables)
+    remaining = [a for a in rule.body if not a.negated and a is not driver]
+    expansions = 0
+    while remaining:
+        progressed = False
+        # Prefer fully-bound membership probes; they never expand.
+        for atom in list(remaining):
+            if all(
+                not isinstance(t, Var) or t in bound for t in atom.terms
+            ):
+                remaining.remove(atom)
+                progressed = True
+        if not remaining:
+            break
+        if progressed:
+            continue
+        # One expanding probe allowed, and it must cover the driver.
+        candidate = None
+        for atom in remaining:
+            atom_bound = {
+                t for t in atom.variables if t in bound
+            }
+            if not atom_bound:
+                continue
+            if driver_keys <= atom_bound:
+                candidate = atom
+                break
+        if candidate is None or expansions >= 1:
+            return False
+        expansions += 1
+        bound.update(candidate.variables)
+        remaining.remove(candidate)
+    return True
+
+
+def check_programs(
+    programs: Iterable[RuleProgram],
+    schema: Optional[Dict[str, Rel]] = None,
+    require_linear: bool = True,
+) -> CheckedRules:
+    """Merge and check several programs together (the form the
+    compiled engine uses, so independent programs' sweeps fuse)."""
+    rules, _ = merge_programs(programs)
+    return check_rules(rules, schema=schema, require_linear=require_linear)

@@ -1,0 +1,362 @@
+"""Combinators for the stratified Horn-rule DSL.
+
+A rule program is plain Python data: :class:`Rel` declares a relation
+(name, column types, EDB/IDB kind, optional k-bounded value column),
+calling a relation on terms builds an :class:`Atom`, ``~atom`` negates
+it (negation-as-stratified-complement — the checker rejects a negation
+that is not stratified away from its own recursion), and :class:`Rule`
+binds a head atom to a body. :class:`RuleProgram` bundles rules with
+the relations it exports.
+
+The design follows the Datalog reading of the paper's client analyses
+(see PAPERS.md, "So You Want to Analyze Scheme Programs With
+Datalog?"): base relations are views over the subtransitive graph
+(:mod:`repro.rules.schema`), derived relations are annotations in the
+two lattices the paper allows — booleans, and k-bounded sets topped by
+MANY (:mod:`repro.rules.lattice` re-uses :mod:`repro.flow.lattice`).
+
+Everything here is inert data with a canonical text rendering;
+validation lives in :mod:`repro.rules.check` and evaluation in
+:mod:`repro.rules.engine` / :mod:`repro.rules.naive`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ReproError
+
+#: Column type tags. ``node`` columns range over graph nodes (never
+#: constants in rule text); the others are scalars a rule may pin with
+#: a constant term.
+NODE = "node"
+NID = "nid"
+LABEL = "label"
+NAME = "name"
+CNAME = "cname"
+
+COLUMN_TYPES = (NODE, NID, LABEL, NAME, CNAME)
+
+#: Python types a constant term of each scalar column may have.
+_CONSTANT_TYPES = {
+    NID: int,
+    LABEL: str,
+    NAME: str,
+    CNAME: str,
+}
+
+
+class RuleSyntaxError(ReproError):
+    """A malformed combinator construction (wrong arity, negated
+    head, empty body, ...) — raised eagerly at build time."""
+
+
+class Var:
+    """A rule variable. Variables with the same name are the same
+    variable within one rule."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name or not name[0].isalpha():
+            raise RuleSyntaxError(
+                f"variable names must start with a letter, got {name!r}"
+            )
+        self.name = name
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Var", self.name))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def make_vars(names: str) -> Tuple[Var, ...]:
+    """``make_vars("N M Site")`` -> three :class:`Var` objects."""
+    return tuple(Var(name) for name in names.split())
+
+
+Term = Union[Var, int, str]
+
+
+def render_term(term: Term) -> str:
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, str):
+        return f'"{term}"'
+    return repr(term)
+
+
+class Rel:
+    """One relation: a name, a column-type tuple, and a kind.
+
+    ``kind="edb"`` marks a base relation (facts come from a
+    :class:`~repro.rules.schema.FactSource`); ``kind="idb"`` marks a
+    derived relation (facts come from rules). ``k`` turns the *last*
+    column into a k-bounded value column: the relation is then keyed
+    by the other columns and carries a :data:`~repro.flow.lattice`
+    annotation (a frozenset of at most ``k`` values, or MANY) instead
+    of one row per value — the Section 9 lattice, which is what keeps
+    a multiplicity-counting rule program linear.
+    """
+
+    __slots__ = ("name", "columns", "kind", "k")
+
+    def __init__(
+        self,
+        name: str,
+        *columns: str,
+        kind: str = "idb",
+        k: Optional[int] = None,
+    ):
+        if not columns:
+            raise RuleSyntaxError(f"relation {name!r} needs >= 1 column")
+        for column in columns:
+            if column not in COLUMN_TYPES:
+                raise RuleSyntaxError(
+                    f"relation {name!r}: unknown column type "
+                    f"{column!r} (expected one of {COLUMN_TYPES})"
+                )
+        if kind not in ("edb", "idb"):
+            raise RuleSyntaxError(
+                f"relation {name!r}: kind must be 'edb' or 'idb'"
+            )
+        if k is not None:
+            if kind == "edb":
+                raise RuleSyntaxError(
+                    f"relation {name!r}: base relations cannot be "
+                    "k-bounded"
+                )
+            if k < 1:
+                raise RuleSyntaxError(
+                    f"relation {name!r}: k must be >= 1, got {k}"
+                )
+            if len(columns) < 2:
+                raise RuleSyntaxError(
+                    f"relation {name!r}: a k-bounded relation needs a "
+                    "key column besides its value column"
+                )
+        self.name = name
+        self.columns = tuple(columns)
+        self.kind = kind
+        self.k = k
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    @property
+    def bounded(self) -> bool:
+        return self.k is not None
+
+    @property
+    def key_arity(self) -> int:
+        """Columns that key a fact (all of them, unless bounded)."""
+        return self.arity - (1 if self.bounded else 0)
+
+    def __call__(self, *terms: Term) -> "Atom":
+        return Atom(self, terms)
+
+    def signature(self) -> str:
+        cols = ",".join(self.columns)
+        tail = f" k={self.k}" if self.bounded else ""
+        return f"{self.kind} {self.name}({cols}){tail}"
+
+    def __repr__(self) -> str:
+        return f"<Rel {self.signature()}>"
+
+
+class Atom:
+    """One literal: a relation applied to terms, possibly negated."""
+
+    __slots__ = ("rel", "terms", "negated")
+
+    def __init__(
+        self,
+        rel: Rel,
+        terms: Sequence[Term],
+        negated: bool = False,
+    ):
+        if len(terms) != rel.arity:
+            raise RuleSyntaxError(
+                f"{rel.name}/{rel.arity} applied to {len(terms)} "
+                "term(s)"
+            )
+        for position, term in enumerate(terms):
+            if isinstance(term, Var):
+                continue
+            column = rel.columns[position]
+            want = _CONSTANT_TYPES.get(column)
+            if want is None:
+                raise RuleSyntaxError(
+                    f"{rel.name}: column {position} has type "
+                    f"'{column}'; only variables may appear there, "
+                    f"got constant {term!r}"
+                )
+            if not isinstance(term, want) or isinstance(term, bool):
+                raise RuleSyntaxError(
+                    f"{rel.name}: column {position} ({column}) "
+                    f"expects a {want.__name__} constant, got {term!r}"
+                )
+        self.rel = rel
+        self.terms = tuple(terms)
+        self.negated = negated
+
+    def __invert__(self) -> "Atom":
+        if self.negated:
+            raise RuleSyntaxError("double negation is not a literal")
+        return Atom(self.rel, self.terms, negated=True)
+
+    @property
+    def variables(self) -> Tuple[Var, ...]:
+        return tuple(t for t in self.terms if isinstance(t, Var))
+
+    def render(self) -> str:
+        inner = ", ".join(render_term(t) for t in self.terms)
+        bang = "!" if self.negated else ""
+        return f"{bang}{self.rel.name}({inner})"
+
+    def __repr__(self) -> str:
+        return f"<Atom {self.render()}>"
+
+
+class Rule:
+    """``head :- body``. The head must be a positive IDB atom; the
+    body must be non-empty (facts enter through base relations, not
+    bodiless rules, so every derivation is grounded in the graph)."""
+
+    __slots__ = ("head", "body", "name")
+
+    def __init__(
+        self,
+        head: Atom,
+        body: Sequence[Atom],
+        name: Optional[str] = None,
+    ):
+        if head.negated:
+            raise RuleSyntaxError(
+                f"rule head {head.render()} must be positive"
+            )
+        if head.rel.kind != "idb":
+            raise RuleSyntaxError(
+                f"cannot derive into base relation '{head.rel.name}'"
+            )
+        body = tuple(body)
+        if not body:
+            raise RuleSyntaxError(
+                f"rule for '{head.rel.name}' has an empty body; "
+                "ground facts belong in a base relation"
+            )
+        self.head = head
+        self.body = body
+        self.name = name if name is not None else f"{head.rel.name}-rule"
+
+    @property
+    def positive(self) -> Tuple[Atom, ...]:
+        return tuple(a for a in self.body if not a.negated)
+
+    @property
+    def negative(self) -> Tuple[Atom, ...]:
+        return tuple(a for a in self.body if a.negated)
+
+    def render(self) -> str:
+        body = ", ".join(atom.render() for atom in self.body)
+        return f"{self.name}: {self.head.render()} :- {body}."
+
+    def __repr__(self) -> str:
+        return f"<Rule {self.render()}>"
+
+
+class RuleProgram:
+    """A named bundle of rules plus the relations it exports.
+
+    ``outputs`` defaults to every derived relation. The canonical
+    rendering (:meth:`render`) is what :func:`fingerprint` hashes, so
+    two programs with the same text are the same program — the serve
+    cache key relies on this.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        rules: Sequence[Rule],
+        outputs: Optional[Sequence[Rel]] = None,
+    ):
+        if not rules:
+            raise RuleSyntaxError(f"program {name!r} has no rules")
+        self.name = name
+        self.rules = tuple(rules)
+        if outputs is None:
+            seen: Dict[str, Rel] = {}
+            for rule in self.rules:
+                seen.setdefault(rule.head.rel.name, rule.head.rel)
+            outputs = tuple(seen.values())
+        self.outputs = tuple(outputs)
+        for rel in self.outputs:
+            if rel.kind != "idb":
+                raise RuleSyntaxError(
+                    f"program {name!r}: output '{rel.name}' is a base "
+                    "relation"
+                )
+
+    def relations(self) -> Dict[str, Rel]:
+        """Every relation the program mentions, by name. A name bound
+        to two different declarations is a syntax error."""
+        rels: Dict[str, Rel] = {}
+
+        def visit(rel: Rel) -> None:
+            known = rels.get(rel.name)
+            if known is None:
+                rels[rel.name] = rel
+            elif known is not rel:
+                raise RuleSyntaxError(
+                    f"program {self.name!r}: relation name "
+                    f"'{rel.name}' bound to two declarations"
+                )
+
+        for rule in self.rules:
+            visit(rule.head.rel)
+            for atom in rule.body:
+                visit(atom.rel)
+        for rel in self.outputs:
+            visit(rel)
+        return rels
+
+    def idb_relations(self) -> Dict[str, Rel]:
+        return {
+            name: rel
+            for name, rel in self.relations().items()
+            if rel.kind == "idb"
+        }
+
+    def render(self) -> str:
+        lines: List[str] = [f"program {self.name}"]
+        for rel in sorted(
+            self.relations().values(), key=lambda rel: rel.name
+        ):
+            lines.append(f"decl {rel.signature()}")
+        for rel in self.outputs:
+            lines.append(f"output {rel.name}/{rel.arity}")
+        for rule in self.rules:
+            lines.append(f"rule {rule.render()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RuleProgram {self.name} rules={len(self.rules)} "
+            f"outputs={[rel.name for rel in self.outputs]}>"
+        )
+
+
+def fingerprint(programs: Iterable[RuleProgram]) -> str:
+    """SHA-256 over the canonical renderings, sorted by program name —
+    the deterministic identity the serve cache folds into its key."""
+    blob = "\n\n".join(
+        program.render()
+        for program in sorted(programs, key=lambda p: p.name)
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -1,0 +1,108 @@
+"""Intentionally broken rule programs the checker must reject.
+
+Each fixture is a named builder returning a list of
+:class:`~repro.rules.dsl.RuleProgram`; ``repro rules check --fixture
+<name>`` runs the checker over it and CI asserts the rejection (with
+its actionable message) stays in place. Builders, not constants: the
+DSL itself raises on some malformations, and building lazily keeps
+import-time clean.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.rules.dsl import NODE, Rel, Rule, RuleProgram, make_vars
+from repro.rules.schema import EDGE, LAM_NODE
+
+
+def _ill_stratified() -> List[RuleProgram]:
+    """A relation defined through its own complement: ``odd`` nodes
+    are the edge-successors of non-``odd`` nodes. Not stratifiable."""
+    odd = Rel("odd", NODE)
+    N, M = make_vars("N M")
+    return [
+        RuleProgram(
+            "ill-stratified",
+            [
+                Rule(odd(N), [LAM_NODE(N)], name="odd-seed"),
+                Rule(odd(N), [EDGE(M, N), ~odd(M)], name="odd-flip"),
+            ],
+        )
+    ]
+
+
+def _nonlinear_pairs() -> List[RuleProgram]:
+    """All-pairs reachability: a two-node-column recursive head whose
+    fact space is O(n^2), the classic transitive-closure blowup the
+    linearity classifier must refuse."""
+    path = Rel("path", NODE, NODE)
+    A, B, C = make_vars("A B C")
+    return [
+        RuleProgram(
+            "nonlinear-pairs",
+            [
+                Rule(path(A, B), [EDGE(A, B)], name="path-seed"),
+                Rule(path(A, C), [path(A, B), EDGE(B, C)], name="path-step"),
+            ],
+        )
+    ]
+
+
+def _unbounded_join() -> List[RuleProgram]:
+    """A cross product: the second premise shares no variable with the
+    driver, so no join ordering keeps the rule linear."""
+    pair_seen = Rel("pair_seen", NODE)
+    N, A, B = make_vars("N A B")
+    return [
+        RuleProgram(
+            "unbounded-join",
+            [
+                Rule(
+                    pair_seen(N),
+                    [EDGE(N, A), LAM_NODE(B), EDGE(B, B)],
+                    name="pair-seen",
+                ),
+            ],
+        )
+    ]
+
+
+def _mutual_recursion() -> List[RuleProgram]:
+    """Two relations defined through each other: the compiler cannot
+    drive a semi-naive delta for either alone."""
+    ping = Rel("ping", NODE)
+    pong = Rel("pong", NODE)
+    N, M = make_vars("N M")
+    return [
+        RuleProgram(
+            "mutual-recursion",
+            [
+                Rule(ping(N), [LAM_NODE(N)], name="ping-seed"),
+                Rule(ping(N), [pong(M), EDGE(M, N)], name="ping-step"),
+                Rule(pong(N), [ping(M), EDGE(M, N)], name="pong-step"),
+            ],
+        )
+    ]
+
+
+def _unsafe_head() -> List[RuleProgram]:
+    """A head variable no positive premise binds (range restriction)."""
+    ghost = Rel("ghost", NODE, NODE)
+    N, M = make_vars("N M")
+    return [
+        RuleProgram(
+            "unsafe-head",
+            [Rule(ghost(N, M), [LAM_NODE(N)], name="ghost")],
+        )
+    ]
+
+
+#: name -> builder; ``repro rules check --fixture <name>``.
+FIXTURES: Dict[str, object] = {
+    "ill-stratified": _ill_stratified,
+    "nonlinear-pairs": _nonlinear_pairs,
+    "unbounded-join": _unbounded_join,
+    "mutual-recursion": _mutual_recursion,
+    "unsafe-head": _unsafe_head,
+}

@@ -1,0 +1,15 @@
+"""The two value lattices rule programs may derive into.
+
+These are re-exports of :mod:`repro.flow.lattice` — a plain relation
+is a boolean mark per key, a ``k``-bounded relation carries the
+paper's Section 9 annotation (a ``frozenset`` of at most ``k`` values
+topped by :data:`MANY`). Sharing the objects with the flow layer is
+what lets the compiled engine hand annotations straight to
+:class:`~repro.flow.analyses.BoundedSetAnalysis` without translation.
+"""
+
+from __future__ import annotations
+
+from repro.flow.lattice import MANY, bounded_join, bounded_seed
+
+__all__ = ["MANY", "bounded_join", "bounded_seed"]

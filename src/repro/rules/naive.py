@@ -1,0 +1,58 @@
+"""The naive bottom-up reference evaluator.
+
+Stratum by stratum, fire every rule of the stratum until nothing
+changes. No semi-naive delta tracking, no fusion, no graph awareness —
+just the textbook fixpoint, quadratic and obviously correct. The
+compiled engine (:mod:`repro.rules.engine`) must agree with this on
+every program the checker admits; the property suite holds it to that.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.rules.check import CheckedRules, check_programs
+from repro.rules.dsl import RuleProgram
+from repro.rules.eval import Extents, World, fire_rule
+from repro.rules.schema import FactSource
+
+
+def naive_fixpoint(checked: CheckedRules, source: FactSource) -> Extents:
+    """Evaluate an already-checked rule set to fixpoint, naively."""
+    extents = Extents(checked.relations)
+    world = World(source, extents)
+    for level in checked.levels:
+        rules = [
+            rule
+            for plan in level
+            for rule in plan.seed_rules + plan.step_rules
+        ]
+        changed = True
+        while changed:
+            changed = False
+            for rule in rules:
+                # Materialise before mutating the extent under fire.
+                for key, contribution, _ in list(fire_rule(rule, world)):
+                    if extents.add(rule.head.rel, key, contribution):
+                        changed = True
+    return extents
+
+
+def evaluate_naive(
+    programs: Sequence[RuleProgram],
+    source: FactSource,
+    schema: Optional[dict] = None,
+    require_linear: bool = False,
+) -> Extents:
+    """Check (against the source's schema by default) and evaluate.
+
+    ``require_linear`` defaults off: the reference evaluator happily
+    runs programs the linear compiler would refuse, which is what lets
+    tests compare the checker's verdicts against observed behaviour.
+    """
+    if schema is None:
+        schema = source.relations()
+    checked = check_programs(
+        programs, schema=schema, require_linear=require_linear
+    )
+    return naive_fixpoint(checked, source)

@@ -1,0 +1,169 @@
+"""The shipped rule programs: L002, L004 and called-once as rules.
+
+Each program is the declarative twin of a hand-written analysis and is
+held to byte-equivalence against it by the golden tests — the twins
+stay in the tree as the specification the rules must match:
+
+* ``lint-l002`` (:class:`~repro.lint.passes.StuckApplicationPass`):
+  ``reach_lam`` marks every node that can reach an abstraction
+  (backward along edges, exactly the fused sweep's ``reach-lambda``
+  probe) and a site is ``stuck`` when its operator node is in the
+  stratified complement;
+* ``lint-l004`` (:class:`~repro.lint.passes.EscapingFunctionPass`):
+  ``escape`` marks everything reachable from a primitive-argument
+  sink (forward), and ``escaping_fun`` joins the marks with the
+  lambda-bearing index;
+* ``app-called-once`` (:func:`~repro.apps.called_once.called_once`):
+  ``calls`` carries 1-bounded call-site sets forward from operator
+  nodes; an abstraction's annotation is then ``None`` (never called),
+  a singleton (the unique site), or MANY.
+
+``repro.lint`` compiles the two lint programs together, so their
+recursive relations share one stratum and fuse into a single
+``run_fused`` sweep — the same scheduling the hand-written passes get
+from :meth:`~repro.lint.passes.LintContext._sweep`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro._util import Stopwatch
+from repro.rules.dsl import LABEL, NID, NODE, Rel, Rule, RuleProgram, make_vars
+from repro.rules.dsl import fingerprint
+from repro.rules.schema import APP_OP, EDGE, LAM_AT, LAM_NODE, SINK_ARG
+
+# -- derived relations ---------------------------------------------------------
+
+#: Nodes from which some abstraction node is reachable (L002's probe).
+REACH_LAM = Rel("reach_lam", NODE)
+#: Application sites whose operator label set is provably empty.
+STUCK = Rel("stuck", NID)
+#: Nodes reachable from a primitive-argument sink (L004/F002's probe).
+ESCAPE = Rel("escape", NODE)
+#: Escaping abstractions: the lambda-bearing node and its label.
+ESCAPING_FUN = Rel("escaping_fun", NODE, LABEL)
+#: 1-bounded call-site multiplicity per operator-reachable node.
+CALLS = Rel("calls", NODE, NID, k=1)
+
+
+def _l002_program() -> RuleProgram:
+    N, M, S = make_vars("N M S")
+    return RuleProgram(
+        "lint-l002",
+        [
+            Rule(REACH_LAM(N), [LAM_NODE(N)], name="reach-lam-seed"),
+            Rule(
+                REACH_LAM(N),
+                [REACH_LAM(M), EDGE(N, M)],
+                name="reach-lam-step",
+            ),
+            Rule(STUCK(S), [APP_OP(S, N), ~REACH_LAM(N)], name="stuck-site"),
+        ],
+        outputs=(STUCK,),
+    )
+
+
+def _l004_program() -> RuleProgram:
+    N, M, S, L = make_vars("N M S L")
+    return RuleProgram(
+        "lint-l004",
+        [
+            Rule(ESCAPE(N), [SINK_ARG(S, N)], name="escape-seed"),
+            Rule(ESCAPE(N), [ESCAPE(M), EDGE(M, N)], name="escape-step"),
+            Rule(
+                ESCAPING_FUN(N, L),
+                [ESCAPE(N), LAM_AT(N, L)],
+                name="escaping-fun",
+            ),
+        ],
+        outputs=(ESCAPING_FUN,),
+    )
+
+
+def _called_once_program() -> RuleProgram:
+    N, M, S = make_vars("N M S")
+    return RuleProgram(
+        "app-called-once",
+        [
+            Rule(CALLS(N, S), [APP_OP(S, N)], name="calls-seed"),
+            Rule(CALLS(N, S), [CALLS(M, S), EDGE(M, N)], name="calls-step"),
+        ],
+        outputs=(CALLS,),
+    )
+
+
+L002_PROGRAM = _l002_program()
+L004_PROGRAM = _l004_program()
+CALLED_ONCE_PROGRAM = _called_once_program()
+
+#: Every rule program the engine ships, in stable order.
+SHIPPED_PROGRAMS = (L002_PROGRAM, L004_PROGRAM, CALLED_ONCE_PROGRAM)
+
+_fingerprint_cache: Optional[str] = None
+_lint_rule_set = None
+_called_once_rule_set = None
+
+
+def shipped_fingerprint() -> str:
+    """The SHA-256 identity of the shipped rule programs — folded into
+    the serve cache key so cached lint envelopes invalidate when a
+    rule changes."""
+    global _fingerprint_cache
+    if _fingerprint_cache is None:
+        _fingerprint_cache = fingerprint(SHIPPED_PROGRAMS)
+    return _fingerprint_cache
+
+
+def lint_rule_set():
+    """The compiled L002 + L004 rule set (cached; compiling is pure
+    static work). Both programs' recursive relations land in one
+    stratum, so one fused sweep services both lints."""
+    global _lint_rule_set
+    if _lint_rule_set is None:
+        from repro.rules.engine import CompiledRuleSet
+
+        _lint_rule_set = CompiledRuleSet((L002_PROGRAM, L004_PROGRAM))
+    return _lint_rule_set
+
+
+def called_once_rule_set():
+    global _called_once_rule_set
+    if _called_once_rule_set is None:
+        from repro.rules.engine import CompiledRuleSet
+
+        _called_once_rule_set = CompiledRuleSet((CALLED_ONCE_PROGRAM,))
+    return _called_once_rule_set
+
+
+def rules_called_once(program, sub=None):
+    """The rule-program twin of :func:`repro.apps.called_once.
+    called_once`: same inputs, same :class:`~repro.apps.called_once.
+    CalledOnceResult` classifications."""
+    from repro.apps.called_once import CalledOnceResult
+    from repro.apps.propagation import MANY
+    from repro.core.lc import build_subtransitive_graph
+    from repro.flow.framework import FlowContext
+
+    if sub is None:
+        sub = build_subtransitive_graph(program)
+    ctx = FlowContext(program=program, sub=sub)
+    with Stopwatch() as watch:
+        evaluation = called_once_rule_set().run(ctx=ctx)
+    once = {}
+    never = set()
+    many = set()
+    for lam in program.abstractions:
+        annotation = evaluation.annotation(
+            "calls", sub.factory.expr_node(lam)
+        )
+        if annotation is None:
+            never.add(lam.label)
+        elif annotation is MANY:
+            many.add(lam.label)
+        else:
+            (site_nid,) = annotation
+            once[lam.label] = site_nid
+    return CalledOnceResult(
+        program, once, frozenset(never), frozenset(many), watch.elapsed
+    )

@@ -1,0 +1,246 @@
+"""The base-relation schema over the subtransitive graph.
+
+Every EDB relation is a *view*: facts are enumerated (or looked up by
+bound columns) straight off the graph and the node factory's indexes,
+never materialised up front. The views mirror exactly what the
+hand-written flow analyses consume, so a rule program sees the same
+world the L/F lint passes do:
+
+``edge(node, node)``
+    The subtransitive edges. Lookups with one side bound ride the
+    graph's adjacency (``successors``/``predecessors``) — the O(degree)
+    access every linear sweep depends on.
+``lam_node(node)`` / ``lam_at(node, label)``
+    Nodes bearing an abstraction (their own expression or a
+    congruence-absorbed one), and the labels they bear.
+``con_at(node, cname)``
+    Nodes bearing a constructor application, with its name.
+``ref_node(node)`` / ``deref_node(node)``
+    Nodes bearing ``ref`` / ``!`` expressions (the F001/F002 sources).
+``sink_arg(nid, node)``
+    Arguments handed to primitives: the argument expression's nid and
+    its graph node (the escape sources).
+``app_op(nid, node)``
+    Application sites: the site's nid and the *built* graph node of
+    its operator (depth-capped operators have no node and contribute
+    no fact — the same "no verdict" rule the L002 pass applies).
+``var_used(node)``
+    Variable nodes with positive in-degree (LC' materialises the use
+    relation as edges, so this is exactly "used").
+
+:class:`DictFactSource` provides the same interface over explicit fact
+sets — the harness the property tests and the naive reference
+evaluator run against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.rules.dsl import CNAME, LABEL, NID, NODE, Rel
+
+# -- the schema ---------------------------------------------------------------
+
+EDGE = Rel("edge", NODE, NODE, kind="edb")
+LAM_NODE = Rel("lam_node", NODE, kind="edb")
+LAM_AT = Rel("lam_at", NODE, LABEL, kind="edb")
+CON_AT = Rel("con_at", NODE, CNAME, kind="edb")
+REF_NODE = Rel("ref_node", NODE, kind="edb")
+DEREF_NODE = Rel("deref_node", NODE, kind="edb")
+SINK_ARG = Rel("sink_arg", NID, NODE, kind="edb")
+APP_OP = Rel("app_op", NID, NODE, kind="edb")
+VAR_USED = Rel("var_used", NODE, kind="edb")
+
+#: Every base relation a graph-backed rule program may mention.
+GRAPH_SCHEMA: Dict[str, Rel] = {
+    rel.name: rel
+    for rel in (
+        EDGE,
+        LAM_NODE,
+        LAM_AT,
+        CON_AT,
+        REF_NODE,
+        DEREF_NODE,
+        SINK_ARG,
+        APP_OP,
+        VAR_USED,
+    )
+}
+
+Fact = Tuple
+Pattern = Tuple  # bound values, with None marking free columns
+
+
+class FactSource:
+    """Base-relation access: full enumeration plus pattern lookup.
+
+    Lookup is served from lazily-built hash indexes keyed by the bound
+    column mask, so a fixed rule program touches each index once per
+    run and each probe is O(bucket). Subclasses override :meth:`_all`
+    (and may special-case :meth:`lookup` when the backing store
+    already has the index — the graph's adjacency, for ``edge``).
+    """
+
+    def __init__(self):
+        self._indexes: Dict[Tuple[str, Tuple[bool, ...]], Dict] = {}
+
+    def relations(self) -> Dict[str, Rel]:
+        raise NotImplementedError
+
+    def _all(self, rel: str) -> Iterable[Fact]:
+        raise NotImplementedError
+
+    def facts(self, rel: str) -> List[Fact]:
+        """Every fact of ``rel`` (materialised once per source)."""
+        cache_key = (rel, ())
+        cached = self._indexes.get(cache_key)
+        if cached is None:
+            cached = list(self._all(rel))
+            self._indexes[cache_key] = cached
+        return cached
+
+    def lookup(self, rel: str, pattern: Pattern) -> Iterable[Fact]:
+        """Facts matching ``pattern`` (``None`` = free column)."""
+        mask = tuple(value is not None for value in pattern)
+        if not any(mask):
+            return self.facts(rel)
+        index_key = (rel, mask)
+        index = self._indexes.get(index_key)
+        if index is None:
+            index = {}
+            for fact in self.facts(rel):
+                key = tuple(
+                    value
+                    for value, bound in zip(fact, mask)
+                    if bound
+                )
+                index.setdefault(key, []).append(fact)
+            self._indexes[index_key] = index
+        probe = tuple(value for value in pattern if value is not None)
+        return index.get(probe, ())
+
+    def contains(self, rel: str, fact: Fact) -> bool:
+        for _ in self.lookup(rel, fact):
+            return True
+        return False
+
+
+class GraphFactSource(FactSource):
+    """The schema bound to one :class:`~repro.flow.framework.
+    FlowContext` (program + subtransitive graph)."""
+
+    def __init__(self, ctx):
+        super().__init__()
+        self.ctx = ctx
+        if ctx.graph is None or ctx.factory is None:
+            raise ValueError(
+                "GraphFactSource needs a FlowContext with a "
+                "subtransitive graph"
+            )
+
+    def relations(self) -> Dict[str, Rel]:
+        return GRAPH_SCHEMA
+
+    def _bearing_pairs(self, expr_type, attr: str) -> Iterator[Fact]:
+        for node in self.ctx.factory.nodes_bearing(expr_type):
+            values = []
+            if isinstance(node.expr, expr_type):
+                values.append(getattr(node.expr, attr))
+            for expr in node.absorbed:
+                if isinstance(expr, expr_type):
+                    values.append(getattr(expr, attr))
+            for value in sorted(set(values)):
+                yield (node, value)
+
+    def _all(self, rel: str) -> Iterator[Fact]:
+        from repro.lang.ast import Con, Deref, Lam, Ref
+
+        ctx = self.ctx
+        if rel == "edge":
+            return iter(ctx.graph.edges())
+        if rel == "lam_node":
+            return ((node,) for node in ctx.lambda_value_nodes)
+        if rel == "lam_at":
+            return self._bearing_pairs(Lam, "label")
+        if rel == "con_at":
+            return self._bearing_pairs(Con, "cname")
+        if rel == "ref_node":
+            return (
+                (node,) for node in ctx.factory.nodes_bearing(Ref)
+            )
+        if rel == "deref_node":
+            return (
+                (node,) for node in ctx.factory.nodes_bearing(Deref)
+            )
+        if rel == "sink_arg":
+            return (
+                (arg.nid, node) for arg, node in ctx.sink_arg_nodes
+            )
+        if rel == "app_op":
+            return (
+                (site.nid, node)
+                for site in ctx.program.applications
+                for node in (ctx.peek(site.fn),)
+                if node is not None
+            )
+        if rel == "var_used":
+            graph = ctx.graph
+            return (
+                (node,)
+                for node in ctx.factory.var_nodes
+                if graph.in_degree(node) > 0
+            )
+        raise KeyError(f"unknown base relation {rel!r}")
+
+    def lookup(self, rel: str, pattern: Pattern) -> Iterable[Fact]:
+        # edge lookups ride the adjacency structure instead of a
+        # materialised index: O(degree) per probe, O(1) membership,
+        # and no O(edges) up-front scan.
+        if rel == "edge":
+            src, dst = pattern
+            graph = self.ctx.graph
+            if src is not None and dst is None:
+                return ((src, s) for s in graph.successors(src))
+            if src is None and dst is not None:
+                return ((p, dst) for p in graph.predecessors(dst))
+            if src is not None and dst is not None:
+                return ((src, dst),) if graph.has_edge(src, dst) else ()
+        return super().lookup(rel, pattern)
+
+
+class DictFactSource(FactSource):
+    """Explicit fact sets — the reference harness. ``facts`` maps
+    relation name to an iterable of tuples; ``schema`` maps name to
+    its :class:`Rel` declaration."""
+
+    def __init__(
+        self,
+        schema: Dict[str, Rel],
+        facts: Dict[str, Iterable[Fact]],
+    ):
+        super().__init__()
+        self._schema = dict(schema)
+        unknown = sorted(set(facts) - set(schema))
+        if unknown:
+            raise KeyError(
+                f"facts for undeclared relation(s): {unknown}"
+            )
+        self._facts: Dict[str, List[Fact]] = {}
+        for name, rel in self._schema.items():
+            rows = {tuple(fact) for fact in facts.get(name, ())}
+            for row in rows:
+                if len(row) != rel.arity:
+                    raise ValueError(
+                        f"{name}/{rel.arity}: fact {row!r} has arity "
+                        f"{len(row)}"
+                    )
+            self._facts[name] = sorted(rows, key=repr)
+
+    def relations(self) -> Dict[str, Rel]:
+        return self._schema
+
+    def _all(self, rel: str) -> Iterable[Fact]:
+        try:
+            return self._facts[rel]
+        except KeyError:
+            raise KeyError(f"unknown base relation {rel!r}") from None

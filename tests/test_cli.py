@@ -237,6 +237,63 @@ class TestLint:
         assert main(["lint", demo_file, "/nonexistent.ml"]) == 2
         assert "error" in capsys.readouterr().err
 
+    def test_empty_input_set_text_exits_two(self, capsys):
+        assert main(["lint"]) == 2
+        assert "no inputs" in capsys.readouterr().err
+
+    def test_empty_input_set_json_emits_valid_envelope(self, capsys):
+        # Regression: machine consumers always get the schema they
+        # asked for, even when the corpus expands to nothing.
+        assert main(["lint", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.lint/1"
+        assert document["files"] == []
+        assert document["errors"] == []
+        assert document["summary"] == {
+            "files": 0,
+            "findings": 0,
+            "by_rule": {},
+            "exit_code": 0,
+        }
+        assert document["engine"]["name"] == "subtransitive"
+
+    def test_empty_directory_json_emits_valid_envelope(
+        self, tmp_path, capsys
+    ):
+        empty = tmp_path / "corpus"
+        empty.mkdir()
+        assert main(["lint", str(empty), "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["summary"]["files"] == 0
+
+    def test_rules_impl_matches_hand(self, demo_file, capsys):
+        assert main(["lint", demo_file]) == 1
+        hand = capsys.readouterr().out
+        assert main(["lint", demo_file, "--impl", "rules"]) == 1
+        assert capsys.readouterr().out == hand
+
+    def test_explain_prints_derivations(self, tmp_path, capsys):
+        path = tmp_path / "escape.ml"
+        path.write_text("let f = fn[esc] x => x in print f")
+        assert main(["lint", str(path), "--explain"]) == 1
+        out = capsys.readouterr().out
+        assert "L004" in out
+        assert "derivation of L004" in out
+        assert "escaping-fun" in out
+
+    def test_explain_json_carries_derivations(self, tmp_path, capsys):
+        path = tmp_path / "escape.ml"
+        path.write_text("let f = fn[esc] x => x in print f")
+        assert main(
+            ["lint", str(path), "--explain", "--format", "json"]
+        ) == 1
+        document = json.loads(capsys.readouterr().out)
+        (entry,) = document["files"]
+        escapes = [
+            f for f in entry["findings"] if f["rule"] == "L004"
+        ]
+        assert escapes and escapes[0]["derivation"]
+
     def test_parse_error_recorded_in_json(self, tmp_path, capsys):
         path = tmp_path / "bad.ml"
         path.write_text("let = ")
@@ -322,3 +379,56 @@ class TestSanitizeFlag:
             [command, demo_file] + rest + ["--sanitize"]
         ) == 0
         assert "sanitize: ok" in capsys.readouterr().err
+
+
+class TestRulesCommand:
+    def test_list_shows_programs_and_fingerprint(self, capsys):
+        assert main(["rules", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("lint-l002", "lint-l004", "app-called-once"):
+            assert name in out
+        assert "fingerprint:" in out
+
+    def test_show_renders_program_and_report(self, capsys):
+        assert main(["rules", "show", "lint-l002"]) == 0
+        out = capsys.readouterr().out
+        assert "program lint-l002" in out
+        assert "rule stuck-site:" in out
+        assert "level 0:" in out
+
+    def test_show_unknown_program_exits_two(self, capsys):
+        assert main(["rules", "show", "nonexistent"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_check_shipped_programs_pass(self, capsys):
+        assert main(["rules", "check"]) == 0
+        assert "stratified" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "fixture, expected",
+        [
+            ("ill-stratified", "not stratified"),
+            ("nonlinear-pairs", "not bounded by O(n+e)"),
+            ("unbounded-join", "no join ordering"),
+            ("mutual-recursion", "mutually recursive"),
+            ("unsafe-head", "range restriction"),
+        ],
+    )
+    def test_check_fixture_rejected_actionably(
+        self, capsys, fixture, expected
+    ):
+        assert main(["rules", "check", "--fixture", fixture]) == 2
+        assert expected in capsys.readouterr().err
+
+    def test_called_once_rules_impl(self, demo_file, capsys):
+        assert main(["called-once", demo_file]) == 0
+        hand = capsys.readouterr().out
+        assert main(
+            ["called-once", demo_file, "--impl", "rules"]
+        ) == 0
+        rules = capsys.readouterr().out
+        # The report body is identical; only the timing line differs.
+        strip = lambda text: [
+            line for line in text.splitlines() if " in " not in line
+        ]
+        assert strip(hand) == strip(rules)

@@ -1,0 +1,216 @@
+"""Tests for the static rule checker (repro.rules.check)."""
+
+import pytest
+
+from repro.rules import (
+    GRAPH_SCHEMA,
+    Rel,
+    Rule,
+    RuleCheckError,
+    RuleProgram,
+    SHIPPED_PROGRAMS,
+    check_programs,
+    check_rules,
+    make_vars,
+)
+from repro.rules.dsl import NID, NODE
+from repro.rules.fixtures import FIXTURES
+
+N, M, S, X = make_vars("N M S X")
+
+EDGE = Rel("edge", NODE, NODE, kind="edb")
+MARK = Rel("mark", NODE, kind="edb")
+SRC = Rel("src", NID, NODE, kind="edb")
+REACH = Rel("reach", NODE)
+CALLS = Rel("calls", NODE, NID, k=1)
+
+
+def check(rules, schema=None, **kwargs):
+    return check_rules(rules, schema=schema, **kwargs)
+
+
+class TestShippedPrograms:
+    def test_shipped_programs_pass_their_own_checker(self):
+        checked = check_programs(SHIPPED_PROGRAMS, schema=GRAPH_SCHEMA)
+        assert checked.linear
+        # One fused level 0 holds every recursive propagation; the
+        # join-only verdict relations sit strictly above it.
+        level0 = {plan.rel.name for plan in checked.levels[0]}
+        assert {"reach_lam", "escape", "calls"} <= level0
+        assert all(plan.recursive for plan in checked.levels[0])
+
+    def test_plan_classifies_seed_vs_step_rules(self):
+        checked = check_programs(SHIPPED_PROGRAMS, schema=GRAPH_SCHEMA)
+        plan = checked.plan_for("reach_lam")
+        assert [r.name for r in plan.seed_rules] == ["reach-lam-seed"]
+        assert [r.name for r in plan.step_rules] == ["reach-lam-step"]
+        with pytest.raises(KeyError):
+            checked.plan_for("nonexistent")
+
+    def test_render_report_shows_strata(self):
+        checked = check_programs(SHIPPED_PROGRAMS, schema=GRAPH_SCHEMA)
+        report = checked.render_report()
+        assert report.startswith("level 0:")
+        assert "reach_lam*" in report  # * marks recursion
+        assert "NONLINEAR" not in report
+
+
+class TestSafety:
+    def test_unbound_head_variable_rejected(self):
+        with pytest.raises(RuleCheckError) as err:
+            check([Rule(REACH(X), [MARK(N)], name="unsafe")])
+        assert "range restriction" in str(err.value)
+        assert "unsafe" in str(err.value)
+
+    def test_unbound_negated_variable_rejected(self):
+        with pytest.raises(RuleCheckError) as err:
+            check([Rule(REACH(N), [MARK(N), ~REACH(X)], name="floatneg")])
+        assert "negated atom" in str(err.value)
+
+    def test_negating_bounded_relation_rejected(self):
+        rule = Rule(
+            REACH(N), [MARK(N), ~CALLS(N, S)], name="negbounded"
+        )
+        with pytest.raises(RuleCheckError) as err:
+            check([rule], require_linear=False)
+        assert "cannot negate k-bounded" in str(err.value)
+
+    def test_bounded_value_must_transport(self):
+        # The value variable is consumed as a join key instead of
+        # transported into the head's value column.
+        sink = Rel("sink", NODE)
+        rule = Rule(sink(N), [CALLS(N, S), SRC(S, M)], name="opened")
+        with pytest.raises(RuleCheckError) as err:
+            check([rule], require_linear=False)
+        assert "transport" in str(err.value)
+
+
+class TestSchemaConformance:
+    def test_unknown_base_relation_rejected(self):
+        ghost = Rel("ghost", NODE, kind="edb")
+        with pytest.raises(RuleCheckError) as err:
+            check([Rule(REACH(N), [ghost(N)])], schema=GRAPH_SCHEMA)
+        assert "not in the schema" in str(err.value)
+
+    def test_signature_mismatch_rejected(self):
+        fake_edge = Rel("edge", NODE, kind="edb")  # wrong arity
+        with pytest.raises(RuleCheckError) as err:
+            check([Rule(REACH(N), [fake_edge(N)])], schema=GRAPH_SCHEMA)
+        assert "the schema says" in str(err.value)
+
+    def test_shadowing_base_name_rejected(self):
+        shadow = Rel("lam_node", NODE)  # idb with a base name
+        with pytest.raises(RuleCheckError) as err:
+            check(
+                [Rule(shadow(N), [GRAPH_SCHEMA["lam_node"](N)])],
+                schema=GRAPH_SCHEMA,
+            )
+        assert "shadows the base relation" in str(err.value)
+
+
+class TestStratification:
+    def test_negation_inside_own_recursion_rejected(self):
+        odd = Rel("odd", NODE)
+        rules = [
+            Rule(odd(N), [EDGE(M, N), ~odd(M)], name="odd-step"),
+        ]
+        with pytest.raises(RuleCheckError) as err:
+            check(rules, require_linear=False)
+        assert "not stratified" in str(err.value)
+
+    def test_mutual_recursion_rejected(self):
+        ping = Rel("ping", NODE)
+        pong = Rel("pong", NODE)
+        rules = [
+            Rule(ping(N), [MARK(N)], name="ping-seed"),
+            Rule(ping(N), [pong(M), EDGE(M, N)], name="ping-step"),
+            Rule(pong(N), [ping(M), EDGE(M, N)], name="pong-step"),
+        ]
+        with pytest.raises(RuleCheckError) as err:
+            check(rules, require_linear=False)
+        assert "mutually recursive" in str(err.value)
+
+    def test_levels_follow_dependencies(self):
+        base = Rel("base", NODE)
+        above = Rel("above", NODE)
+        rules = [
+            Rule(base(N), [MARK(N)], name="b-seed"),
+            Rule(base(N), [base(M), EDGE(M, N)], name="b-step"),
+            Rule(above(N), [base(N), ~MARK(N)], name="a-join"),
+        ]
+        checked = check(rules)
+        assert checked.plan_for("base").level == 0
+        assert checked.plan_for("above").level == 1
+        assert checked.plan_for("base").recursive
+        assert not checked.plan_for("above").recursive
+
+
+class TestLinearity:
+    def test_transitive_closure_rejected_by_default(self):
+        path = Rel("path", NODE, NODE)
+        rules = [
+            Rule(path(N, M), [EDGE(N, M)], name="path-seed"),
+            Rule(path(N, X), [path(N, M), EDGE(M, X)], name="path-step"),
+        ]
+        with pytest.raises(RuleCheckError) as err:
+            check(rules)
+        assert "not bounded by O(n+e)" in str(err.value)
+
+    def test_nonlinear_demoted_to_verdict_when_not_required(self):
+        path = Rel("path", NODE, NODE)
+        rules = [
+            Rule(path(N, M), [EDGE(N, M)], name="path-seed"),
+            Rule(path(N, X), [path(N, M), EDGE(M, X)], name="path-step"),
+        ]
+        checked = check(rules, require_linear=False)
+        assert not checked.linear
+        bad = [v for v in checked.verdicts if not v.linear]
+        assert bad and all("path" in v.rule.name for v in bad)
+
+    def test_two_recursive_premises_rejected(self):
+        both = Rel("both", NODE)
+        rules = [
+            Rule(both(N), [MARK(N)], name="seed"),
+            Rule(
+                both(N),
+                [both(N), both(M), EDGE(M, N)],
+                name="double",
+            ),
+        ]
+        with pytest.raises(RuleCheckError) as err:
+            check(rules)
+        assert "drive only one" in str(err.value)
+
+    def test_cross_product_rejected(self):
+        pair = Rel("pair", NODE, NODE)
+        rules = [
+            Rule(pair(N, M), [MARK(N), MARK(M)], name="cross"),
+        ]
+        with pytest.raises(RuleCheckError) as err:
+            check(rules)
+        assert "no join ordering" in str(err.value)
+
+    def test_errors_are_aggregated(self):
+        path = Rel("path", NODE, NODE)
+        rules = [
+            Rule(REACH(X), [MARK(N)], name="unsafe"),
+            Rule(path(N, X), [path(N, M), EDGE(M, X)], name="path-step"),
+        ]
+        with pytest.raises(RuleCheckError) as err:
+            check(rules)
+        assert len(err.value.errors) >= 2
+
+
+class TestFixtures:
+    @pytest.mark.parametrize("name", sorted(FIXTURES))
+    def test_every_fixture_is_rejected_with_a_named_rule(self, name):
+        programs = FIXTURES[name]()
+        with pytest.raises(RuleCheckError) as err:
+            check_programs(programs, schema=GRAPH_SCHEMA)
+        # Actionable: every message names the offending rule or
+        # relation, never just "invalid".
+        assert err.value.errors
+        assert all(
+            "'" in message or "rule " in message
+            for message in err.value.errors
+        )

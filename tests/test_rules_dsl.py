@@ -1,0 +1,179 @@
+"""Tests for the rule DSL combinators (repro.rules.dsl)."""
+
+import pytest
+
+from repro.rules import (
+    Rel,
+    RuleProgram,
+    Rule,
+    RuleSyntaxError,
+    fingerprint,
+    make_vars,
+)
+from repro.rules.dsl import LABEL, NID, NODE, Var
+
+N, M, S = make_vars("N M S")
+
+EDGE = Rel("edge", NODE, NODE, kind="edb")
+MARK = Rel("mark", NODE, kind="edb")
+REACH = Rel("reach", NODE)
+
+
+def reach_program():
+    return RuleProgram(
+        "reach",
+        [
+            Rule(REACH(N), [MARK(N)], name="seed"),
+            Rule(REACH(N), [REACH(M), EDGE(M, N)], name="step"),
+        ],
+    )
+
+
+class TestVar:
+    def test_identity_by_name(self):
+        assert Var("X") == Var("X")
+        assert hash(Var("X")) == hash(Var("X"))
+        assert Var("X") != Var("Y")
+
+    def test_make_vars(self):
+        a, b = make_vars("A B")
+        assert (a.name, b.name) == ("A", "B")
+
+    def test_bad_name(self):
+        with pytest.raises(RuleSyntaxError):
+            Var("1bad")
+        with pytest.raises(RuleSyntaxError):
+            Var("")
+
+
+class TestRel:
+    def test_arity_and_kind(self):
+        assert EDGE.arity == 2
+        assert EDGE.kind == "edb"
+        assert REACH.kind == "idb"
+        assert not REACH.bounded
+
+    def test_bounded_key_arity(self):
+        calls = Rel("calls", NODE, NID, k=1)
+        assert calls.bounded
+        assert calls.key_arity == 1
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(RuleSyntaxError):
+            Rel("empty")
+
+    def test_unknown_column_type_rejected(self):
+        with pytest.raises(RuleSyntaxError):
+            Rel("bad", "float")
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(RuleSyntaxError):
+            Rel("bad", NODE, kind="view")
+
+    def test_bounded_edb_rejected(self):
+        with pytest.raises(RuleSyntaxError):
+            Rel("bad", NODE, NID, kind="edb", k=1)
+
+    def test_bounded_needs_key_column(self):
+        with pytest.raises(RuleSyntaxError):
+            Rel("bad", NID, k=1)
+        with pytest.raises(RuleSyntaxError):
+            Rel("bad", NODE, NID, k=0)
+
+
+class TestAtom:
+    def test_arity_checked(self):
+        with pytest.raises(RuleSyntaxError):
+            EDGE(N)
+
+    def test_node_columns_reject_constants(self):
+        with pytest.raises(RuleSyntaxError):
+            EDGE(N, 3)
+
+    def test_scalar_constant_types_checked(self):
+        lam_at = Rel("lam_at", NODE, LABEL, kind="edb")
+        lam_at(N, "f")  # fine
+        with pytest.raises(RuleSyntaxError):
+            lam_at(N, 7)
+        with pytest.raises(RuleSyntaxError):
+            lam_at(N, True)
+
+    def test_negation(self):
+        atom = ~MARK(N)
+        assert atom.negated
+        assert atom.render() == "!mark(N)"
+        with pytest.raises(RuleSyntaxError):
+            ~atom  # double negation is not a literal
+
+
+class TestRule:
+    def test_negated_head_rejected(self):
+        with pytest.raises(RuleSyntaxError):
+            Rule(~REACH(N), [MARK(N)])
+
+    def test_edb_head_rejected(self):
+        with pytest.raises(RuleSyntaxError):
+            Rule(MARK(N), [REACH(N)])
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(RuleSyntaxError):
+            Rule(REACH(N), [])
+
+    def test_positive_negative_split(self):
+        rule = Rule(REACH(N), [MARK(N), ~REACH(M), EDGE(M, N)])
+        assert [a.rel.name for a in rule.positive] == ["mark", "edge"]
+        assert [a.rel.name for a in rule.negative] == ["reach"]
+
+    def test_render(self):
+        rule = Rule(REACH(N), [REACH(M), EDGE(M, N)], name="step")
+        assert rule.render() == "step: reach(N) :- reach(M), edge(M, N)."
+
+
+class TestRuleProgram:
+    def test_outputs_default_to_derived_relations(self):
+        program = reach_program()
+        assert [rel.name for rel in program.outputs] == ["reach"]
+
+    def test_edb_output_rejected(self):
+        with pytest.raises(RuleSyntaxError):
+            RuleProgram(
+                "bad", [Rule(REACH(N), [MARK(N)])], outputs=(MARK,)
+            )
+
+    def test_conflicting_declarations_rejected(self):
+        other_reach = Rel("reach", NODE, NODE)
+        program = RuleProgram(
+            "bad",
+            [
+                Rule(REACH(N), [MARK(N)]),
+                Rule(other_reach(N, M), [EDGE(N, M)]),
+            ],
+        )
+        with pytest.raises(RuleSyntaxError):
+            program.relations()
+
+    def test_render_is_canonical(self):
+        text = reach_program().render()
+        assert text.splitlines()[0] == "program reach"
+        assert "decl edb edge(node,node)" in text
+        assert "output reach/1" in text
+        assert "rule step: reach(N) :- reach(M), edge(M, N)." in text
+
+
+class TestFingerprint:
+    def test_deterministic_and_order_independent(self):
+        other = RuleProgram("other", [Rule(REACH(N), [MARK(N)])])
+        a = fingerprint([reach_program(), other])
+        b = fingerprint([other, reach_program()])
+        assert a == b
+        assert len(a) == 64
+
+    def test_sensitive_to_rule_text(self):
+        changed = RuleProgram(
+            "reach",
+            [
+                Rule(REACH(N), [MARK(N)], name="seed"),
+                Rule(REACH(N), [REACH(M), EDGE(N, M)], name="step"),
+            ],
+        )
+        assert fingerprint([reach_program()]) != fingerprint([changed])

@@ -1,0 +1,258 @@
+"""Tests for the compiled rule engine (repro.rules.engine).
+
+The harness is a :class:`DictFactSource` over small explicit graphs —
+node identity is plain ints — so every assertion is independent of the
+LC' front end; the graph-backed path is covered by the golden tests.
+"""
+
+import pytest
+
+from repro.flow.framework import FlowContext
+from repro.flow.lattice import MANY
+from repro.obs import MetricsRegistry
+from repro.rules import (
+    CompiledRuleSet,
+    DictFactSource,
+    Rel,
+    Rule,
+    RuleCompileError,
+    RuleProgram,
+    compile_programs,
+    make_vars,
+    naive_fixpoint,
+)
+from repro.rules.dsl import NID, NODE
+
+N, M, S = make_vars("N M S")
+
+EDGE = Rel("edge", NODE, NODE, kind="edb")
+MARK = Rel("mark", NODE, kind="edb")
+SRC = Rel("src", NID, NODE, kind="edb")
+
+SCHEMA = {"edge": EDGE, "mark": MARK, "src": SRC}
+
+REACH = Rel("reach", NODE)
+UNREACHED = Rel("unreached", NODE)
+CALLS = Rel("calls", NODE, NID, k=1)
+
+
+def reach_programs():
+    return [
+        RuleProgram(
+            "reach",
+            [
+                Rule(REACH(N), [MARK(N)], name="seed"),
+                Rule(REACH(N), [REACH(M), EDGE(M, N)], name="step"),
+            ],
+        ),
+        RuleProgram(
+            "unreached",
+            [
+                Rule(
+                    UNREACHED(N),
+                    [EDGE(N, M), ~REACH(N)],
+                    name="complement",
+                ),
+            ],
+        ),
+    ]
+
+
+def calls_programs():
+    return [
+        RuleProgram(
+            "calls",
+            [
+                Rule(CALLS(N, S), [SRC(S, N)], name="calls-seed"),
+                Rule(
+                    CALLS(N, S),
+                    [CALLS(M, S), EDGE(M, N)],
+                    name="calls-step",
+                ),
+            ],
+        )
+    ]
+
+
+def source(**facts):
+    return DictFactSource(SCHEMA, facts)
+
+
+class TestCompiledAgainstNaive:
+    def test_reachability_with_complement(self):
+        # 0 -> 1 -> 2, 3 -> 4 isolated from the marks.
+        facts = source(
+            edge=[(0, 1), (1, 2), (3, 4)],
+            mark=[(0,)],
+        )
+        compiled = CompiledRuleSet(reach_programs(), schema=SCHEMA)
+        evaluation = compiled.run(source=facts)
+        assert sorted(evaluation.rows("reach")) == [(0,), (1,), (2,)]
+        assert sorted(evaluation.rows("unreached")) == [(3,)]
+
+        reference = naive_fixpoint(compiled.checked, facts)
+        assert reference.data == evaluation.extents.data
+
+    def test_bounded_counting_matches_naive(self):
+        # Two sites' values flow into node 2: the k=1 lattice tops out.
+        facts = source(
+            edge=[(0, 2), (1, 2), (2, 3)],
+            src=[(10, 0), (11, 1)],
+        )
+        compiled = CompiledRuleSet(calls_programs(), schema=SCHEMA)
+        evaluation = compiled.run(source=facts)
+        assert evaluation.annotation("calls", 0) == frozenset({10})
+        assert evaluation.annotation("calls", 2) is MANY
+        assert evaluation.annotation("calls", 3) is MANY
+        assert evaluation.annotation("calls", 4) is None
+
+        reference = naive_fixpoint(compiled.checked, facts)
+        assert reference.data == evaluation.extents.data
+
+    def test_cycles_terminate(self):
+        facts = source(edge=[(0, 1), (1, 0), (1, 2)], mark=[(0,)])
+        compiled = CompiledRuleSet(reach_programs(), schema=SCHEMA)
+        evaluation = compiled.run(source=facts)
+        assert sorted(evaluation.rows("reach")) == [(0,), (1,), (2,)]
+
+    def test_empty_source(self):
+        compiled = CompiledRuleSet(reach_programs(), schema=SCHEMA)
+        evaluation = compiled.run(source=source())
+        assert evaluation.rows("reach") == []
+        assert evaluation.rows("unreached") == []
+
+
+class TestEvaluationApi:
+    def test_holds_rejects_bounded_relations(self):
+        facts = source(src=[(10, 0)])
+        evaluation = CompiledRuleSet(
+            calls_programs(), schema=SCHEMA
+        ).run(source=facts)
+        with pytest.raises(TypeError):
+            evaluation.holds("calls", 0, 10)
+
+    def test_rows_are_deterministic(self):
+        facts = source(edge=[(2, 1), (0, 1)], mark=[(0,), (2,)])
+        compiled = CompiledRuleSet(reach_programs(), schema=SCHEMA)
+        first = compiled.run(source=facts).rows("reach")
+        second = compiled.run(source=facts).rows("reach")
+        assert first == second
+
+
+class TestMetrics:
+    def test_counters_and_gauges_land_on_the_registry(self):
+        registry = MetricsRegistry()
+        facts = source(edge=[(0, 1)], mark=[(0,)])
+        compiled = CompiledRuleSet(reach_programs(), schema=SCHEMA)
+        compiled.run(source=facts, registry=registry)
+        assert registry.counter("rules.facts").value > 0
+        assert registry.gauge("rules.levels").value == 2
+        assert registry.gauge("rules.relations").value == 2
+        assert registry.timer("rules.eval").count == 1
+
+
+class TestProvenance:
+    def test_unexplained_run_has_no_derivations(self):
+        facts = source(edge=[(0, 1)], mark=[(0,)])
+        evaluation = CompiledRuleSet(
+            reach_programs(), schema=SCHEMA
+        ).run(source=facts)
+        assert not evaluation.explained
+        assert evaluation.derivation("reach", (1,)) == []
+
+    def test_derivation_chain_ends_at_a_seed(self):
+        facts = source(edge=[(0, 1), (1, 2)], mark=[(0,)])
+        evaluation = CompiledRuleSet(
+            reach_programs(), schema=SCHEMA
+        ).run(source=facts, explain=True)
+        chain = evaluation.derivation("reach", (2,))
+        assert chain[0]["fact"] == "reach(2)"
+        assert chain[0]["rule"] == "step"
+        assert chain[-1]["rule"] == "seed"
+        assert chain[-1]["premises"] == ["mark(0)"]
+        # Every step is JSON-safe strings.
+        for step in chain:
+            assert isinstance(step["fact"], str)
+            assert all(isinstance(p, str) for p in step["premises"])
+
+    def test_negative_premises_are_recorded(self):
+        facts = source(edge=[(3, 4)], mark=[(0,)])
+        evaluation = CompiledRuleSet(
+            reach_programs(), schema=SCHEMA
+        ).run(source=facts, explain=True)
+        (step,) = evaluation.derivation("unreached", (3,))
+        assert step["rule"] == "complement"
+        assert "!reach(3)" in step["premises"]
+
+    def test_explain_does_not_change_results(self):
+        facts = source(
+            edge=[(0, 1), (1, 2), (2, 0), (1, 3)], mark=[(0,)]
+        )
+        compiled = CompiledRuleSet(reach_programs(), schema=SCHEMA)
+        plain = compiled.run(source=facts)
+        explained = compiled.run(source=facts, explain=True)
+        assert plain.extents.data == explained.extents.data
+
+    def test_derivation_limit_truncates(self):
+        chain_edges = [(i, i + 1) for i in range(40)]
+        facts = source(edge=chain_edges, mark=[(0,)])
+        evaluation = CompiledRuleSet(
+            reach_programs(), schema=SCHEMA
+        ).run(source=facts, explain=True)
+        chain = evaluation.derivation("reach", (40,), limit=5)
+        assert len(chain) == 6
+        assert chain[-1]["rule"] == "..."
+
+
+class TestCompileErrors:
+    def test_recursive_rule_outside_propagation_shape(self):
+        loop = Rel("loop", NODE)
+        programs = [
+            RuleProgram(
+                "bad-shape",
+                [
+                    Rule(loop(N), [MARK(N)], name="seed"),
+                    # Same key variable on both sides: linear per the
+                    # checker, but not an edge propagation.
+                    Rule(loop(N), [loop(N), MARK(N)], name="self"),
+                ],
+            )
+        ]
+        with pytest.raises(RuleCompileError) as err:
+            CompiledRuleSet(programs, schema=SCHEMA)
+        assert "propagation shape" in str(err.value)
+
+    def test_recursion_needs_an_edge_relation(self):
+        link = Rel("link", NODE, NODE, kind="edb")
+        walk = Rel("walk", NODE)
+        programs = [
+            RuleProgram(
+                "no-edge",
+                [
+                    Rule(walk(N), [MARK(N)], name="seed"),
+                    Rule(walk(N), [walk(M), link(M, N)], name="step"),
+                ],
+            )
+        ]
+        with pytest.raises(RuleCompileError) as err:
+            CompiledRuleSet(
+                programs, schema={"mark": MARK, "link": link}
+            )
+        assert "edge" in str(err.value)
+
+    def test_compile_programs_convenience(self):
+        compiled = compile_programs(reach_programs(), schema=SCHEMA)
+        assert isinstance(compiled, CompiledRuleSet)
+        assert compiled.fingerprint
+
+
+class TestFuel:
+    def test_graphless_run_defaults_to_unlimited_fuel(self):
+        facts = source(
+            edge=[(i, i + 1) for i in range(200)], mark=[(0,)]
+        )
+        compiled = CompiledRuleSet(reach_programs(), schema=SCHEMA)
+        evaluation = compiled.run(
+            ctx=FlowContext(), source=facts
+        )
+        assert len(evaluation.rows("reach")) == 201

@@ -73,6 +73,27 @@ class TestCacheKey:
         with pytest.raises(ValueError, match="unknown analysis option"):
             cache_key(SOURCE, {"algorithmn": "hybrid"})
 
+    def test_graph_backend_is_result_neutral(self):
+        # Both backends produce identical envelopes, so requests that
+        # differ only in backend must share one cache entry.
+        assert cache_key(SOURCE, {"graph_backend": "csr"}) == cache_key(
+            SOURCE, {"graph_backend": "object"}
+        )
+
+    def test_lint_key_folds_in_the_rule_fingerprint(self):
+        # A lint envelope depends on the shipped rule programs; the
+        # key must change when they do, and only for lint requests.
+        from unittest import mock
+
+        base_lint = cache_key(SOURCE, {"lint": True})
+        base_plain = cache_key(SOURCE, {"lint": False})
+        with mock.patch(
+            "repro.rules.programs.shipped_fingerprint",
+            return_value="f" * 64,
+        ):
+            assert cache_key(SOURCE, {"lint": True}) != base_lint
+            assert cache_key(SOURCE, {"lint": False}) == base_plain
+
 
 class TestMemoryTier:
     def test_hit_deep_equals_stored(self):
