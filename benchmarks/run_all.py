@@ -5,7 +5,7 @@ Usage::
     python benchmarks/run_all.py [--quick] [--metrics PATH | --no-metrics]
 
 Prints the reproduction of each experiment indexed in DESIGN.md (E1 -
-E18), in order. ``--quick`` shrinks the sweeps for a fast smoke run.
+E19), in order. ``--quick`` shrinks the sweeps for a fast smoke run.
 EXPERIMENTS.md records a reference run of this script.
 
 Every run also writes a machine-readable metrics document (default
@@ -26,6 +26,7 @@ import bench_apps_effects
 import bench_apps_klimited
 import bench_complexity_table
 import bench_constant_factor
+import bench_daemon
 import bench_equality_cfa
 import bench_flow
 import bench_frontend
@@ -281,6 +282,21 @@ def main(quick: bool = False, metrics_path=None) -> None:
         f"{fit['intercept']:.1f} (R^2 = {fit['r2']:.5f}); "
         f"worst step ratio {worst:.3f}x "
         f"(bound {bench_rules.RATIO_BOUND}x)"
+    )
+
+    print("\n" + "=" * 72)
+    print("E19 (extra) — incremental daemon: warm delta vs cold")
+    print("=" * 72)
+    table, rows = bench_daemon.run_report(
+        sizes=[5, 10, 20] if quick else bench_daemon.SIZES
+    )
+    record("E19", "incremental daemon: warm delta vs cold", rows)
+    print(table.render())
+    last = rows[-1]
+    print(
+        f"n={last['n']}: warm redefine {last['speedup']:.1f}x faster "
+        f"than cold re-analysis, {last['retracted_edges']} edges "
+        f"retracted, {last['fallbacks']} fallbacks"
     )
 
     if metrics_path is not None:

@@ -106,6 +106,13 @@ def __getattr__(name):
         import repro.serve as serve
 
         return getattr(serve, name)
+    if name == "daemon":
+        # The incremental-analysis daemon (docs/DAEMON.md); lazy so
+        # importing repro never pulls in asyncio machinery unless the
+        # daemon is actually used.
+        import repro.daemon as daemon
+
+        return daemon
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}"
     )
@@ -136,6 +143,7 @@ __all__ = [
     "bounded_type_report",
     "build_subtransitive_graph",
     "called_once",
+    "daemon",
     "effects_analysis",
     "effects_analysis_baseline",
     "evaluate",

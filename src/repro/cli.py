@@ -25,6 +25,10 @@ Usage (also available as ``python -m repro``)::
     repro obs flame     prog.ml [--algorithm A] [--lint] [-o out.folded]
     repro obs top       trace.jsonl [--metrics m.json] [--limit N]
     repro obs waterfall trace.jsonl [--limit N]
+    repro daemon  start|stop|status (--socket PATH | --port N)
+                  [--graph-backend B] [--capacity N] [--json]
+    repro client  VERB (--socket PATH | --port N) [--project P]
+                  [--name N] [--source EXPR | --file PATH] [--label L]
 
 ``analyze`` and ``lint`` accept any mix of files and directories
 (directories contribute their ``*.lam`` files); multi-input runs go
@@ -876,6 +880,98 @@ def _cmd_dot(args) -> int:
     return status
 
 
+def _daemon_endpoint(args) -> dict:
+    """Socket/port keyword arguments for the daemon server/client."""
+    if (args.socket is None) == (args.port is None):
+        raise ReproError("exactly one of --socket / --port is required")
+    if args.socket is not None:
+        return {"socket_path": args.socket}
+    return {"host": args.host, "port": args.port}
+
+
+def _cmd_daemon(args) -> int:
+    import asyncio
+
+    from repro.daemon import DaemonClient
+    from repro.daemon.server import run_daemon
+
+    endpoint = _daemon_endpoint(args)
+    if args.action == "start":
+        # Foreground; callers that want a background daemon shell it
+        # out (`repro daemon start --socket S &`).
+        asyncio.run(
+            run_daemon(
+                graph_backend=args.graph_backend,
+                capacity=args.capacity,
+                **endpoint,
+            )
+        )
+        return 0
+    with DaemonClient(**endpoint) as client:
+        if args.action == "stop":
+            client.shutdown()
+            print("daemon stopping", file=sys.stderr)
+            return 0
+        status = client.status()  # args.action == "status"
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+            return 0
+        projects = status["projects"]
+        print(f"pid: {status['pid']}")
+        warm = projects["warm"]
+        print(f"warm projects ({len(warm)}/{projects['capacity']}):")
+        for entry in warm:
+            fallbacks = sum(entry["fallbacks"].values())
+            print(
+                f"  {entry['project']}: {entry['definitions']} defs, "
+                f"version {entry['version']}, {fallbacks} fallback(s)"
+            )
+        if projects["cold"]:
+            print("cold projects: " + ", ".join(projects["cold"]))
+        counters = status["metrics"].get("counters", {})
+        for key in sorted(counters):
+            if key.startswith("daemon."):
+                print(f"  {key}: {counters[key]}")
+    return 0
+
+
+def _cmd_client(args) -> int:
+    from repro.daemon import DaemonClient
+
+    source = getattr(args, "source", None)
+    if getattr(args, "file", None) is not None:
+        if source is not None:
+            raise ReproError("pass --source or --file, not both")
+        if args.file == "-":
+            source = sys.stdin.read()
+        else:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                source = handle.read()
+    fields = {}
+    for key, value in (
+        ("project", getattr(args, "project", None)),
+        ("name", getattr(args, "name", None)),
+        ("source", source),
+        ("label", getattr(args, "label", None)),
+    ):
+        if value is not None:
+            fields[key] = value
+    with DaemonClient(**_daemon_endpoint(args)) as client:
+        result = client.request(args.verb, **fields)
+    if args.verb == "analyze":
+        # Byte-identical to `repro analyze FILE --json` of the
+        # project's rendered source — the warm/cold CI check relies
+        # on exact equality here.
+        print(json.dumps(result["envelope"], indent=2, sort_keys=True))
+    elif args.verb == "source":
+        sys.stdout.write(result["source"])
+    else:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    if args.verb == "sanitize" and not result["ok"]:
+        return 2
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1259,6 +1355,80 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("trace", help="trace.jsonl written by --trace")
     q.add_argument("--limit", type=int, default=20, metavar="N")
     q.set_defaults(run=_cmd_obs_waterfall)
+
+    def add_endpoint(p):
+        p.add_argument(
+            "--socket",
+            metavar="PATH",
+            help="Unix-domain socket path of the daemon",
+        )
+        p.add_argument(
+            "--port", type=int, metavar="N", help="TCP port of the daemon"
+        )
+        p.add_argument(
+            "--host",
+            default="127.0.0.1",
+            metavar="HOST",
+            help="TCP host (with --port; default 127.0.0.1)",
+        )
+
+    p = sub.add_parser(
+        "daemon",
+        help="always-on incremental analysis daemon (repro.daemon/1)",
+    )
+    p.add_argument(
+        "action",
+        choices=["start", "stop", "status"],
+        help="start runs the daemon in the foreground; stop/status "
+        "talk to a running daemon",
+    )
+    add_endpoint(p)
+    add_graph_backend(p)
+    p.add_argument(
+        "--capacity",
+        type=int,
+        default=8,
+        metavar="N",
+        help="warm project graphs kept resident (LRU; default 8)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="JSON output (status only)"
+    )
+    p.set_defaults(run=_cmd_daemon)
+
+    p = sub.add_parser(
+        "client",
+        help="send one repro.daemon/1 request to a running daemon",
+    )
+    p.add_argument(
+        "verb",
+        choices=[
+            "define",
+            "undefine",
+            "query",
+            "analyze",
+            "lint",
+            "sanitize",
+            "source",
+            "status",
+        ],
+        help="request verb (see docs/DAEMON.md)",
+    )
+    add_endpoint(p)
+    p.add_argument("--project", metavar="NAME", help="project to address")
+    p.add_argument(
+        "--name", metavar="NAME", help="definition name (define/undefine/query)"
+    )
+    p.add_argument(
+        "--source", metavar="EXPR", help="mini-ML expression (define)"
+    )
+    p.add_argument(
+        "--file",
+        metavar="PATH",
+        help="read the define source from PATH (- for stdin)",
+    )
+    p.add_argument("--label", metavar="LABEL", help="query by label")
+    p.set_defaults(run=_cmd_client)
 
     return parser
 

@@ -285,6 +285,13 @@ class LCEngine:
         self._c_dup_edges = self.stats.registry.counter("edges.duplicate")
         self._c_dropped_edges = self.stats.registry.counter("edges.dropped")
         self.pending: Deque[Tuple[Node, Node]] = deque()
+        #: Optional ``(src, dst, close)`` callback observing every
+        #: *attempted* edge emission (after the None/self-edge drop,
+        #: before duplicate detection). The incremental daemon uses it
+        #: to reference-count build-edge emissions per definition so a
+        #: retraction knows when a physical edge loses its last
+        #: justification. Same opt-in contract as ``tracer``.
+        self.edge_recorder = None
         #: Names of let/letrec bindings analysed polyvariantly
         #: (Section 7); empty/None for the monovariant analysis.
         self.polyvariant_lets = polyvariant_lets or frozenset()
@@ -541,6 +548,8 @@ class LCEngine:
         if src is None or dst is None or src is dst:
             self._c_dropped_edges.value += 1
             return False
+        if self.edge_recorder is not None:
+            self.edge_recorder(src, dst, close)
         if self.graph.add_edge(src, dst):
             self.pending.append((src, dst))
             if close:

@@ -1,0 +1,121 @@
+"""A small blocking client for the ``repro.daemon/1`` protocol.
+
+One :class:`DaemonClient` holds one socket connection; each
+:meth:`request` sends a single validated request line and blocks for
+the matching response line. ``repro client`` (the CLI) and the
+end-to-end tests are the consumers — anything asyncio-native should
+open a stream and speak the protocol directly.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, Optional
+
+from repro.daemon import protocol
+from repro.errors import ReproError
+
+
+class DaemonError(ReproError):
+    """An error response from the daemon, or a transport failure."""
+
+
+class DaemonClient:
+    """Blocking JSONL client over a Unix-domain or TCP socket."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise ValueError(
+                "exactly one of socket_path / port must be given"
+            )
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(socket_path)
+        else:
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request(self, verb: str, **fields) -> Dict[str, object]:
+        """Send one request; return the ``result`` object of the ok
+        response. Raises :class:`DaemonError` on an error response."""
+        self._next_id += 1
+        record = protocol.request_record(self._next_id, verb, **fields)
+        protocol.validate_daemon_record(record)
+        payload = (
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        ).encode("utf-8")
+        self._file.write(payload)
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise DaemonError("daemon closed the connection")
+        response = protocol.validate_daemon_record(
+            json.loads(line.decode("utf-8"))
+        )
+        if response.get("record") != "response":
+            raise DaemonError("daemon sent a non-response record")
+        if response["status"] == "error":
+            raise DaemonError(str(response["error"]))
+        if response.get("id") != record["id"]:
+            raise DaemonError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {record['id']}"
+            )
+        return response["result"]
+
+    # -- convenience wrappers ------------------------------------------------
+
+    def define(self, project: str, name: str, source: str):
+        return self.request(
+            "define", project=project, name=name, source=source
+        )
+
+    def undefine(self, project: str, name: str):
+        return self.request("undefine", project=project, name=name)
+
+    def query_name(self, project: str, name: str):
+        return self.request("query", project=project, name=name)
+
+    def query_label(self, project: str, label: str):
+        return self.request("query", project=project, label=label)
+
+    def analyze(self, project: str):
+        return self.request("analyze", project=project)
+
+    def lint(self, project: str):
+        return self.request("lint", project=project)
+
+    def sanitize(self, project: str):
+        return self.request("sanitize", project=project)
+
+    def source(self, project: str):
+        return self.request("source", project=project)
+
+    def status(self):
+        return self.request("status")
+
+    def shutdown(self):
+        return self.request("shutdown")

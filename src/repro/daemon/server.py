@@ -1,0 +1,240 @@
+"""The asyncio front-end of the incremental analysis daemon.
+
+One :class:`DaemonServer` listens on a Unix-domain socket (or a TCP
+port) and speaks newline-delimited ``repro.daemon/1`` records
+(:mod:`repro.daemon.protocol`): each request line yields exactly one
+response line, in order, on the same connection. Requests for the
+same project serialise on the project's lock; independent projects
+interleave. The per-verb work itself is synchronous (the delta engine
+never awaits mid-mutation), which is what makes the lock discipline
+airtight on a single event loop.
+
+Observability rides on one shared ``daemon.*`` metrics registry:
+request/error counters per verb, delta/fallback counters per reason,
+and span timers for the mutating verbs — all exposed through the
+``status`` verb and the profiler-friendly snapshot format.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from typing import Dict, Optional
+
+from repro.daemon import protocol
+from repro.daemon.state import DEFAULT_CAPACITY, ProjectRegistry
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+
+
+def _dumps(record: Dict[str, object]) -> bytes:
+    return (
+        json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+class DaemonServer:
+    """The daemon: project registry + JSONL dispatch + lifecycle."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        graph_backend: str = "object",
+        capacity: int = DEFAULT_CAPACITY,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise ValueError(
+                "exactly one of socket_path / port must be given"
+            )
+        self.socket_path = socket_path
+        self.host = host if host is not None else "127.0.0.1"
+        self.port = port
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.projects = ProjectRegistry(
+            capacity=capacity,
+            graph_backend=graph_backend,
+            registry=self.registry,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+        self._c_requests = self.registry.counter("daemon.requests")
+        self._c_errors = self.registry.counter("daemon.errors")
+        self._c_deltas = self.registry.counter("daemon.deltas")
+        self._c_fallbacks = self.registry.counter("daemon.fallbacks")
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        if self.socket_path is not None:
+            if os.path.exists(self.socket_path):
+                os.unlink(self.socket_path)
+            self._server = await asyncio.start_unix_server(
+                self._handle_client, path=self.socket_path
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_client, host=self.host, port=self.port
+            )
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and run until a ``shutdown`` request."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self.socket_path is not None and os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self.dispatch_line(line)
+                writer.write(_dumps(response))
+                try:
+                    await writer.drain()
+                except ConnectionResetError:
+                    break
+                if self._shutdown.is_set():
+                    break
+        finally:
+            writer.close()
+
+    async def dispatch_line(self, line: bytes) -> Dict[str, object]:
+        """Parse, validate and execute one request line."""
+        self._c_requests.inc()
+        try:
+            raw = json.loads(line.decode("utf-8"))
+        except ValueError as error:
+            self._c_errors.inc()
+            return protocol.error_response(None, None, f"not JSON: {error}")
+        rid = raw.get("id") if isinstance(raw, dict) else None
+        if not isinstance(rid, int) or isinstance(rid, bool):
+            rid = None
+        verb = raw.get("verb") if isinstance(raw, dict) else None
+        if not isinstance(verb, str):
+            verb = None
+        try:
+            request = protocol.validate_daemon_record(raw)
+        except ValueError as error:
+            self._c_errors.inc()
+            return protocol.error_response(rid, verb, str(error))
+        if request["record"] != "request":
+            self._c_errors.inc()
+            return protocol.error_response(
+                rid, verb, "expected a request record"
+            )
+        try:
+            return await self._dispatch(request)
+        except ReproError as error:
+            self._c_errors.inc()
+            return protocol.error_response(rid, verb, str(error))
+        except Exception as error:  # pragma: no cover - defensive
+            self._c_errors.inc()
+            return protocol.error_response(
+                rid, verb, f"internal error: {error}"
+            )
+
+    # -- verb dispatch --------------------------------------------------------
+
+    async def _dispatch(self, request: Dict[str, object]) -> Dict[str, object]:
+        rid = request["id"]
+        verb = request["verb"]
+        self.registry.counter(f"daemon.requests.{verb}").inc()
+        if verb == "shutdown":
+            self._shutdown.set()
+            return protocol.ok_response(rid, verb, {"stopping": True})
+        if verb == "status":
+            return protocol.ok_response(rid, verb, self._status())
+        state = self.projects.get(request["project"])
+        async with state.lock:
+            analysis = state.analysis
+            if verb == "define":
+                with self.registry.timer("daemon.define"):
+                    report = analysis.define(
+                        request["name"], request["source"]
+                    )
+                self._count_mutation(report)
+                return protocol.ok_response(rid, verb, report)
+            if verb == "undefine":
+                with self.registry.timer("daemon.undefine"):
+                    report = analysis.undefine(request["name"])
+                self._count_mutation(report)
+                return protocol.ok_response(rid, verb, report)
+            if verb == "query":
+                if "name" in request and isinstance(request.get("name"), str):
+                    result = analysis.query_name(request["name"])
+                else:
+                    result = analysis.query_label(request["label"])
+                return protocol.ok_response(rid, verb, result)
+            if verb == "analyze":
+                with self.registry.timer("daemon.analyze"):
+                    envelope = analysis.envelope()
+                return protocol.ok_response(rid, verb, {"envelope": envelope})
+            if verb == "lint":
+                with self.registry.timer("daemon.lint"):
+                    section = analysis.lint()
+                return protocol.ok_response(rid, verb, section)
+            if verb == "sanitize":
+                return protocol.ok_response(rid, verb, analysis.sanitize())
+            if verb == "source":
+                return protocol.ok_response(
+                    rid, verb, {"source": analysis.render_source()}
+                )
+        raise AssertionError(f"unhandled verb {verb!r}")  # pragma: no cover
+
+    def _count_mutation(self, report: Dict[str, object]) -> None:
+        if report.get("delta"):
+            self._c_deltas.inc()
+        else:
+            self._c_fallbacks.inc()
+            reason = report.get("delta_fallback_reason")
+            self.registry.counter(f"daemon.fallbacks.{reason}").inc()
+
+    def _status(self) -> Dict[str, object]:
+        return {
+            "pid": os.getpid(),
+            "projects": self.projects.status(),
+            "metrics": self.registry.snapshot(),
+        }
+
+
+async def run_daemon(
+    socket_path: Optional[str] = None,
+    port: Optional[int] = None,
+    host: Optional[str] = None,
+    graph_backend: str = "object",
+    capacity: int = DEFAULT_CAPACITY,
+) -> None:
+    """Run a daemon until shutdown (the CLI's ``repro daemon start``)."""
+    server = DaemonServer(
+        socket_path=socket_path,
+        host=host,
+        port=port,
+        graph_backend=graph_backend,
+        capacity=capacity,
+    )
+    await server.serve_forever()

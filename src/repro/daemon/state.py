@@ -1,0 +1,124 @@
+"""Project state for the daemon: persistent sessions, locks, LRU.
+
+A :class:`ProjectRegistry` owns every live :class:`ProjectState`.
+Each project is one warm :class:`~repro.daemon.delta.ProjectAnalysis`
+guarded by a per-project :class:`asyncio.Lock` (requests for the same
+project serialise; different projects interleave freely on the event
+loop). The registry keeps at most ``capacity`` warm graphs: the least
+recently used project is evicted down to its definition sources and
+transparently **rehydrated** (replayed cold) on next touch — so
+eviction trades latency, never state.
+
+Everything the registry does is counted under ``daemon.*`` in the
+shared :class:`~repro.obs.metrics.MetricsRegistry` the server
+exposes via the ``status`` verb.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.daemon.delta import ProjectAnalysis
+from repro.obs.metrics import MetricsRegistry
+
+#: Default number of warm project graphs kept resident.
+DEFAULT_CAPACITY = 8
+
+
+class ProjectState:
+    """One project: a warm analysis plus its request lock."""
+
+    def __init__(self, name: str, graph_backend: str) -> None:
+        self.name = name
+        self.analysis = ProjectAnalysis(graph_backend=graph_backend)
+        self.lock = asyncio.Lock()
+
+    def snapshot_defs(self) -> List[Tuple[str, str]]:
+        """The definition history as (name, source) pairs — enough to
+        rehydrate the project after eviction."""
+        return [(d.name, d.source) for d in self.analysis.defs]
+
+
+class ProjectRegistry:
+    """LRU registry of warm projects with cold-storage rehydration."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        graph_backend: str = "object",
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.graph_backend = graph_backend
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._states: "OrderedDict[str, ProjectState]" = OrderedDict()
+        #: Evicted projects' definition sources, awaiting rehydration.
+        self._cold: Dict[str, List[Tuple[str, str]]] = {}
+        self._c_created = self.registry.counter("daemon.projects.created")
+        self._c_evicted = self.registry.counter("daemon.projects.evictions")
+        self._c_rehydrated = self.registry.counter(
+            "daemon.projects.rehydrations"
+        )
+
+    def get(self, name: str) -> ProjectState:
+        """The project's warm state — created, or rehydrated from its
+        evicted definition history, on first touch. Marks it most
+        recently used and evicts past capacity."""
+        state = self._states.get(name)
+        if state is not None:
+            self._states.move_to_end(name)
+            return state
+        state = ProjectState(name, self.graph_backend)
+        history = self._cold.pop(name, None)
+        if history is not None:
+            self._c_rehydrated.inc()
+            for def_name, source in history:
+                state.analysis.define(def_name, source)
+        else:
+            self._c_created.inc()
+        self._states[name] = state
+        self._evict()
+        return state
+
+    def _evict(self) -> None:
+        """Evict least-recently-used projects down to capacity.
+
+        A project whose lock is currently held has a request in
+        flight; it is skipped this round (capacity may transiently
+        overshoot) rather than snapshotted mid-mutation."""
+        while len(self._states) > self.capacity:
+            victim = None
+            for name, state in self._states.items():
+                if name != next(reversed(self._states)) and not (
+                    state.lock.locked()
+                ):
+                    victim = name
+                    break
+            if victim is None:
+                return
+            state = self._states.pop(victim)
+            self._cold[victim] = state.snapshot_defs()
+            self._c_evicted.inc()
+
+    def project_names(self) -> List[str]:
+        """All known projects, warm first (LRU order), then cold."""
+        return list(self._states) + sorted(self._cold)
+
+    def status(self) -> Dict[str, object]:
+        return {
+            "warm": [
+                {
+                    "project": name,
+                    "definitions": len(state.analysis.defs),
+                    "version": state.analysis.version,
+                    "fallbacks": dict(state.analysis.fallbacks),
+                }
+                for name, state in self._states.items()
+            ],
+            "cold": sorted(self._cold),
+            "capacity": self.capacity,
+        }

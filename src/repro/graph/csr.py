@@ -190,6 +190,33 @@ class CSRDigraph:
         for src, dst in edges:
             self.add_edge(src, dst)
 
+    def remove_edge(self, src: Node, dst: Node) -> bool:
+        """Remove edge ``src -> dst``; returns True if it was present.
+
+        The adjacency rows are append-only lists, so removal is an
+        O(degree) scan; the incremental daemon only retracts edges
+        justified by a retracted definition, so the scans stay
+        proportional to the delta's neighbourhood, not the graph.
+        Interned node ids are never reclaimed (isolated ids cannot be
+        reached, so they never change a query answer).
+        """
+        ids = self._interner._ids
+        s = ids.get(src)
+        if s is None:
+            return False
+        d = ids.get(dst)
+        if d is None:
+            return False
+        packed = (s << _SHIFT) | d
+        if packed not in self._edges:
+            return False
+        self._edges.discard(packed)
+        self._succ[s].remove(d)
+        self._pred[d].remove(s)
+        self._edge_count -= 1
+        self._frozen = None
+        return True
+
     # -- freeze/rebuild ----------------------------------------------------
 
     def freeze(self) -> "CSRDigraph":

@@ -80,6 +80,21 @@ class Digraph:
         for src, dst in edges:
             self.add_edge(src, dst)
 
+    def remove_edge(self, src: Node, dst: Node) -> bool:
+        """Remove edge ``src -> dst``; returns True if it was present.
+
+        Endpoints stay in the graph even when isolated (node identity
+        is owned by the :class:`~repro.core.nodes.NodeFactory`, and an
+        isolated node cannot change any reachability answer).
+        """
+        members = self._succ.get(src)
+        if members is None or dst not in members:
+            return False
+        members.discard(dst)
+        self._pred[dst].discard(src)
+        self._edge_count -= 1
+        return True
+
     # -- inspection --------------------------------------------------------
 
     def __contains__(self, node: Node) -> bool:

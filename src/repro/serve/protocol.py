@@ -140,10 +140,16 @@ def batch_summary(
     return record
 
 
-# -- serialisation -------------------------------------------------------------
+# -- shared JSONL envelope framing ---------------------------------------------
+#
+# Both wire formats this codebase speaks — ``repro.batch/1`` (batch
+# runs) and ``repro.daemon/1`` (the incremental analysis daemon) — are
+# line-delimited JSON with a per-record structural validator. The
+# framing and the validator-helper vocabulary live here so the two
+# protocols cannot drift: a framing fix lands once, for both.
 
 
-def to_jsonl(records: List[Dict[str, object]]) -> str:
+def jsonl_dumps(records: List[Dict[str, object]]) -> str:
     """One compact JSON document per line, sorted keys (stable)."""
     return "\n".join(
         json.dumps(record, sort_keys=True, separators=(",", ":"))
@@ -151,41 +157,76 @@ def to_jsonl(records: List[Dict[str, object]]) -> str:
     )
 
 
+def jsonl_loads(
+    text: str, validator, what: str = "record"
+) -> List[Dict[str, object]]:
+    """Parse and validate a JSONL stream with ``validator``.
+
+    Blank lines are ignored. Errors — malformed JSON as well as
+    validation failures — name the 1-based line they occurred on, so a
+    consumer of a multi-thousand-record stream can find the offending
+    frame (the original framing reported neither the line nor whether
+    the failure was JSON-level or schema-level).
+    """
+    records = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            raw = json.loads(line)
+        except ValueError as error:
+            raise ValueError(
+                f"invalid {what} on line {lineno}: not JSON ({error})"
+            ) from None
+        try:
+            records.append(validator(raw))
+        except ValueError as error:
+            raise ValueError(f"line {lineno}: {error}") from None
+    return records
+
+
+def make_checkers(what: str):
+    """The ``(fail, expect, check_int, check_number)`` helper quartet
+    every record validator is written in terms of, with failure
+    messages naming ``what`` (e.g. ``"batch record"``)."""
+
+    def fail(path: str, message: str) -> None:
+        raise ValueError(f"invalid {what} at {path}: {message}")
+
+    def expect(condition: bool, path: str, message: str) -> None:
+        if not condition:
+            fail(path, message)
+
+    def check_int(value, path: str) -> None:
+        expect(
+            isinstance(value, int) and not isinstance(value, bool),
+            path,
+            f"expected integer, got {type(value).__name__}",
+        )
+
+    def check_number(value, path: str) -> None:
+        expect(
+            isinstance(value, (int, float)) and not isinstance(value, bool),
+            path,
+            f"expected number, got {type(value).__name__}",
+        )
+
+    return fail, expect, check_int, check_number
+
+
+def to_jsonl(records: List[Dict[str, object]]) -> str:
+    """Serialise a ``repro.batch/1`` stream (shared framing)."""
+    return jsonl_dumps(records)
+
+
 def read_jsonl(text: str) -> List[Dict[str, object]]:
     """Parse and validate a ``repro.batch/1`` stream."""
-    records = [
-        validate_batch_record(json.loads(line))
-        for line in text.splitlines()
-        if line.strip()
-    ]
-    return records
+    return jsonl_loads(text, validate_batch_record, what="batch record")
 
 
 # -- validation ----------------------------------------------------------------
 
-
-def _fail(path: str, message: str) -> None:
-    raise ValueError(f"invalid batch record at {path}: {message}")
-
-
-def _expect(condition: bool, path: str, message: str) -> None:
-    if not condition:
-        _fail(path, message)
-
-
-def _check_int(value, path: str) -> None:
-    _expect(
-        isinstance(value, int) and not isinstance(value, bool),
-        path,
-        f"expected integer, got {type(value).__name__}",
-    )
-
-def _check_number(value, path: str) -> None:
-    _expect(
-        isinstance(value, (int, float)) and not isinstance(value, bool),
-        path,
-        f"expected number, got {type(value).__name__}",
-    )
+_fail, _expect, _check_int, _check_number = make_checkers("batch record")
 
 
 def validate_batch_record(record) -> Dict[str, object]:

@@ -228,6 +228,12 @@ class AnalysisSession:
         #: Per-define/query graph-growth deltas, in operation order
         #: (see :meth:`metrics`).
         self.history: List[Dict[str, object]] = []
+        #: Monotone version of the session's analysis state: bumped by
+        #: every operation that changes the graph or the binding
+        #: surface (define/query/evaluate/undefine). Consumers caching
+        #: derived results (the daemon's project registry, external
+        #: tooling) key on it.
+        self.graph_version = 0
         #: Last :meth:`lint` outcome plus the session shape it was
         #: computed at, for incremental re-linting.
         self._lint_cache: Dict[str, object] = {
@@ -255,6 +261,7 @@ class AnalysisSession:
             "seconds": timer.last_seconds,
         }
         self.history.append(entry)
+        self.graph_version += 1
         if engine.tracer is not None:
             engine.tracer.emit("session", **entry)
         return result
@@ -306,6 +313,30 @@ class AnalysisSession:
             else:
                 self._env[name] = previous
         return renamed
+
+    def undefine(self, name: str) -> None:
+        """Remove ``name`` from the session's binding surface.
+
+        The subtransitive graph keeps the flows the definition
+        contributed — a monovariant session analysis is a conservative
+        over-approximation of every version it ever saw, exactly as
+        redefinition unions flows — but the name itself becomes
+        unbound: :meth:`labels_of` raises, new definitions cannot
+        reference it, and a later :meth:`define` of the same name
+        behaves like a first definition (no stale evaluation binding
+        to restore). The graph version is bumped and the incremental
+        lint cache is invalidated (its grow-only scope reasoning does
+        not cover a shrinking binding surface).
+        """
+        if name not in self._globals:
+            raise ScopeError(f"undefined session name {name!r}")
+
+        def retract() -> None:
+            del self._globals[name]
+            self._env.pop(name, None)
+
+        self._record_delta("undefine", name, retract)
+        self._lint_cache = {"result": None, "ops": 0, "size": 0}
 
     # -- querying ------------------------------------------------------------
 

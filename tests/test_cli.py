@@ -432,3 +432,98 @@ class TestRulesCommand:
             line for line in text.splitlines() if " in " not in line
         ]
         assert strip(hand) == strip(rules)
+
+
+class TestDaemonCli:
+    """`repro daemon` / `repro client` against a thread-hosted daemon."""
+
+    @pytest.fixture()
+    def endpoint(self, tmp_path):
+        import asyncio
+        import os
+        import threading
+
+        from repro.daemon import DaemonClient, DaemonServer
+
+        path = str(tmp_path / "repro.sock")
+        loop = asyncio.new_event_loop()
+
+        def run():
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(
+                DaemonServer(socket_path=path).serve_forever()
+            )
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        for _ in range(200):
+            if os.path.exists(path):
+                break
+            threading.Event().wait(0.01)
+        yield path
+        try:
+            with DaemonClient(socket_path=path) as client:
+                client.shutdown()
+        except OSError:
+            pass
+        thread.join(timeout=10)
+
+    def test_define_query_status_stop(self, endpoint, capsys):
+        assert main([
+            "client", "define", "--socket", endpoint,
+            "--project", "p", "--name", "id",
+            "--source", "fn[l] x => x",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["delta"] is True
+        assert main([
+            "client", "query", "--socket", endpoint,
+            "--project", "p", "--name", "id",
+        ]) == 0
+        assert json.loads(capsys.readouterr().out)["labels"] == ["l"]
+        assert main(["daemon", "status", "--socket", endpoint]) == 0
+        out = capsys.readouterr().out
+        assert "warm projects" in out and "p:" in out
+        assert main(["daemon", "stop", "--socket", endpoint]) == 0
+
+    def test_client_analyze_matches_cold_analyze_json(
+        self, endpoint, tmp_path, capsys
+    ):
+        main([
+            "client", "define", "--socket", endpoint,
+            "--project", "p", "--name", "id", "--source", "fn x => x",
+        ])
+        main([
+            "client", "define", "--socket", endpoint,
+            "--project", "p", "--name", "use", "--source", "id id",
+        ])
+        capsys.readouterr()
+        assert main([
+            "client", "analyze", "--socket", endpoint, "--project", "p",
+        ]) == 0
+        warm = capsys.readouterr().out
+        assert main([
+            "client", "source", "--socket", endpoint, "--project", "p",
+        ]) == 0
+        cold_file = tmp_path / "cold.ml"
+        cold_file.write_text(capsys.readouterr().out)
+        assert main(["analyze", str(cold_file), "--json"]) == 0
+        assert capsys.readouterr().out == warm
+
+    def test_define_from_file(self, endpoint, tmp_path, capsys):
+        src = tmp_path / "def.ml"
+        src.write_text("fn[ff] x => x")
+        assert main([
+            "client", "define", "--socket", endpoint,
+            "--project", "p", "--name", "f", "--file", str(src),
+        ]) == 0
+        assert json.loads(capsys.readouterr().out)["delta"] is True
+
+    def test_endpoint_is_required(self, capsys):
+        assert main(["client", "status"]) == 1
+        assert "--socket" in capsys.readouterr().err
+
+    def test_daemon_status_json(self, endpoint, capsys):
+        assert main(["daemon", "status", "--socket", endpoint, "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert "projects" in status and "metrics" in status

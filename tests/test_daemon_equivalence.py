@@ -1,0 +1,142 @@
+"""Property-based equivalence: warm daemon state vs. cold analysis.
+
+Hypothesis drives random define/redefine/undefine sequences against a
+:class:`~repro.daemon.delta.ProjectAnalysis` and checks, after every
+mutation, that the warm ``repro.result/1`` envelope is byte-identical
+to a cold analysis of the rendered source — on both graph backends.
+Fallbacks count as passes only because the fallback path *is* the
+cold path (replay); the test asserts any fallback carries a known
+reason. Lint output is compared byte-identical against a fresh
+replay (see docs/DAEMON.md for why positions rule out the true cold
+run) at the end of every sequence.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.daemon import FALLBACK_REASONS, ProjectAnalysis
+from repro.errors import ScopeError
+from repro.export import result_to_dict
+
+# Binder-free and single-binder bodies; {ref} is replaced with an
+# existing name (or dropped when there is none yet).
+TEMPLATES = (
+    "fn x => x",
+    "fn x => x x",
+    "fn[t{i}] y => y",
+    "fn f => fn g => fn x => f (g x)",
+    "{ref}",
+    "{ref} {ref}",
+    "fn z => {ref} z",
+    "{ref} (fn[a{i}] w => w)",
+    "fn[r{i}] x => {ref} ({ref} x)",
+)
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["define", "redefine", "undefine"]),
+        st.integers(min_value=0, max_value=len(TEMPLATES) - 1),
+        st.integers(min_value=0, max_value=7),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def build_source(template, names, pick, counter):
+    if "{ref}" in template and not names:
+        template = "fn x => x"
+    source = template.replace("{i}", str(counter))
+    while "{ref}" in source:
+        source = source.replace(
+            "{ref}", names[pick % len(names)], 1
+        )
+        pick += 1
+    return source
+
+
+def run_sequence(backend, sequence):
+    pa = ProjectAnalysis(graph_backend=backend)
+    names = []
+    for counter, (op, tmpl_index, pick) in enumerate(sequence):
+        if op == "define" or not names:
+            name = f"d{counter}"
+            source = build_source(
+                TEMPLATES[tmpl_index], names, pick, counter
+            )
+            pa.define(name, source)
+            names.append(name)
+        elif op == "redefine":
+            name = names[pick % len(names)]
+            # Self-reference through {ref} may make the definition
+            # recursive: a lambda body is a supported letrec flip, a
+            # non-lambda body is a letrec violation the engine must
+            # reject pre-mutation (state stays exact — checked below).
+            source = build_source(
+                TEMPLATES[tmpl_index], names, pick, counter
+            )
+            try:
+                pa.define(name, source)
+            except ScopeError:
+                pass
+        else:  # undefine
+            name = names[pick % len(names)]
+            try:
+                pa.undefine(name)
+            except ScopeError:
+                pass  # still referenced — rejection is the contract
+            else:
+                names.remove(name)
+        warm = json.dumps(pa.envelope(), sort_keys=True)
+        cold = json.dumps(
+            result_to_dict(
+                ProjectAnalysis.cold_cfa(
+                    pa.render_source(), graph_backend=backend
+                )
+            ),
+            sort_keys=True,
+        )
+        assert warm == cold, (op, name, pa.render_source())
+        report = pa.sanitize()
+        assert report["ok"], report["violations"]
+    for reason, count in pa.fallbacks.items():
+        assert reason in FALLBACK_REASONS
+        assert count >= 0
+    fresh = ProjectAnalysis(graph_backend=backend)
+    for entry in pa.defs:
+        fresh.define(entry.name, entry.source)
+    assert json.dumps(pa.lint(), sort_keys=True) == json.dumps(
+        fresh.lint(), sort_keys=True
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(sequence=ops)
+def test_random_sequences_object_backend(sequence):
+    run_sequence("object", sequence)
+
+
+@settings(max_examples=25, deadline=None)
+@given(sequence=ops)
+def test_random_sequences_csr_backend(sequence):
+    run_sequence("csr", sequence)
+
+
+@pytest.mark.parametrize("backend", ["object", "csr"])
+def test_worst_case_sequence(backend):
+    """A hand-picked sequence that exercises every delta path:
+    append, letrec, redefine-with-cascade, fallback, undefine."""
+    run_sequence(
+        backend,
+        [
+            ("define", 0, 0),
+            ("define", 4, 0),
+            ("redefine", 1, 0),
+            ("define", 8, 1),
+            ("redefine", 3, 1),
+            ("undefine", 0, 2),
+            ("define", 7, 0),
+        ],
+    )

@@ -1,0 +1,183 @@
+"""Tests for the ``repro.daemon/1`` wire protocol and the JSONL
+framing helpers it shares with ``repro.batch/1``."""
+
+import json
+
+import pytest
+
+from repro.daemon import protocol
+from repro.daemon.protocol import (
+    SCHEMA,
+    VERBS,
+    error_response,
+    ok_response,
+    request_record,
+    validate_daemon_record,
+)
+from repro.serve.protocol import jsonl_dumps, jsonl_loads
+
+
+class TestRecordBuilders:
+    def test_request_record_minimal(self):
+        record = request_record(1, "status")
+        assert record == {
+            "schema": SCHEMA,
+            "record": "request",
+            "id": 1,
+            "verb": "status",
+        }
+        assert validate_daemon_record(record) is record
+
+    def test_request_record_full(self):
+        record = request_record(
+            7, "define", project="p", name="f", source="fn x => x"
+        )
+        assert record["project"] == "p"
+        assert record["name"] == "f"
+        assert record["source"] == "fn x => x"
+        assert validate_daemon_record(record) is record
+
+    def test_ok_response_shape(self):
+        response = ok_response(3, "lint", {"counts": {}})
+        assert response["status"] == "ok"
+        assert response["error"] is None
+        assert validate_daemon_record(response) is response
+
+    def test_error_response_shape(self):
+        response = error_response(None, None, "boom")
+        assert response["status"] == "error"
+        assert response["result"] is None
+        assert validate_daemon_record(response) is response
+
+
+class TestRequestValidation:
+    def test_every_verb_is_constructible(self):
+        for verb in VERBS:
+            fields = {}
+            if verb in protocol.PROJECT_VERBS:
+                fields["project"] = "p"
+            if verb in ("define", "undefine", "query"):
+                fields["name"] = "f"
+            if verb == "define":
+                fields["source"] = "()"
+            validate_daemon_record(request_record(1, verb, **fields))
+
+    @pytest.mark.parametrize(
+        "mutate, path",
+        [
+            (lambda r: r.pop("schema"), "$.schema"),
+            (lambda r: r.update(record="frame"), "$.record"),
+            (lambda r: r.update(id="one"), "$.id"),
+            (lambda r: r.update(id=True), "$.id"),
+            (lambda r: r.update(verb="explode"), "$.verb"),
+        ],
+    )
+    def test_malformed_requests_name_the_path(self, mutate, path):
+        record = request_record(1, "status")
+        mutate(record)
+        with pytest.raises(ValueError, match=f"{path.replace('$', '[$]')}"):
+            validate_daemon_record(record)
+
+    def test_project_verbs_require_project(self):
+        record = request_record(1, "analyze")
+        with pytest.raises(ValueError, match="project"):
+            validate_daemon_record(record)
+
+    def test_define_requires_name_and_source(self):
+        with pytest.raises(ValueError, match="name"):
+            validate_daemon_record(
+                request_record(1, "define", project="p", source="()")
+            )
+        with pytest.raises(ValueError, match="source"):
+            validate_daemon_record(
+                request_record(1, "define", project="p", name="f")
+            )
+
+    def test_query_requires_exactly_one_of_name_label(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            validate_daemon_record(request_record(1, "query", project="p"))
+        with pytest.raises(ValueError, match="exactly one"):
+            validate_daemon_record(
+                request_record(1, "query", project="p", name="f", label="l")
+            )
+        validate_daemon_record(
+            request_record(1, "query", project="p", label="l")
+        )
+
+
+class TestResponseValidation:
+    def test_ok_requires_null_error(self):
+        response = ok_response(1, "status", {})
+        response["error"] = "sneaky"
+        with pytest.raises(ValueError, match="error=null"):
+            validate_daemon_record(response)
+
+    def test_ok_requires_result_object(self):
+        response = ok_response(1, "status", {})
+        response["result"] = "text"
+        with pytest.raises(ValueError, match="result object"):
+            validate_daemon_record(response)
+
+    def test_error_requires_message(self):
+        response = error_response(1, "lint", "x")
+        response["error"] = ""
+        with pytest.raises(ValueError, match="non-empty error"):
+            validate_daemon_record(response)
+
+    def test_error_requires_null_result(self):
+        response = error_response(1, "lint", "x")
+        response["result"] = {}
+        with pytest.raises(ValueError, match="result=null"):
+            validate_daemon_record(response)
+
+    def test_response_id_may_be_null(self):
+        validate_daemon_record(error_response(None, "lint", "bad frame"))
+
+
+class TestSharedFraming:
+    """Both protocols ride the same jsonl_dumps/jsonl_loads helpers —
+    framing errors carry 1-based line numbers and distinguish
+    not-JSON from schema violations."""
+
+    def records(self):
+        return [
+            request_record(1, "define", project="p", name="f", source="()"),
+            ok_response(1, "define", {"delta": True}),
+        ]
+
+    def test_roundtrip(self):
+        text = protocol.to_jsonl(self.records())
+        assert protocol.read_jsonl(text) == self.records()
+
+    def test_one_compact_record_per_line(self):
+        lines = protocol.to_jsonl(self.records()).splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            assert "\n" not in line
+            assert json.loads(line)  # compact but valid
+
+    def test_not_json_error_names_the_line(self):
+        text = protocol.to_jsonl(self.records()) + "\n{nope\n"
+        with pytest.raises(ValueError, match="line 3.*not JSON"):
+            protocol.read_jsonl(text)
+
+    def test_schema_error_names_the_line(self):
+        good = protocol.to_jsonl(self.records())
+        bad = json.dumps({"schema": SCHEMA, "record": "frame"})
+        with pytest.raises(ValueError, match="line 3"):
+            protocol.read_jsonl(good + "\n" + bad + "\n")
+
+    def test_blank_lines_ignored_with_stable_numbering(self):
+        lines = protocol.to_jsonl(self.records()).splitlines()
+        text = lines[0] + "\n\n" + lines[1] + "\n\n{broken\n"
+        with pytest.raises(ValueError, match="line 5"):
+            protocol.read_jsonl(text)
+
+    def test_helpers_serve_the_batch_protocol_too(self):
+        from repro.serve.protocol import batch_header, validate_batch_record
+
+        record = batch_header(options={}, workers=1, timeout=None)
+        text = jsonl_dumps([record])
+        assert jsonl_loads(
+            text, validate_batch_record, what="batch record"
+        ) == [record]

@@ -480,3 +480,71 @@ class TestBackendReachabilityAgreement:
         ours = {frozenset(c) for c in strongly_connected_components(csr)}
         theirs = {frozenset(c) for c in strongly_connected_components(obj)}
         assert ours == theirs
+
+
+class TestRemoveEdge:
+    """Edge retraction (the incremental daemon's primitive) on both
+    backends: presence flag, count bookkeeping, surviving endpoints,
+    and reachability answers matching a from-scratch rebuild."""
+
+    def backends(self):
+        from repro.graph import CSRDigraph
+
+        return [Digraph, CSRDigraph]
+
+    def test_remove_present_edge(self):
+        for factory in self.backends():
+            g = factory()
+            g.add_edge(1, 2)
+            assert g.remove_edge(1, 2) is True
+            assert not g.has_edge(1, 2)
+            assert g.edge_count == 0
+
+    def test_remove_absent_edge_is_a_noop(self):
+        for factory in self.backends():
+            g = factory()
+            g.add_edge(1, 2)
+            assert g.remove_edge(2, 1) is False
+            assert g.remove_edge(3, 4) is False
+            assert g.edge_count == 1
+
+    def test_endpoints_survive_isolation(self):
+        for factory in self.backends():
+            g = factory()
+            g.add_edge(1, 2)
+            g.remove_edge(1, 2)
+            assert 1 in g and 2 in g
+            assert list(g.successors(1)) == []
+            assert list(g.predecessors(2)) == []
+
+    def test_degrees_and_readd(self):
+        for factory in self.backends():
+            g = factory()
+            g.add_edge(1, 2)
+            g.add_edge(3, 2)
+            g.remove_edge(1, 2)
+            assert g.in_degree(2) == 1
+            assert g.out_degree(1) == 0
+            # Re-adding a removed edge is a fresh insertion.
+            assert g.add_edge(1, 2) is True
+            assert g.edge_count == 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(edges=edge_lists, removals=edge_lists)
+    def test_matches_rebuild_from_surviving_edges(self, edges, removals):
+        for factory in self.backends():
+            g = factory()
+            g.add_edges(edges)
+            removed = set()
+            for src, dst in removals:
+                if g.remove_edge(src, dst):
+                    removed.add((src, dst))
+            survivors = set(edges) - removed
+            assert set(g.edges()) == survivors
+            assert g.edge_count == len(survivors)
+            fresh = factory()
+            fresh.add_edges(survivors)
+            for node in list(g.nodes()):
+                assert reachable_from(g, [node]) >= reachable_from(
+                    fresh, [node]
+                )

@@ -113,3 +113,60 @@ class TestAtomicIndexing:
             )
         assert session.program.size == size
         assert set(session.program.binders) == binders
+
+
+class TestUndefine:
+    """``undefine`` shrinks the binding surface without disturbing
+    the monotone graph, and every mutation bumps ``graph_version``."""
+
+    def test_undefine_unbinds_the_name(self):
+        session = AnalysisSession()
+        session.define("inc", "fn[inc] x => x + 1")
+        session.undefine("inc")
+        with pytest.raises(ScopeError):
+            session.labels_of("inc")
+        assert "inc" not in session._env
+
+    def test_undefine_unknown_name_raises(self):
+        session = AnalysisSession()
+        with pytest.raises(ScopeError, match="undefined"):
+            session.undefine("ghost")
+
+    def test_redefine_after_undefine_is_a_first_definition(self):
+        session = AnalysisSession()
+        session.define("f", "fn[f1] x => x + 1")
+        session.undefine("f")
+        session.define("f", "fn[f2] x => x + 10")
+        # No stale evaluation binding survived the gap.
+        assert session.evaluate("f 1").value == 11
+        # Monovariant session analysis unions flows across versions;
+        # the old label may linger in the graph but the binding is
+        # the new definition.
+        assert "f2" in session.labels_of("f")
+
+    def test_graph_version_bumps_on_every_mutation(self):
+        session = AnalysisSession()
+        v0 = session.graph_version
+        session.define("a", "fn[a] x => x")
+        v1 = session.graph_version
+        session.query("a")
+        v2 = session.graph_version
+        session.undefine("a")
+        v3 = session.graph_version
+        assert v0 < v1 < v2 < v3
+
+    def test_failed_undefine_does_not_bump_version(self):
+        session = AnalysisSession()
+        session.define("a", "fn[a] x => x")
+        version = session.graph_version
+        with pytest.raises(ScopeError):
+            session.undefine("ghost")
+        assert session.graph_version == version
+
+    def test_undefine_invalidates_the_lint_cache(self):
+        session = AnalysisSession()
+        session.define("unused", "fn[u] x => x")
+        first = session.lint()
+        session.undefine("unused")
+        second = session.lint()
+        assert second is not first
