@@ -12,9 +12,11 @@ Workload: the Table 1 cubic family. For each size the report runs
 * the **hand** sweep — ``ReachabilityAnalysis`` (lambda values over
   predecessor edges) fused with ``EscapeAnalysis``, exactly the pair
   the L002/L004 lint passes demand; and
-* the **rule** sweep — :func:`repro.rules.programs.lint_rule_set`
-  compiled from the ``lint-l002``/``lint-l004`` programs, whose single
-  level-0 stratum fuses the same two propagations.
+* the **rule** sweep — the ``lint-l002``/``lint-l004`` programs
+  compiled together, whose single level-0 stratum fuses the same two
+  propagations. (The full merged lint set — every L/F program — is
+  E20's subject, :mod:`benchmarks.bench_rules_full`; this experiment
+  pins the original two-analysis parity claim.)
 
 Both count ``flow.steps.fused`` dequeues on private registries. The
 acceptance bar is twofold: the step ratio (rules / hand) stays within
@@ -34,7 +36,8 @@ from repro.flow import (
     run_fused,
 )
 from repro.obs import MetricsRegistry
-from repro.rules.programs import lint_rule_set
+from repro.rules.engine import CompiledRuleSet
+from repro.rules.programs import L002_PROGRAM, L004_PROGRAM
 from repro.workloads.cubic import make_cubic_program
 
 SIZES = [8, 16, 32, 64, 128]
@@ -73,7 +76,7 @@ def run_report(sizes=SIZES, graph_backend="object"):
         ],
         title="E18 — compiled rule sweep vs hand-written fused sweep",
     )
-    rule_set = lint_rule_set()
+    rule_set = CompiledRuleSet((L002_PROGRAM, L004_PROGRAM))
     rows = []
     for n in sizes:
         program = make_cubic_program(n)
@@ -127,7 +130,7 @@ def test_rule_sweep(benchmark, n):
     program = make_cubic_program(n)
     sub = build_subtransitive_graph(program)
     registry = MetricsRegistry()
-    rule_set = lint_rule_set()
+    rule_set = CompiledRuleSet((L002_PROGRAM, L004_PROGRAM))
     benchmark(
         lambda: _rule_sweep(program, sub, registry, rule_set)
     )

@@ -5,7 +5,7 @@ Usage::
     python benchmarks/run_all.py [--quick] [--metrics PATH | --no-metrics]
 
 Prints the reproduction of each experiment indexed in DESIGN.md (E1 -
-E19), in order. ``--quick`` shrinks the sweeps for a fast smoke run.
+E20), in order. ``--quick`` shrinks the sweeps for a fast smoke run.
 EXPERIMENTS.md records a reference run of this script.
 
 Every run also writes a machine-readable metrics document (default
@@ -36,6 +36,7 @@ import bench_joinpoint
 import bench_lint
 import bench_polyvariant
 import bench_rules
+import bench_rules_full
 import bench_serve
 import bench_table1_cubic_family
 import bench_table2_ml_programs
@@ -297,6 +298,23 @@ def main(quick: bool = False, metrics_path=None) -> None:
         f"n={last['n']}: warm redefine {last['speedup']:.1f}x faster "
         f"than cold re-analysis, {last['retracted_edges']} edges "
         f"retracted, {last['fallbacks']} fallbacks"
+    )
+
+    print("\n" + "=" * 72)
+    print("E20 (extra) — full ported surface: rule vs hand sweeps")
+    print("=" * 72)
+    table, report = bench_rules_full.run_report(
+        sizes=[8, 16, 32] if quick else bench_rules_full.SIZES
+    )
+    record("E20", "full ported surface: rule vs hand sweeps", report)
+    print(table.render())
+    fit = report["fit"]
+    worst = max(r["ratio"] for r in report["rows"])
+    print(
+        f"rule steps ~= {fit['slope']:.3f}*(n+e) + "
+        f"{fit['intercept']:.1f} (R^2 = {fit['r2']:.5f}); "
+        f"worst step ratio {worst:.3f}x "
+        f"(bound {bench_rules_full.RATIO_BOUND}x)"
     )
 
     if metrics_path is not None:

@@ -29,6 +29,12 @@ entry point and the :class:`EffectsResult` shape.
 any :class:`~repro.cfa.base.CFAResult`; the two produce *identical*
 red sets (the paper: "computes exactly the same effects information"),
 a property the test suite checks.
+
+This analysis also exists as the ``app-effects`` rule program
+(:func:`repro.rules.programs.rules_effects_analysis`, ``repro effects
+--impl rules``), held byte-identical to this implementation in CI;
+this module is its golden twin until the docs/RULES.md retirement
+clock runs out.
 """
 
 from __future__ import annotations

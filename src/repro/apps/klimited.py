@@ -10,6 +10,12 @@ edges." Applications named by the paper: inlining and specialization.
 The annotation of a node is its *exact* label set whenever that set
 has at most k elements, and :data:`~repro.apps.propagation.MANY`
 otherwise — which the test suite verifies against the exact analysis.
+
+This analysis also exists as the ``app-klimited`` rule program
+(:func:`repro.rules.programs.rules_k_limited_cfa`, ``repro klimited
+--impl rules``), held byte-identical to this implementation in CI;
+this module is its golden twin until the docs/RULES.md retirement
+clock runs out.
 """
 
 from __future__ import annotations

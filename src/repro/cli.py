@@ -13,8 +13,8 @@ Usage (also available as ``python -m repro``)::
                    [--impl hand|rules] [--explain]
                    [--sanitize] [--metrics out.json] [--trace out.jsonl]
     repro query    prog.ml --label inc [--expr NID]
-    repro effects  prog.ml
-    repro klimited prog.ml -k 2
+    repro effects  prog.ml [--impl hand|rules]
+    repro klimited prog.ml -k 2 [--impl hand|rules]
     repro called-once prog.ml [--impl hand|rules]
     repro rules    list | show NAME | check [--fixture NAME]
     repro typecheck prog.ml
@@ -485,6 +485,31 @@ def _cmd_lint(args) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.impl == "rules" or args.explain:
+        # Fail loudly up front rather than silently running a hand
+        # traversal under --impl rules: every selected pass must have
+        # a rule-program twin or be rules-exempt (the T-series
+        # auditors, which read type inference, not the graph).
+        from repro.lint.ruleimpl import RULE_PASSES
+
+        # Every pass runs (``--rules`` filters findings afterwards),
+        # so the whole registry must be portable, not just the
+        # selection.
+        unported = sorted(
+            {
+                cls.code
+                for cls in ALL_PASSES
+                if cls.code not in RULE_PASSES and not cls.rules_exempt
+            }
+        )
+        if unported:
+            print(
+                "error: --impl rules selected but these rules have "
+                "no rule-program implementation: "
+                f"{', '.join(unported)}",
+                file=sys.stderr,
+            )
+            return 2
 
     exit_code = 0
     file_documents = []
@@ -624,7 +649,12 @@ def _cmd_effects(args) -> int:
 
     program = _read_program(args.file)
     sub = build_subtransitive_graph(program)
-    effects = effects_analysis(program, sub=sub)
+    if getattr(args, "impl", "hand") == "rules":
+        from repro.rules.programs import rules_effects_analysis
+
+        effects = rules_effects_analysis(program, sub=sub)
+    else:
+        effects = effects_analysis(program, sub=sub)
     table = Table(["site", "source", "verdict"])
     for site in program.applications:
         verdict = (
@@ -644,7 +674,12 @@ def _cmd_klimited(args) -> int:
 
     program = _read_program(args.file)
     sub = build_subtransitive_graph(program)
-    klim = k_limited_cfa(program, k=args.k, sub=sub)
+    if getattr(args, "impl", "hand") == "rules":
+        from repro.rules.programs import rules_k_limited_cfa
+
+        klim = rules_k_limited_cfa(program, k=args.k, sub=sub)
+    else:
+        klim = k_limited_cfa(program, k=args.k, sub=sub)
     table = Table(["site", "source", f"callees (k={args.k})"])
     for site in program.applications:
         value = klim.may_call(site)
@@ -1174,9 +1209,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--impl",
         default="hand",
         choices=["hand", "rules"],
-        help="implementation for the ported passes (L002/L004): "
-        "hand-written traversals (default) or their rule-program "
-        "twins (see docs/RULES.md)",
+        help="implementation for the ported passes (L001-L005, "
+        "F001-F004): hand-written traversals (default) or their "
+        "rule-program twins (see docs/RULES.md); exits 2 if any "
+        "non-exempt pass lacks a twin",
     )
     p.add_argument(
         "--explain",
@@ -1197,12 +1233,26 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("effects", help="Section 8 effects analysis")
     add_common(p)
     add_sanitize(p)
+    p.add_argument(
+        "--impl",
+        default="hand",
+        choices=["hand", "rules"],
+        help="hand-written propagation (default) or the "
+        "app-effects rule program",
+    )
     p.set_defaults(run=_cmd_effects)
 
     p = sub.add_parser("klimited", help="Section 9 k-limited CFA")
     add_common(p)
     p.add_argument("-k", type=int, default=2)
     add_sanitize(p)
+    p.add_argument(
+        "--impl",
+        default="hand",
+        choices=["hand", "rules"],
+        help="hand-written propagation (default) or the "
+        "app-klimited rule program",
+    )
     p.set_defaults(run=_cmd_klimited)
 
     p = sub.add_parser("called-once", help="called-once analysis")

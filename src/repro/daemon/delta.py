@@ -175,6 +175,8 @@ class DefEntry:
         "consumed",
         "refs",
         "auto_lams",
+        "nlines",
+        "shift",
     )
 
     def __init__(
@@ -212,6 +214,13 @@ class DefEntry:
             for node in bound.walk()
             if isinstance(node, Lam) and node.label is None
         ]
+        #: Rendered line count of ``source`` (embedded newlines count).
+        self.nlines = len(source.split("\n"))
+        #: Line shift currently applied to ``bound`` — 0 right after a
+        #: (re)rename, when positions are still snippet-relative;
+        #: :meth:`ProjectAnalysis._renumber_lines` raises it to the
+        #: definition's offset in the rendered chain.
+        self.shift = 0
 
 
 class ProjectAnalysis:
@@ -232,6 +241,7 @@ class ProjectAnalysis:
         #: Per-reason fallback counts (all zero on the pure delta path).
         self.fallbacks: Dict[str, int] = {r: 0 for r in FALLBACK_REASONS}
         self._fresh_state()
+        self._renumber_lines()
 
     # -- state plumbing ----------------------------------------------------
 
@@ -340,6 +350,30 @@ class ProjectAnalysis:
         return False
 
     # -- program indexing ---------------------------------------------------
+
+    def _renumber_lines(self) -> None:
+        """Stamp cold-parse line numbers onto the warm chain.
+
+        :meth:`render_source` lays each definition out as four fixed
+        lines (``let NAME =`` / ``(`` / ... / ``)`` then ``in``)
+        around its verbatim source, so definition ``i`` starts at line
+        ``offset_i = sum(4 + nlines_j for j < i)`` and its snippet's
+        1-based positions sit ``offset_i + 2`` lines lower in the
+        chain. Columns never move — snippets render at column 1.
+        Re-stamping keeps warm lint findings byte-identical to a cold
+        parse of the rendered program; per-definition shifts are
+        cached so an unmoved definition costs O(1)."""
+        offset = 0
+        for entry in self.defs:
+            entry.spine.line, entry.spine.column = offset + 1, 1
+            shift = offset + 2
+            if shift != entry.shift:
+                delta = shift - entry.shift
+                for node in entry.bound.walk():
+                    node.line += delta
+                entry.shift = shift
+            offset += 4 + entry.nlines
+        self.terminal.line, self.terminal.column = offset + 1, 1
 
     def _reindex(self) -> None:
         """Re-run :class:`Program` indexing over the current chain and
@@ -769,6 +803,7 @@ class ProjectAnalysis:
         try:
             for name, source, raw in specs:
                 self._append(name, source, raw)
+            self._renumber_lines()
         except Exception:
             self._restore(saved)
             # The restored trees may carry nids/labels assigned by the
@@ -963,6 +998,9 @@ class ProjectAnalysis:
         fallback_reason: Optional[str],
         sizes: Dict[str, int],
     ) -> Dict[str, object]:
+        # Every mutation ends here: restamp chain positions so read
+        # surfaces (lint above all) agree with a cold parse.
+        self._renumber_lines()
         graph = self.engine.graph
         return {
             "op": op,

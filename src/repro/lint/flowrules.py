@@ -274,7 +274,12 @@ class _AuditPass(LintPass):
     """Base for the T-series: one whole-program verdict, anchored at
     the root expression. Incremental in the scope sense: any
     redefinition re-audits (the session always scopes the root in when
-    types may have changed), an empty scope skips."""
+    types may have changed), an empty scope skips.
+
+    T verdicts are pure type-inference — there is no graph relation to
+    express them over, so ``impl="rules"`` runs them unchanged."""
+
+    rules_exempt = True
 
     def run(self, ctx, scope=None):
         # Session-grown programs have no root expression (and no

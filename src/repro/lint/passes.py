@@ -153,14 +153,19 @@ class LintContext:
 
     @property
     def rules_evaluation(self):
-        """The compiled L002 + L004 rule programs, evaluated once per
-        lint run on the shared flow context (one fused sweep services
-        both, mirroring :meth:`_sweep`). Only the rule-based pass
+        """The compiled lint rule programs (every L/F twin plus
+        called-once), evaluated once per lint run on the shared flow
+        context: all five recursive relations fuse into one sweep,
+        mirroring :meth:`_sweep`. Only the rule-based pass
         implementations (:mod:`repro.lint.ruleimpl`) demand this."""
         if self._rules_evaluation is None:
-            from repro.rules.programs import lint_rule_set
+            from repro.rules.programs import (
+                constructor_k,
+                lint_rule_set,
+            )
 
-            self._rules_evaluation = lint_rule_set().run(
+            rule_set = lint_rule_set(constructor_k(self.program))
+            self._rules_evaluation = rule_set.run(
                 ctx=self.flow, explain=self.explain
             )
             self._c_visited.inc(
@@ -256,6 +261,10 @@ class LintPass:
     #: False when a finding may newly appear on a construct outside
     #: the redefinition scope (the session then always runs it fully).
     incremental: bool = True
+    #: True for passes whose verdicts never touch the graph (the
+    #: T-series type audits): ``impl="rules"`` runs them as-is rather
+    #: than failing over a missing rule-program twin.
+    rules_exempt: bool = False
 
     def run(
         self, ctx: LintContext, scope: Optional[Set[int]] = None

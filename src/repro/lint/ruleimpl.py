@@ -1,13 +1,17 @@
 """Rule-program implementations of the ported lint passes.
 
-These are drop-in twins of :class:`~repro.lint.passes.
-StuckApplicationPass` (L002) and :class:`~repro.lint.passes.
-EscapingFunctionPass` (L004): same codes, severities, messages,
-iteration orders and scope semantics, but the verdicts are read off
-the compiled rule programs in :mod:`repro.rules.programs` instead of
-hand-written traversals. ``run_lints(impl="rules")`` swaps them in;
-the golden tests hold both implementations to byte-identical
-envelopes.
+These are drop-in twins of the hand-written L001–L005 and F001–F004
+passes: same codes, severities, messages, iteration orders and scope
+semantics, but the verdicts are read off the compiled rule programs in
+:mod:`repro.rules.programs` instead of hand-written traversals.
+``run_lints(impl="rules")`` swaps them in; the golden tests hold both
+implementations to byte-identical envelopes.
+
+Every pass reads :attr:`~repro.lint.passes.LintContext.
+rules_evaluation` — one evaluation of the merged lint rule set, whose
+five recursive relations (``reach_lam``, ``escape``, ``taint``,
+``calls``, ``con_val``) fuse into a single flow sweep exactly like the
+hand passes' shared :meth:`~repro.lint.passes.LintContext._sweep`.
 
 When the lint context carries ``explain=True`` each finding is
 annotated with its derivation chain — which rules fired on which
@@ -18,6 +22,43 @@ derivation` and surfaced by ``repro lint --explain``.
 from __future__ import annotations
 
 from repro.lint.passes import LintPass
+
+
+class RuleDeadLambdaPass(LintPass):
+    """L001 as the ``lint-l001`` rule program: ``dead_fun(N, L)``
+    joins the lambda-bearing index with the stratified complement of
+    ``called`` (the boolean projection of the 1-bounded ``calls``
+    propagation). An abstraction whose node was never built
+    (depth-capped away) has no ``calls`` annotation either way — the
+    same "never called" verdict the hand pass reaches."""
+
+    code = "L001"
+    name = "dead-lambda"
+    severity = "warning"
+
+    def run(self, ctx, scope=None):
+        evaluation = ctx.rules_evaluation
+        findings = []
+        for lam in ctx.program.abstractions:
+            if not self._in_scope(lam, scope):
+                continue
+            node = ctx.peek(lam)
+            if node is not None and not evaluation.holds(
+                "dead_fun", node, lam.label
+            ):
+                continue
+            finding = self.finding(
+                lam,
+                f"function '{lam.label}' is never called: "
+                "no call site can invoke it",
+                label=lam.label,
+            )
+            if ctx.explain and node is not None:
+                finding.derivation = evaluation.derivation(
+                    "dead_fun", (node, lam.label)
+                )
+            findings.append(finding)
+        return findings
 
 
 class RuleStuckApplicationPass(LintPass):
@@ -48,6 +89,54 @@ class RuleStuckApplicationPass(LintPass):
             if ctx.explain:
                 finding.derivation = evaluation.derivation(
                     "stuck", (site.nid,)
+                )
+            findings.append(finding)
+        return findings
+
+
+class RuleCalledOncePass(LintPass):
+    """L003 as the ``app-called-once`` rule program: an abstraction
+    whose node's ``calls`` annotation is a singleton is called from
+    exactly that site."""
+
+    code = "L003"
+    name = "called-once-inline-candidate"
+    severity = "info"
+
+    def run(self, ctx, scope=None):
+        from repro.rules.lattice import MANY
+
+        evaluation = ctx.rules_evaluation
+        once = {}
+        for lam in ctx.program.abstractions:
+            node = ctx.peek(lam)
+            if node is None:
+                continue  # never built, so never called
+            annotation = evaluation.annotation("calls", node)
+            if (
+                annotation is None
+                or annotation is MANY
+                or len(annotation) != 1
+            ):
+                continue
+            (site_nid,) = annotation
+            once[lam.label] = (site_nid, node)
+        findings = []
+        for label in sorted(once):
+            lam = ctx.program.abstraction(label)
+            if not self._in_scope(lam, scope):
+                continue
+            site_nid, node = once[label]
+            finding = self.finding(
+                lam,
+                f"function '{label}' is called from exactly one "
+                f"site (nid {site_nid}): inlining it cannot grow "
+                "code",
+                label=label,
+            )
+            if ctx.explain:
+                finding.derivation = evaluation.derivation(
+                    "calls", (node,)
                 )
             findings.append(finding)
         return findings
@@ -86,8 +175,215 @@ class RuleEscapingFunctionPass(LintPass):
         return findings
 
 
+class RuleUnusedBindingPass(LintPass):
+    """L005 as the ``lint-l005`` rule program: ``unused_bind(N, X)``
+    is the binder view joined with the complement of ``var_used``. A
+    binder whose variable node was never built is trivially unused —
+    the hand pass's ``var_node is None`` arm."""
+
+    code = "L005"
+    name = "unused-binding"
+    severity = "warning"
+
+    def run(self, ctx, scope=None):
+        from repro.lang.ast import Let, Letrec
+
+        evaluation = ctx.rules_evaluation
+        findings = []
+        for node in ctx.program.nodes:
+            if not isinstance(node, (Let, Letrec)):
+                continue
+            if not self._in_scope(node, scope):
+                continue
+            if node.name.startswith("_"):
+                continue
+            var_node = ctx.factory.peek_var(node.name)
+            if var_node is not None and not evaluation.holds(
+                "unused_bind", var_node, node.name
+            ):
+                continue
+            finding = self.finding(
+                node,
+                f"binding '{node.name}' is never used: its "
+                "variable node is never demanded by LC'",
+            )
+            if ctx.explain and var_node is not None:
+                finding.derivation = evaluation.derivation(
+                    "unused_bind", (var_node, node.name)
+                )
+            findings.append(finding)
+        return findings
+
+
+class RuleTaintedSinkPass(LintPass):
+    """F001 as the ``lint-f001`` rule program: ``tainted_sink(S)``
+    joins the primitive-argument sinks with the backward taint
+    marks."""
+
+    code = "F001"
+    name = "tainted-sink"
+    severity = "warning"
+    incremental = False
+
+    def run(self, ctx, scope=None):
+        evaluation = ctx.rules_evaluation
+        findings = []
+        seen = set()
+        for arg, _node in ctx.flow.sink_arg_nodes:
+            if arg.nid in seen or not self._in_scope(arg, scope):
+                continue
+            if not evaluation.holds("tainted_sink", arg.nid):
+                continue
+            seen.add(arg.nid)
+            finding = self.finding(
+                arg,
+                "primitive argument may carry a value read "
+                "from a mutable cell: external output depends "
+                "on mutable state",
+            )
+            if ctx.explain:
+                finding.derivation = evaluation.derivation(
+                    "tainted_sink", (arg.nid,)
+                )
+            findings.append(finding)
+        return findings
+
+
+class RuleEscapingRefPass(LintPass):
+    """F002 as the ``lint-f002`` rule program: ``escaping_ref(N)``
+    restricts the escape marks to ref-bearing nodes; findings land on
+    the ``ref`` expressions those nodes carry, in nid order like the
+    hand pass."""
+
+    code = "F002"
+    name = "escaping-ref"
+    severity = "warning"
+    incremental = False
+
+    def run(self, ctx, scope=None):
+        from repro.lang.ast import Ref
+
+        evaluation = ctx.rules_evaluation
+        by_nid = {}
+        for (node,) in evaluation.extents.keys("escaping_ref"):
+            if getattr(node, "kind", None) != "expr":
+                continue
+            candidates = [node.expr]
+            candidates.extend(node.absorbed)
+            for expr in candidates:
+                if isinstance(expr, Ref):
+                    by_nid[expr.nid] = (expr, node)
+        findings = []
+        for nid in sorted(by_nid):
+            expr, node = by_nid[nid]
+            if not self._in_scope(expr, scope):
+                continue
+            finding = self.finding(
+                expr,
+                "reference cell flows into a primitive sink and "
+                "escapes the analysed program: aliasing beyond "
+                "this point is unanalysable",
+            )
+            if ctx.explain:
+                finding.derivation = evaluation.derivation(
+                    "escaping_ref", (node,)
+                )
+            findings.append(finding)
+        return findings
+
+
+class RuleUnneededParamPass(LintPass):
+    """F003 as the ``lint-f003`` rule program: ``unneeded_param(N, L)``
+    is the parameter view joined with the complement of ``var_used``.
+    A parameter whose variable node was never built is trivially
+    unneeded — the hand pass's ``var_node is None`` arm."""
+
+    code = "F003"
+    name = "unneeded-param"
+    severity = "info"
+
+    def run(self, ctx, scope=None):
+        evaluation = ctx.rules_evaluation
+        findings = []
+        for lam in ctx.program.abstractions:
+            if not self._in_scope(lam, scope):
+                continue
+            if lam.param.startswith("_"):
+                continue
+            var_node = ctx.factory.peek_var(lam.param)
+            if var_node is not None and not evaluation.holds(
+                "unneeded_param", var_node, lam.label
+            ):
+                continue
+            finding = self.finding(
+                lam,
+                f"parameter '{lam.param}' of function "
+                f"'{lam.label}' is never needed: no use "
+                "demands its variable node",
+                label=lam.label,
+            )
+            if ctx.explain and var_node is not None:
+                finding.derivation = evaluation.derivation(
+                    "unneeded_param", (var_node, lam.label)
+                )
+            findings.append(finding)
+        return findings
+
+
+class RuleUnreachableBranchPass(LintPass):
+    """F004 as the ``lint-f004`` rule program: ``con_val`` carries the
+    k-bounded constructor-name annotation; a branch naming a
+    constructor outside an exact (non-MANY, non-empty) scrutinee set
+    can never match."""
+
+    code = "F004"
+    name = "unreachable-branch"
+    severity = "warning"
+    incremental = False
+
+    def run(self, ctx, scope=None):
+        from repro.lang.ast import Case
+        from repro.rules.lattice import MANY
+
+        evaluation = ctx.rules_evaluation
+        findings = []
+        for node in ctx.program.nodes:
+            if not isinstance(node, Case):
+                continue
+            if not self._in_scope(node, scope):
+                continue
+            scrut_node = ctx.peek(node.scrutinee)
+            if scrut_node is None:
+                continue
+            annotation = evaluation.annotation("con_val", scrut_node)
+            if annotation is None or annotation is MANY or not annotation:
+                continue
+            for branch in node.branches:
+                if branch.cname not in annotation:
+                    reachable = ", ".join(sorted(annotation))
+                    finding = self.finding(
+                        branch.body,
+                        f"branch '{branch.cname}' can never "
+                        "match: the scrutinee only constructs "
+                        f"{{{reachable}}}",
+                    )
+                    if ctx.explain:
+                        finding.derivation = evaluation.derivation(
+                            "con_val", (scrut_node,)
+                        )
+                    findings.append(finding)
+        return findings
+
+
 #: Hand-written pass code -> its rule-program twin.
 RULE_PASSES = {
+    "L001": RuleDeadLambdaPass,
     "L002": RuleStuckApplicationPass,
+    "L003": RuleCalledOncePass,
     "L004": RuleEscapingFunctionPass,
+    "L005": RuleUnusedBindingPass,
+    "F001": RuleTaintedSinkPass,
+    "F002": RuleEscapingRefPass,
+    "F003": RuleUnneededParamPass,
+    "F004": RuleUnreachableBranchPass,
 }

@@ -13,8 +13,12 @@ evaluates it, and produces the **evaluation plan** both evaluators
 * **bounded-value discipline** — the value column of a k-bounded
   relation is an *annotation*, not an enumerable column: a body atom
   may read it only through the transport pattern (a variable occurring
-  exactly there and in the head's own value column), and negating a
-  bounded relation is meaningless (negate a boolean view instead);
+  exactly there and in the head's own value column — with identical k
+  and value-column type on both sides, so no transport re-clamps or
+  coerces an annotation) or the projection pattern (the value variable
+  appears exactly once in the body and nowhere in the head, making the
+  atom a pure key-existence test), and negating a bounded relation is
+  meaningless (negate a boolean view instead);
 * **stratification** — the predicate dependency graph is condensed
   into SCCs; a negative dependency inside an SCC (a relation defined,
   transitively, in terms of its own complement) is rejected;
@@ -347,13 +351,45 @@ def check_rules(
                 and _occurrences(rule, value) == 1
                 and sum(1 for t in rule.head.terms if t == value) == 1
             )
-            if not transported:
+            projected = (
+                _occurrences(rule, value) == 1
+                and all(t != value for t in rule.head.terms)
+            )
+            if transported:
+                # k>1 transport discipline: carrying an annotation
+                # between bounded relations must not re-clamp it (a
+                # smaller head k silently loses MANY saturation, a
+                # larger one invents precision) and must not coerce
+                # the value column's type.
+                if atom.rel.k != rule.head.rel.k:
+                    errors.append(
+                        f"rule {rule.name}: transports a "
+                        f"k={atom.rel.k} annotation from "
+                        f"'{atom.rel.name}' into the k="
+                        f"{rule.head.rel.k} head "
+                        f"'{rule.head.rel.name}'; bounded transport "
+                        "requires equal k (re-clamping an annotation "
+                        "changes its MANY saturation point)"
+                    )
+                if atom.rel.columns[-1] != rule.head.rel.columns[-1]:
+                    errors.append(
+                        f"rule {rule.name}: transports a "
+                        f"'{atom.rel.columns[-1]}' value column from "
+                        f"'{atom.rel.name}' into the "
+                        f"'{rule.head.rel.columns[-1]}' value column "
+                        f"of '{rule.head.rel.name}'; bounded "
+                        "transport requires identical value-column "
+                        "types"
+                    )
+            elif not projected:
                 errors.append(
                     f"rule {rule.name}: bounded value variable "
                     f"{value!r} of {atom.render()} may only transport "
                     "into the head's own value column (appearing "
-                    "exactly once in the body and once in the head); "
-                    "annotations are not enumerable rows"
+                    "exactly once in the body and once in the head) "
+                    "or be projected away (appearing exactly once in "
+                    "the body and nowhere in the head); annotations "
+                    "are not enumerable rows"
                 )
 
     # Dependency graph over derived relations.

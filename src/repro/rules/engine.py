@@ -20,9 +20,11 @@ built:
 
 The propagation-shape restriction is not a loss of generality the
 checker would hide: the linearity classifier only admits recursive
-rules whose recursion is driven by one premise joined through the
-graph, and on the subtransitive schema that is exactly an ``edge``
-step. Anything else fails compilation with an actionable error.
+rules whose recursion is driven by one premise joined through a
+binary base relation, and on the subtransitive schema that is an
+``edge`` step (or ``eff_edge`` for the effects colouring — any
+node-to-node base relation may carry a sweep). Anything else fails
+compilation with an actionable error.
 
 With ``explain=True`` the run records provenance: join-derived facts
 keep the rule and ground premises that first produced them, and
@@ -72,21 +74,24 @@ def render_fact(name: str, fact: Sequence) -> str:
 
 
 class _StepSpec:
-    """One compiled step rule: which way its edge premise points."""
+    """One compiled step rule: the binary base relation it propagates
+    along (``via``) and which way that premise points."""
 
-    __slots__ = ("rule", "direction")
+    __slots__ = ("rule", "direction", "via")
 
-    def __init__(self, rule: Rule, direction: str):
+    def __init__(self, rule: Rule, direction: str, via: str):
         self.rule = rule
         self.direction = direction
+        self.via = via
 
 
 def _shape_error(rule: Rule, why: str) -> RuleCompileError:
     return RuleCompileError(
         f"rule {rule.name}: {why}; recursive rules must have the "
         "propagation shape R(N) :- R(M), edge(M, N) (or edge(N, M); "
-        "k-bounded heads carry their value variable through both "
-        "R atoms)"
+        "any binary node-to-node base relation works in place of "
+        "'edge', and k-bounded heads carry their value variable "
+        "through both R atoms)"
     )
 
 
@@ -105,15 +110,22 @@ def _step_spec(plan: RelationPlan, rule: Rule) -> _StepSpec:
             rule, "the body must be exactly two positive atoms"
         )
     rec = next((a for a in body if a.rel.name == rel.name), None)
-    edge = next(
-        (a for a in body if a.rel.kind == "edb" and a.rel.name == "edge"),
+    via = next(
+        (
+            a
+            for a in body
+            if a.rel.kind == "edb"
+            and a.rel.columns == (NODE, NODE)
+            and a.rel.name != rel.name
+        ),
         None,
     )
-    if rec is None or edge is None:
+    if rec is None or via is None:
         raise _shape_error(
             rule,
             "the body must pair one premise over the head's own "
-            "relation with one 'edge' premise",
+            "relation with one binary node-to-node base premise to "
+            "propagate along",
         )
     head_key = rule.head.terms[0]
     rec_key = rec.terms[0]
@@ -131,14 +143,14 @@ def _step_spec(plan: RelationPlan, rule: Rule) -> _StepSpec:
             "a k-bounded step must transport one value variable "
             "through both atoms",
         )
-    src, dst = edge.terms
+    src, dst = via.terms
     if (src, dst) == (rec_key, head_key):
-        return _StepSpec(rule, "successors")
+        return _StepSpec(rule, "successors", via.rel.name)
     if (src, dst) == (head_key, rec_key):
-        return _StepSpec(rule, "predecessors")
+        return _StepSpec(rule, "predecessors", via.rel.name)
     raise _shape_error(
         rule,
-        "the edge premise must connect the recursive premise's key "
+        "the base premise must connect the recursive premise's key "
         "to the head's key",
     )
 
@@ -215,17 +227,17 @@ class RuleEvaluation:
         return None
 
     def _propagation_rule(self, name: str, src, dst):
-        """Which step rule carried ``src -> dst``: the spec whose edge
-        direction matches an existing base edge."""
+        """Which step rule carried ``src -> dst``: the spec whose base
+        premise direction matches an existing base fact."""
         specs = self._specs.get(name, ())
         for spec in specs:
             a, b = (src, dst) if spec.direction == "successors" else (dst, src)
-            if self.source.contains("edge", (a, b)):
-                return spec.rule, ("edge", (a, b), False)
+            if self.source.contains(spec.via, (a, b)):
+                return spec.rule, (spec.via, (a, b), False)
         if specs:
             spec = specs[0]
             a, b = (src, dst) if spec.direction == "successors" else (dst, src)
-            return spec.rule, ("edge", (a, b), False)
+            return spec.rule, (spec.via, (a, b), False)
         return None, None
 
     def derivation(self, name: str, key: Sequence, limit: int = 24):
@@ -340,42 +352,52 @@ class CompiledRuleSet:
             for plan in level:
                 if not plan.step_rules:
                     continue
-                if "edge" not in self.checked.schema:
-                    raise RuleCompileError(
-                        f"relation '{plan.rel.name}' recurses but the "
-                        "schema has no 'edge' base relation to "
-                        "propagate along"
-                    )
-                self.specs[plan.rel.name] = [
+                specs = [
                     _step_spec(plan, rule) for rule in plan.step_rules
                 ]
+                vias = sorted({spec.via for spec in specs})
+                if len(vias) > 1:
+                    raise RuleCompileError(
+                        f"relation '{plan.rel.name}': step rules "
+                        "propagate along different base relations "
+                        f"({', '.join(vias)}); one sweep follows one "
+                        "relation — split the strata or unify the "
+                        "premises"
+                    )
+                self.specs[plan.rel.name] = specs
 
     # -- the dynamic stage -------------------------------------------------
 
     def _follow(self, plan: RelationPlan, ctx: FlowContext,
                 source: FactSource):
-        """The sweep's follow function. Graph-backed sources hand out
-        the graph's own bound methods so single-direction boolean
-        sweeps stay eligible for the CSR flat path."""
-        directions = {spec.direction for spec in self.specs[plan.rel.name]}
-        graph_backed = isinstance(source, GraphFactSource)
+        """The sweep's follow function. ``edge`` sweeps on graph-backed
+        sources hand out the graph's own bound methods so
+        single-direction boolean sweeps stay eligible for the CSR flat
+        path; other base relations go through the source's indexed
+        lookup."""
+        specs = self.specs[plan.rel.name]
+        via = specs[0].via
+        directions = {spec.direction for spec in specs}
+        graph_backed = (
+            via == "edge" and isinstance(source, GraphFactSource)
+        )
         if directions == {"successors"}:
             if graph_backed:
                 return ctx.graph.successors
             return lambda item: [
-                dst for _, dst in source.lookup("edge", (item, None))
+                dst for _, dst in source.lookup(via, (item, None))
             ]
         if directions == {"predecessors"}:
             if graph_backed:
                 return ctx.graph.predecessors
             return lambda item: [
-                src for src, _ in source.lookup("edge", (None, item))
+                src for src, _ in source.lookup(via, (None, item))
             ]
 
         def both(item):
-            for _, dst in source.lookup("edge", (item, None)):
+            for _, dst in source.lookup(via, (item, None)):
                 yield dst
-            for src, _ in source.lookup("edge", (None, item)):
+            for src, _ in source.lookup(via, (None, item)):
                 yield src
 
         return both

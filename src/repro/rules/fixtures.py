@@ -12,8 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.rules.dsl import NODE, Rel, Rule, RuleProgram, make_vars
-from repro.rules.schema import EDGE, LAM_NODE
+from repro.rules.dsl import LABEL, NID, NODE, Rel, Rule, RuleProgram, make_vars
+from repro.rules.schema import EDGE, LAM_AT, LAM_NODE
 
 
 def _ill_stratified() -> List[RuleProgram]:
@@ -98,6 +98,46 @@ def _unsafe_head() -> List[RuleProgram]:
     ]
 
 
+def _k_transport_mismatch() -> List[RuleProgram]:
+    """Bounded transport between relations of different k: re-clamping
+    a 1-bounded annotation into a 3-bounded head changes where MANY
+    saturates, so the checker must refuse the copy."""
+    narrow = Rel("narrow", NODE, LABEL, k=1)
+    wide = Rel("wide", NODE, LABEL, k=3)
+    N, M, S = make_vars("N M S")
+    return [
+        RuleProgram(
+            "k-transport-mismatch",
+            [
+                Rule(narrow(N, S), [LAM_AT(N, S)], name="narrow-seed"),
+                Rule(wide(N, S), [narrow(M, S), EDGE(N, M)], name="widen"),
+            ],
+        )
+    ]
+
+
+def _transport_type_mismatch() -> List[RuleProgram]:
+    """Bounded transport between value columns of different types: a
+    label-set annotation copied into a nid-typed column would let the
+    engine mix value domains silently."""
+    labset = Rel("labset", NODE, LABEL, k=2)
+    nidset = Rel("nidset", NODE, NID, k=2)
+    N, M, S = make_vars("N M S")
+    return [
+        RuleProgram(
+            "transport-type-mismatch",
+            [
+                Rule(labset(N, S), [LAM_AT(N, S)], name="labset-seed"),
+                Rule(
+                    nidset(N, S),
+                    [labset(M, S), EDGE(N, M)],
+                    name="retype",
+                ),
+            ],
+        )
+    ]
+
+
 #: name -> builder; ``repro rules check --fixture <name>``.
 FIXTURES: Dict[str, object] = {
     "ill-stratified": _ill_stratified,
@@ -105,4 +145,6 @@ FIXTURES: Dict[str, object] = {
     "unbounded-join": _unbounded_join,
     "mutual-recursion": _mutual_recursion,
     "unsafe-head": _unsafe_head,
+    "k-transport-mismatch": _k_transport_mismatch,
+    "transport-type-mismatch": _transport_type_mismatch,
 }

@@ -1,9 +1,15 @@
-"""The shipped rule programs: L002, L004 and called-once as rules.
+"""The shipped rule programs: every analysis as rules.
 
 Each program is the declarative twin of a hand-written analysis and is
 held to byte-equivalence against it by the golden tests — the twins
-stay in the tree as the specification the rules must match:
+stay in the tree as the specification the rules must match (retirement
+clock: a hand twin may be deleted once two releases of CI
+byte-equality have held; see docs/RULES.md):
 
+* ``lint-l001`` (:class:`~repro.lint.passes.DeadLambdaPass`):
+  ``called`` projects the bounded ``calls`` annotation down to a
+  key-existence view, and ``dead_fun`` joins the lambda-bearing index
+  with its stratified complement;
 * ``lint-l002`` (:class:`~repro.lint.passes.StuckApplicationPass`):
   ``reach_lam`` marks every node that can reach an abstraction
   (backward along edges, exactly the fused sweep's ``reach-lambda``
@@ -13,25 +19,73 @@ stay in the tree as the specification the rules must match:
   ``escape`` marks everything reachable from a primitive-argument
   sink (forward), and ``escaping_fun`` joins the marks with the
   lambda-bearing index;
+* ``lint-l005`` (:class:`~repro.lint.passes.UnusedBindingPass`):
+  ``unused_bind`` is the binder view joined with the complement of
+  ``var_used``;
+* ``lint-f001`` (:class:`~repro.lint.flowrules.TaintedSinkPass`):
+  ``taint`` marks everything that may evaluate to a dereference
+  (backward), and ``tainted_sink`` joins the marks with the
+  primitive-argument sinks;
+* ``lint-f002`` (:class:`~repro.lint.flowrules.EscapingRefPass`):
+  ``escaping_ref`` restricts the ``escape`` marks to ref-bearing
+  nodes;
+* ``lint-f003`` (:class:`~repro.lint.flowrules.UnneededParamPass`):
+  ``unneeded_param`` is the parameter view joined with the complement
+  of ``var_used``;
+* ``lint-f004`` (:class:`~repro.lint.flowrules.UnreachableBranchPass`):
+  ``con_val`` carries k-bounded constructor-name sets backward from
+  construction sites (k = the widest datatype, via
+  :func:`constructor_k`);
 * ``app-called-once`` (:func:`~repro.apps.called_once.called_once`):
   ``calls`` carries 1-bounded call-site sets forward from operator
   nodes; an abstraction's annotation is then ``None`` (never called),
-  a singleton (the unique site), or MANY.
+  a singleton (the unique site), or MANY;
+* ``app-effects`` (:func:`~repro.apps.effects.effects_analysis`):
+  ``red`` closes the base-effectful seeds forward along ``eff_edge``
+  — the Section 8 colouring as a two-rule program;
+* ``app-klimited`` (:func:`~repro.apps.klimited.k_limited_cfa`):
+  ``klabels`` carries k-bounded abstraction-label sets backward from
+  lambda-bearing nodes (the paper's Section 9 k-limited CFA).
 
-``repro.lint`` compiles the two lint programs together, so their
-recursive relations share one stratum and fuse into a single
-``run_fused`` sweep — the same scheduling the hand-written passes get
-from :meth:`~repro.lint.passes.LintContext._sweep`.
+``repro.lint`` compiles the lint programs together (plus
+``app-called-once``, which L001/L003 read), so their recursive
+relations share one stratum and fuse into a single ``run_fused``
+sweep — the same scheduling the hand-written passes get from
+:meth:`~repro.lint.passes.LintContext._sweep`.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from repro._util import Stopwatch
-from repro.rules.dsl import LABEL, NID, NODE, Rel, Rule, RuleProgram, make_vars
+from repro.rules.dsl import (
+    CNAME,
+    LABEL,
+    NAME,
+    NID,
+    NODE,
+    Rel,
+    Rule,
+    RuleProgram,
+    make_vars,
+)
 from repro.rules.dsl import fingerprint
-from repro.rules.schema import APP_OP, EDGE, LAM_AT, LAM_NODE, SINK_ARG
+from repro.rules.schema import (
+    APP_OP,
+    BIND_VAR,
+    CON_AT,
+    DEREF_NODE,
+    EDGE,
+    EFF_BASE,
+    EFF_EDGE,
+    LAM_AT,
+    LAM_NODE,
+    PARAM_VAR,
+    REF_NODE,
+    SINK_ARG,
+    VAR_USED,
+)
 
 # -- derived relations ---------------------------------------------------------
 
@@ -45,6 +99,52 @@ ESCAPE = Rel("escape", NODE)
 ESCAPING_FUN = Rel("escaping_fun", NODE, LABEL)
 #: 1-bounded call-site multiplicity per operator-reachable node.
 CALLS = Rel("calls", NODE, NID, k=1)
+#: Boolean projection of ``calls``: nodes some call site reaches.
+CALLED = Rel("called", NODE)
+#: Never-called abstractions: lambda-bearing node and label (L001).
+DEAD_FUN = Rel("dead_fun", NODE, LABEL)
+#: Nodes that may evaluate to a dereference (F001's probe).
+TAINT = Rel("taint", NODE)
+#: Primitive sinks whose argument node is tainted (F001).
+TAINTED_SINK = Rel("tainted_sink", NID)
+#: Escaping ref-bearing nodes (F002).
+ESCAPING_REF = Rel("escaping_ref", NODE)
+#: Parameters whose variable node is never demanded (F003).
+UNNEEDED_PARAM = Rel("unneeded_param", NODE, LABEL)
+#: Binders whose variable node is never demanded (L005).
+UNUSED_BIND = Rel("unused_bind", NODE, NAME)
+#: The Section 8 effects colouring (app-effects).
+RED = Rel("red", NODE)
+
+
+def constructor_k(program) -> int:
+    """The F004 value bound: the largest constructor count of any
+    declared datatype (the k :class:`~repro.flow.analyses.
+    ConstructorAnalysis` uses, so annotations saturate identically)."""
+    k = max(
+        (
+            len(decl.constructors)
+            for decl in program.datatypes.values()
+        ),
+        default=1,
+    )
+    return max(k, 1)
+
+
+def _l001_program() -> RuleProgram:
+    N, S, L = make_vars("N S L")
+    return RuleProgram(
+        "lint-l001",
+        [
+            Rule(CALLED(N), [CALLS(N, S)], name="called-view"),
+            Rule(
+                DEAD_FUN(N, L),
+                [LAM_AT(N, L), ~CALLED(N)],
+                name="dead-fun",
+            ),
+        ],
+        outputs=(DEAD_FUN,),
+    )
 
 
 def _l002_program() -> RuleProgram:
@@ -81,6 +181,88 @@ def _l004_program() -> RuleProgram:
     )
 
 
+def _l005_program() -> RuleProgram:
+    N, X = make_vars("N X")
+    return RuleProgram(
+        "lint-l005",
+        [
+            Rule(
+                UNUSED_BIND(N, X),
+                [BIND_VAR(N, X), ~VAR_USED(N)],
+                name="unused-bind",
+            ),
+        ],
+        outputs=(UNUSED_BIND,),
+    )
+
+
+def _f001_program() -> RuleProgram:
+    N, M, S = make_vars("N M S")
+    return RuleProgram(
+        "lint-f001",
+        [
+            Rule(TAINT(N), [DEREF_NODE(N)], name="taint-seed"),
+            Rule(TAINT(N), [TAINT(M), EDGE(N, M)], name="taint-step"),
+            Rule(
+                TAINTED_SINK(S),
+                [SINK_ARG(S, N), TAINT(N)],
+                name="tainted-sink",
+            ),
+        ],
+        outputs=(TAINTED_SINK,),
+    )
+
+
+def _f002_program() -> RuleProgram:
+    N = make_vars("N")[0]
+    return RuleProgram(
+        "lint-f002",
+        [
+            Rule(
+                ESCAPING_REF(N),
+                [ESCAPE(N), REF_NODE(N)],
+                name="escaping-ref",
+            ),
+        ],
+        outputs=(ESCAPING_REF,),
+    )
+
+
+def _f003_program() -> RuleProgram:
+    N, L = make_vars("N L")
+    return RuleProgram(
+        "lint-f003",
+        [
+            Rule(
+                UNNEEDED_PARAM(N, L),
+                [PARAM_VAR(N, L), ~VAR_USED(N)],
+                name="unneeded-param",
+            ),
+        ],
+        outputs=(UNNEEDED_PARAM,),
+    )
+
+
+def f004_program(k: int = 1) -> RuleProgram:
+    """The F004 program for a given constructor bound ``k`` — the
+    value column saturates to MANY past ``k`` names, exactly like the
+    hand pass's :class:`~repro.flow.analyses.ConstructorAnalysis`."""
+    con_val = Rel("con_val", NODE, CNAME, k=k)
+    N, M, C = make_vars("N M C")
+    return RuleProgram(
+        "lint-f004",
+        [
+            Rule(con_val(N, C), [CON_AT(N, C)], name="con-val-seed"),
+            Rule(
+                con_val(N, C),
+                [con_val(M, C), EDGE(N, M)],
+                name="con-val-step",
+            ),
+        ],
+        outputs=(con_val,),
+    )
+
+
 def _called_once_program() -> RuleProgram:
     N, M, S = make_vars("N M S")
     return RuleProgram(
@@ -93,16 +275,86 @@ def _called_once_program() -> RuleProgram:
     )
 
 
+def _effects_program() -> RuleProgram:
+    N, M = make_vars("N M")
+    return RuleProgram(
+        "app-effects",
+        [
+            Rule(RED(N), [EFF_BASE(N)], name="red-seed"),
+            Rule(RED(N), [RED(M), EFF_EDGE(M, N)], name="red-step"),
+        ],
+        outputs=(RED,),
+    )
+
+
+def klimited_program(k: int = 2) -> RuleProgram:
+    """The k-limited CFA program for a given ``k``: abstraction labels
+    flow backward in the k-bounded lattice."""
+    klabels = Rel("klabels", NODE, LABEL, k=k)
+    N, M, L = make_vars("N M L")
+    return RuleProgram(
+        "app-klimited",
+        [
+            Rule(klabels(N, L), [LAM_AT(N, L)], name="klabels-seed"),
+            Rule(
+                klabels(N, L),
+                [klabels(M, L), EDGE(N, M)],
+                name="klabels-step",
+            ),
+        ],
+        outputs=(klabels,),
+    )
+
+
+L001_PROGRAM = _l001_program()
 L002_PROGRAM = _l002_program()
 L004_PROGRAM = _l004_program()
+L005_PROGRAM = _l005_program()
+F001_PROGRAM = _f001_program()
+F002_PROGRAM = _f002_program()
+F003_PROGRAM = _f003_program()
+#: The representative F004 instance (k=1; `repro.lint` builds the
+#: per-program instance via :func:`f004_program`).
+F004_PROGRAM = f004_program(1)
 CALLED_ONCE_PROGRAM = _called_once_program()
+EFFECTS_PROGRAM = _effects_program()
+#: The representative k-limited instance (the CLI's default k=2).
+KLIMITED_PROGRAM = klimited_program(2)
 
 #: Every rule program the engine ships, in stable order.
-SHIPPED_PROGRAMS = (L002_PROGRAM, L004_PROGRAM, CALLED_ONCE_PROGRAM)
+SHIPPED_PROGRAMS = (
+    L001_PROGRAM,
+    L002_PROGRAM,
+    L004_PROGRAM,
+    L005_PROGRAM,
+    F001_PROGRAM,
+    F002_PROGRAM,
+    F003_PROGRAM,
+    F004_PROGRAM,
+    CALLED_ONCE_PROGRAM,
+    EFFECTS_PROGRAM,
+    KLIMITED_PROGRAM,
+)
+
+#: The programs `repro.lint --impl rules` evaluates together: all the
+#: lint twins plus called-once (which L001/L003 read). F004 is
+#: instantiated per constructor bound, so the tuple is built per k.
+_LINT_PROGRAMS = (
+    L001_PROGRAM,
+    L002_PROGRAM,
+    L004_PROGRAM,
+    L005_PROGRAM,
+    F001_PROGRAM,
+    F002_PROGRAM,
+    F003_PROGRAM,
+    CALLED_ONCE_PROGRAM,
+)
 
 _fingerprint_cache: Optional[str] = None
-_lint_rule_set = None
+_lint_rule_sets: Dict[int, object] = {}
 _called_once_rule_set = None
+_effects_rule_set = None
+_klimited_rule_sets: Dict[int, object] = {}
 
 
 def shipped_fingerprint() -> str:
@@ -115,16 +367,22 @@ def shipped_fingerprint() -> str:
     return _fingerprint_cache
 
 
-def lint_rule_set():
-    """The compiled L002 + L004 rule set (cached; compiling is pure
-    static work). Both programs' recursive relations land in one
-    stratum, so one fused sweep services both lints."""
-    global _lint_rule_set
-    if _lint_rule_set is None:
+def lint_rule_set(con_k: int = 1):
+    """The compiled lint set (cached per constructor bound; compiling
+    is pure static work): every L/F twin plus called-once. All five
+    recursive relations (reach_lam, escape, taint, calls, con_val)
+    land in one stratum, so one fused sweep services every lint —
+    the same scheduling the hand passes get."""
+    rule_set = _lint_rule_sets.get(con_k)
+    if rule_set is None:
         from repro.rules.engine import CompiledRuleSet
 
-        _lint_rule_set = CompiledRuleSet((L002_PROGRAM, L004_PROGRAM))
-    return _lint_rule_set
+        programs = _LINT_PROGRAMS + (
+            F004_PROGRAM if con_k == 1 else f004_program(con_k),
+        )
+        rule_set = CompiledRuleSet(programs)
+        _lint_rule_sets[con_k] = rule_set
+    return rule_set
 
 
 def called_once_rule_set():
@@ -134,6 +392,26 @@ def called_once_rule_set():
 
         _called_once_rule_set = CompiledRuleSet((CALLED_ONCE_PROGRAM,))
     return _called_once_rule_set
+
+
+def effects_rule_set():
+    global _effects_rule_set
+    if _effects_rule_set is None:
+        from repro.rules.engine import CompiledRuleSet
+
+        _effects_rule_set = CompiledRuleSet((EFFECTS_PROGRAM,))
+    return _effects_rule_set
+
+
+def klimited_rule_set(k: int = 2):
+    rule_set = _klimited_rule_sets.get(k)
+    if rule_set is None:
+        from repro.rules.engine import CompiledRuleSet
+
+        program = KLIMITED_PROGRAM if k == 2 else klimited_program(k)
+        rule_set = CompiledRuleSet((program,))
+        _klimited_rule_sets[k] = rule_set
+    return rule_set
 
 
 def rules_called_once(program, sub=None):
@@ -167,3 +445,52 @@ def rules_called_once(program, sub=None):
     return CalledOnceResult(
         program, once, frozenset(never), frozenset(many), watch.elapsed
     )
+
+
+def rules_effects_analysis(program, sub=None):
+    """The rule-program twin of :func:`repro.apps.effects.
+    effects_analysis`: the ``app-effects`` program evaluated over the
+    same context, returning the same :class:`~repro.apps.effects.
+    EffectsResult`."""
+    from repro.apps.effects import EffectsResult
+    from repro.core.lc import build_subtransitive_graph
+    from repro.core.nodes import Node
+    from repro.flow.framework import FlowContext
+
+    if sub is None:
+        sub = build_subtransitive_graph(program)
+    ctx = FlowContext(program=program, sub=sub)
+    with Stopwatch() as watch:
+        evaluation = effects_rule_set().run(ctx=ctx)
+        red = frozenset(
+            key[0].nid
+            for key in evaluation.extents.keys("red")
+            if not isinstance(key[0], Node)
+        )
+    return EffectsResult(program, red, watch.elapsed)
+
+
+def rules_k_limited_cfa(program, k: int, sub=None):
+    """The rule-program twin of :func:`repro.apps.klimited.
+    k_limited_cfa`: the ``app-klimited`` program for this ``k``,
+    returning the same :class:`~repro.apps.klimited.KLimitedResult`."""
+    from repro.apps.klimited import KLimitedResult
+    from repro.core.lc import build_subtransitive_graph
+    from repro.flow.framework import FlowContext
+
+    if sub is None:
+        sub = build_subtransitive_graph(program)
+    # The hand analysis seeds through expr_node, which *builds* a node
+    # for depth-capped abstractions; touch them first so the lam_at
+    # view enumerates the same seed set.
+    for lam in program.abstractions:
+        sub.factory.expr_node(lam)
+    ctx = FlowContext(program=program, sub=sub)
+    with Stopwatch() as watch:
+        evaluation = klimited_rule_set(k).run(ctx=ctx)
+        values = {
+            key[0]: annotation
+            for key, annotation in
+            evaluation.extents.data["klabels"].items()
+        }
+    return KLimitedResult(sub, k, values, watch.elapsed)

@@ -27,6 +27,23 @@ world the L/F lint passes do:
 ``var_used(node)``
     Variable nodes with positive in-degree (LC' materialises the use
     relation as edges, so this is exactly "used").
+``param_var(node, label)``
+    Each abstraction's parameter variable node, keyed by the
+    abstraction's label (the F003 subjects; parameters whose variable
+    node was never built contribute no fact, matching the hand pass's
+    "no node, no verdict" rule — the rule pass reports them directly).
+``bind_var(node, name)``
+    Each ``let``/``letrec`` binder's variable node and name (the L005
+    subjects, same no-node convention as ``param_var``).
+``eff_base(node)``
+    AST nodes that are base-effectful (effectful primitives and
+    assignments) — the seeds of the Section 8 effects analysis.
+``eff_edge(node, node)``
+    The effects analysis's propagation relation: exactly
+    :meth:`~repro.flow.analyses.EffectsAnalysis.downstream`, mixing
+    AST nodes and graph nodes. Lookups with the source bound ride the
+    hand analysis's own downstream function, so the rule sweep visits
+    precisely the hand sweep's edges.
 
 :class:`DictFactSource` provides the same interface over explicit fact
 sets — the harness the property tests and the naive reference
@@ -37,7 +54,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.rules.dsl import CNAME, LABEL, NID, NODE, Rel
+from repro.rules.dsl import CNAME, LABEL, NAME, NID, NODE, Rel
 
 # -- the schema ---------------------------------------------------------------
 
@@ -50,6 +67,10 @@ DEREF_NODE = Rel("deref_node", NODE, kind="edb")
 SINK_ARG = Rel("sink_arg", NID, NODE, kind="edb")
 APP_OP = Rel("app_op", NID, NODE, kind="edb")
 VAR_USED = Rel("var_used", NODE, kind="edb")
+PARAM_VAR = Rel("param_var", NODE, LABEL, kind="edb")
+BIND_VAR = Rel("bind_var", NODE, NAME, kind="edb")
+EFF_BASE = Rel("eff_base", NODE, kind="edb")
+EFF_EDGE = Rel("eff_edge", NODE, NODE, kind="edb")
 
 #: Every base relation a graph-backed rule program may mention.
 GRAPH_SCHEMA: Dict[str, Rel] = {
@@ -64,6 +85,10 @@ GRAPH_SCHEMA: Dict[str, Rel] = {
         SINK_ARG,
         APP_OP,
         VAR_USED,
+        PARAM_VAR,
+        BIND_VAR,
+        EFF_BASE,
+        EFF_EDGE,
     )
 }
 
@@ -132,6 +157,7 @@ class GraphFactSource(FactSource):
     def __init__(self, ctx):
         super().__init__()
         self.ctx = ctx
+        self._effects = None
         if ctx.graph is None or ctx.factory is None:
             raise ValueError(
                 "GraphFactSource needs a FlowContext with a "
@@ -140,6 +166,16 @@ class GraphFactSource(FactSource):
 
     def relations(self) -> Dict[str, Rel]:
         return GRAPH_SCHEMA
+
+    def _eff_downstream(self, item) -> List:
+        """The effects analysis's downstream items for ``item`` — the
+        hand analysis's own edge function, so ``eff_edge`` facts are
+        its edges by definition."""
+        if self._effects is None:
+            from repro.flow.analyses import EffectsAnalysis
+
+            self._effects = EffectsAnalysis()
+        return list(self._effects.downstream(self.ctx, item))
 
     def _bearing_pairs(self, expr_type, attr: str) -> Iterator[Fact]:
         for node in self.ctx.factory.nodes_bearing(expr_type):
@@ -190,6 +226,49 @@ class GraphFactSource(FactSource):
                 for node in ctx.factory.var_nodes
                 if graph.in_degree(node) > 0
             )
+        if rel == "param_var":
+            return iter(dict.fromkeys(
+                (var_node, lam.label)
+                for lam in ctx.program.abstractions
+                for var_node in (ctx.factory.peek_var(lam.param),)
+                if var_node is not None
+            ))
+        if rel == "bind_var":
+            from repro.lang.ast import Let, Letrec
+
+            return iter(dict.fromkeys(
+                (var_node, binder.name)
+                for binder in ctx.program.nodes
+                if isinstance(binder, (Let, Letrec))
+                for var_node in (ctx.factory.peek_var(binder.name),)
+                if var_node is not None
+            ))
+        if rel == "eff_base":
+            from repro.flow.analyses import base_red
+
+            return (
+                (node,)
+                for node in ctx.program.nodes
+                if base_red(node)
+            )
+        if rel == "eff_edge":
+            # Full enumeration (the slow path — source-bound lookups
+            # below never reach it): every AST node plus every built
+            # "ran" operator node, each expanded through downstream.
+            # Materialise the item list first; downstream may build
+            # expression nodes as it walks.
+            items: List = list(ctx.program.nodes)
+            items.extend(
+                node
+                for node in list(ctx.graph.nodes())
+                if getattr(node, "kind", None) == "op"
+                and node.opkey == ("ran",)
+            )
+            return (
+                (item, out)
+                for item in items
+                for out in self._eff_downstream(item)
+            )
         raise KeyError(f"unknown base relation {rel!r}")
 
     def lookup(self, rel: str, pattern: Pattern) -> Iterable[Fact]:
@@ -205,6 +284,15 @@ class GraphFactSource(FactSource):
                 return ((p, dst) for p in graph.predecessors(dst))
             if src is not None and dst is not None:
                 return ((src, dst),) if graph.has_edge(src, dst) else ()
+        # eff_edge with the source bound rides the hand analysis's
+        # downstream function directly — O(degree) per probe, and the
+        # rule sweep's follow function never materialises the view.
+        if rel == "eff_edge" and pattern[0] is not None:
+            src, dst = pattern
+            outs = self._eff_downstream(src)
+            if dst is None:
+                return ((src, out) for out in outs)
+            return ((src, dst),) if dst in outs else ()
         return super().lookup(rel, pattern)
 
 

@@ -33,11 +33,30 @@ class TestShippedPrograms:
     def test_shipped_programs_pass_their_own_checker(self):
         checked = check_programs(SHIPPED_PROGRAMS, schema=GRAPH_SCHEMA)
         assert checked.linear
-        # One fused level 0 holds every recursive propagation; the
-        # join-only verdict relations sit strictly above it.
+        # One fused level 0 holds every recursive propagation
+        # (join-only relations with no IDB dependencies may share it);
+        # the verdict relations that read a complement or a recursive
+        # annotation sit strictly above it.
         level0 = {plan.rel.name for plan in checked.levels[0]}
+        recursive0 = {
+            plan.rel.name for plan in checked.levels[0] if plan.recursive
+        }
         assert {"reach_lam", "escape", "calls"} <= level0
-        assert all(plan.recursive for plan in checked.levels[0])
+        assert recursive0 == {
+            "reach_lam",
+            "escape",
+            "calls",
+            "taint",
+            "con_val",
+            "red",
+            "klabels",
+        }
+        upper = {
+            plan.rel.name
+            for level in checked.levels[1:]
+            for plan in level
+        }
+        assert {"stuck", "escaping_fun", "dead_fun", "tainted_sink"} <= upper
 
     def test_plan_classifies_seed_vs_step_rules(self):
         checked = check_programs(SHIPPED_PROGRAMS, schema=GRAPH_SCHEMA)

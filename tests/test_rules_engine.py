@@ -222,23 +222,50 @@ class TestCompileErrors:
             CompiledRuleSet(programs, schema=SCHEMA)
         assert "propagation shape" in str(err.value)
 
-    def test_recursion_needs_an_edge_relation(self):
+    def test_propagation_follows_any_binary_base_relation(self):
+        # Recursion used to require the literal 'edge' relation; a
+        # step rule may now follow any (node, node) base relation.
         link = Rel("link", NODE, NODE, kind="edb")
         walk = Rel("walk", NODE)
         programs = [
             RuleProgram(
-                "no-edge",
+                "via-link",
                 [
                     Rule(walk(N), [MARK(N)], name="seed"),
                     Rule(walk(N), [walk(M), link(M, N)], name="step"),
                 ],
             )
         ]
+        schema = {"mark": MARK, "link": link}
+        compiled = CompiledRuleSet(programs, schema=schema)
+        facts = DictFactSource(
+            schema, {"mark": [(0,)], "link": [(0, 1), (1, 2), (5, 6)]}
+        )
+        evaluation = compiled.run(source=facts)
+        assert {row[0] for row in evaluation.rows("walk")} == {0, 1, 2}
+
+    def test_step_rules_must_share_one_propagation_relation(self):
+        # One sweep follows one relation: step rules of the same head
+        # naming different base relations cannot fuse.
+        link = Rel("link", NODE, NODE, kind="edb")
+        rail = Rel("rail", NODE, NODE, kind="edb")
+        walk = Rel("walk", NODE)
+        programs = [
+            RuleProgram(
+                "mixed-via",
+                [
+                    Rule(walk(N), [MARK(N)], name="seed"),
+                    Rule(walk(N), [walk(M), link(M, N)], name="s1"),
+                    Rule(walk(N), [walk(M), rail(M, N)], name="s2"),
+                ],
+            )
+        ]
         with pytest.raises(RuleCompileError) as err:
             CompiledRuleSet(
-                programs, schema={"mark": MARK, "link": link}
+                programs,
+                schema={"mark": MARK, "link": link, "rail": rail},
             )
-        assert "edge" in str(err.value)
+        assert "different base relations" in str(err.value)
 
     def test_compile_programs_convenience(self):
         compiled = compile_programs(reach_programs(), schema=SCHEMA)

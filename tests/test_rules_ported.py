@@ -1,0 +1,189 @@
+"""Unit tests for the full-coverage rule port (PR 9).
+
+Covers the machinery the port added around the golden/property
+suites: the unported-pass guard and per-rule impl provenance in
+``run_lints``, the ``rules_exempt`` escape hatch for the T-series
+auditors, the checker's new bounded-transport discipline checks and
+the projection pattern, and the parameterised f004/klimited program
+builders.
+"""
+
+import pytest
+
+from repro.core.lc import build_subtransitive_graph
+from repro.lang import parse
+from repro.lint import run_lints
+from repro.lint.flowrules import AUDIT_PASSES
+from repro.lint.passes import ALL_PASSES, LintPass
+from repro.lint.ruleimpl import RULE_PASSES
+from repro.rules import GRAPH_SCHEMA, RuleCheckError, check_programs
+from repro.rules.check import check_rules
+from repro.rules.dsl import (
+    LABEL,
+    NODE,
+    Rel,
+    Rule,
+    RuleProgram,
+    make_vars,
+)
+from repro.rules.fixtures import FIXTURES
+from repro.rules.programs import (
+    SHIPPED_PROGRAMS,
+    constructor_k,
+    f004_program,
+    klimited_program,
+)
+from repro.rules.schema import EDGE, LAM_AT
+
+N, M, S = make_vars("N M S")
+
+PROGRAM = "let f = fn[f] x => x in let g = fn[g] y => y in f (g 1)"
+
+
+def build(source=PROGRAM):
+    program = parse(source)
+    return program, build_subtransitive_graph(program)
+
+
+class TestRunLintsGuard:
+    def test_every_lf_pass_has_a_rule_twin(self):
+        for cls in ALL_PASSES:
+            if cls.code.startswith(("L", "F")):
+                assert cls.code in RULE_PASSES, cls.code
+
+    def test_audit_passes_are_rules_exempt(self):
+        for cls in AUDIT_PASSES:
+            assert cls.rules_exempt, cls.code
+
+    def test_unported_pass_fails_loudly_under_rules(self):
+        class GhostPass(LintPass):
+            code = "X999"
+            name = "ghost"
+            severity = "info"
+
+            def run(self, ctx, scope=None):
+                return []
+
+        program, sub = build()
+        with pytest.raises(ValueError) as err:
+            run_lints(
+                program,
+                sub,
+                passes=list(ALL_PASSES) + [GhostPass],
+                impl="rules",
+            )
+        assert "X999" in str(err.value)
+        assert "no rule-program implementation" in str(err.value)
+
+    def test_exempt_pass_runs_unchanged_under_rules(self):
+        class ExemptGhostPass(LintPass):
+            code = "X998"
+            name = "exempt-ghost"
+            severity = "info"
+            rules_exempt = True
+
+            def run(self, ctx, scope=None):
+                return []
+
+        program, sub = build()
+        result = run_lints(
+            program,
+            sub,
+            passes=list(ALL_PASSES) + [ExemptGhostPass],
+            impl="rules",
+        )
+        assert result.pass_impl["X998"] == "hand"
+
+
+class TestImplProvenance:
+    def test_rules_mode_records_impl_per_pass(self):
+        program, sub = build()
+        result = run_lints(program, sub, impl="rules")
+        for cls in ALL_PASSES:
+            expected = "rules" if cls.code in RULE_PASSES else "hand"
+            assert result.pass_impl[cls.code] == expected
+        assert result.to_dict()["impl"] == result.pass_impl
+
+    def test_hand_mode_envelope_has_no_impl_key(self):
+        program, sub = build()
+        result = run_lints(program, sub, impl="hand")
+        assert result.pass_impl == {}
+        assert "impl" not in result.to_dict()
+
+    def test_filtered_carries_impl(self):
+        program, sub = build()
+        result = run_lints(program, sub, impl="rules")
+        kept = result.filtered(min_severity="warning")
+        assert kept.pass_impl == result.pass_impl
+
+
+class TestTransportDiscipline:
+    def test_k_mismatch_fixture_rejected(self):
+        with pytest.raises(RuleCheckError) as err:
+            check_programs(
+                FIXTURES["k-transport-mismatch"](), schema=GRAPH_SCHEMA
+            )
+        assert "requires equal k" in str(err.value)
+
+    def test_value_type_mismatch_fixture_rejected(self):
+        with pytest.raises(RuleCheckError) as err:
+            check_programs(
+                FIXTURES["transport-type-mismatch"](),
+                schema=GRAPH_SCHEMA,
+            )
+        assert "identical value-column types" in str(err.value)
+
+    def test_projection_pattern_accepted(self):
+        # A bounded value consumed nowhere is a key-existence view —
+        # the pattern the dead-lambda port's called-view rule uses.
+        calls = Rel("pcalls", NODE, LABEL, k=1)
+        seen = Rel("seen", NODE)
+        rules = [
+            Rule(calls(N, S), [LAM_AT(N, S)], name="seed"),
+            Rule(seen(N), [calls(N, S)], name="project"),
+        ]
+        checked = check_rules(rules, schema=GRAPH_SCHEMA)
+        assert checked.linear
+
+    def test_bounded_value_as_join_key_still_rejected(self):
+        calls = Rel("jcalls", NODE, LABEL, k=1)
+        bad = Rel("bad", NODE)
+        rules = [
+            Rule(calls(N, S), [LAM_AT(N, S)], name="seed"),
+            Rule(bad(N), [calls(N, S), LAM_AT(M, S)], name="join"),
+        ]
+        with pytest.raises(RuleCheckError) as err:
+            check_rules(rules, schema=GRAPH_SCHEMA, require_linear=False)
+        assert "projected away" in str(err.value)
+
+
+class TestProgramBuilders:
+    def test_constructor_k_matches_hand_formula(self):
+        program = parse(PROGRAM)
+        assert constructor_k(program) == 1
+
+    def test_f004_program_parameterised_by_k(self):
+        p1, p3 = f004_program(1), f004_program(3)
+        (con_val_1,) = p1.outputs
+        (con_val_3,) = p3.outputs
+        assert con_val_1.k == 1 and con_val_3.k == 3
+
+    def test_klimited_program_parameterised_by_k(self):
+        (klabels,) = klimited_program(5).outputs
+        assert klabels.k == 5
+
+    def test_shipped_set_covers_every_ported_analysis(self):
+        names = {p.name for p in SHIPPED_PROGRAMS}
+        assert names == {
+            "lint-l001",
+            "lint-l002",
+            "lint-l004",
+            "lint-l005",
+            "lint-f001",
+            "lint-f002",
+            "lint-f003",
+            "lint-f004",
+            "app-called-once",
+            "app-effects",
+            "app-klimited",
+        }
