@@ -1,0 +1,220 @@
+"""E21 (extra) — event-log overhead on the warm daemon hot path.
+
+The request-correlated event log (docs/OBSERVABILITY.md) is always on
+in the daemon: every verb binds a request context and the delta/flow
+layers emit one aggregate event per mutation/pass through it. The
+design claim is that this telemetry is effectively free — emission is
+O(events), events are O(1) per request, and an unbound context
+short-circuits to a pointer test.
+
+This experiment measures both sides of that claim on the paper's
+cubic family (Section 10, Table 1), warm-redefining a leaf binding
+the way an editor session would:
+
+* **off**: no request context bound — ``emit_event`` no-ops. This is
+  the batch/CLI configuration and must cost nothing.
+* **on**: a bound :class:`~repro.obs.events.EventLog` with a rotating
+  JSONL sink — the daemon's ``--events`` configuration, every emitted
+  record also serialised to disk.
+
+The target is <1% overhead (warn-only: sub-millisecond redefines put
+1% well inside scheduler noise, so the CI gate reports rather than
+fails). Each timed call batches ``INNER`` redefines to lift the
+measurement out of timer resolution.
+"""
+
+import os
+import tempfile
+
+import pytest
+
+from bench_daemon import REDEFINE_TEMPLATE, warm_project
+from repro.bench import Table
+from repro.obs import EventLog, bind_request
+
+SIZES = [5, 10, 20]
+
+#: Redefinitions per timed call — batches the sub-millisecond warm
+#: define so the off/on difference is measurable.
+INNER = 20
+
+#: Warn threshold for the overhead ratio (1%).
+TARGET_PCT = 1.0
+
+
+def _redefine_batch(pa, target, new_source, old_source):
+    # Alternate the two sources so every call is a real redefinition
+    # (same-source defines could short-circuit in future engines).
+    for i in range(INNER):
+        pa.define(target, new_source if i % 2 == 0 else old_source)
+
+
+def _measure_pair(n, repeat):
+    """Best-of-``repeat`` off/on timings, rounds interleaved.
+
+    Interleaving (off, on, off, on, ...) exposes both configurations
+    to the same background load, so the best-of comparison measures
+    the event log rather than scheduler drift.
+    """
+    import time
+
+    target = f"x{n}"
+    new_source = REDEFINE_TEMPLATE.format(n=n)
+    old_source = f"b{n} (fs f{n})"
+    pa_off = warm_project(n)
+    pa_on = warm_project(n)
+    best_off = best_on = float("inf")
+    with tempfile.TemporaryDirectory() as tmp:
+        log = EventLog(sink_path=os.path.join(tmp, "events.jsonl"))
+        try:
+            for _ in range(repeat):
+                start = time.perf_counter()
+                _redefine_batch(pa_off, target, new_source, old_source)
+                best_off = min(best_off, time.perf_counter() - start)
+                with bind_request(log=log):
+                    start = time.perf_counter()
+                    _redefine_batch(pa_on, target, new_source, old_source)
+                    best_on = min(best_on, time.perf_counter() - start)
+            return best_off, best_on, log.emitted, len(pa_on.defs)
+        finally:
+            log.close()
+
+
+def emit_cost_us(count=20000):
+    """Microseconds per emitted event, ring + OS-buffered sink.
+
+    The paired wall-clock diff below bounds the overhead within
+    scheduler noise; this microbenchmark resolves it exactly — the
+    per-define cost is ``events_per_define x emit_cost``.
+    """
+    import time
+
+    from repro.obs import emit_event
+
+    with tempfile.TemporaryDirectory() as tmp:
+        log = EventLog(sink_path=os.path.join(tmp, "events.jsonl"))
+        try:
+            with bind_request(log=log):
+                start = time.perf_counter()
+                for i in range(count):
+                    emit_event(
+                        "delta",
+                        component="delta",
+                        op="define",
+                        name="x",
+                        mode="delta",
+                        retracted_edges=3,
+                        rederived_edges=7,
+                        version=i,
+                    )
+                elapsed = time.perf_counter() - start
+        finally:
+            log.close()
+    return elapsed / count * 1e6
+
+
+def run_report(sizes=SIZES, repeat=9):
+    table = Table(
+        [
+            "n",
+            "defs",
+            "off t",
+            "on t",
+            "paired",
+            "implied",
+            "events",
+        ],
+        title="E21 — event-log overhead on warm redefines",
+    )
+    emit_us = emit_cost_us()
+    rows = []
+    for n in sizes:
+        off_time, on_time, events, defs = _measure_pair(n, repeat)
+        overhead_pct = (
+            (on_time - off_time) / off_time * 100.0 if off_time else 0.0
+        )
+        # One event per redefine (events accumulate across the timing
+        # repeats), so the implied overhead is emit cost over the
+        # per-define time.
+        events_per_define = events / (INNER * repeat)
+        define_us = off_time / INNER * 1e6
+        implied_pct = (
+            events_per_define * emit_us / define_us * 100.0
+            if define_us
+            else 0.0
+        )
+        table.add_row(
+            n,
+            defs,
+            off_time,
+            on_time,
+            f"{overhead_pct:+.2f}%",
+            f"{implied_pct:.2f}%",
+            events,
+        )
+        rows.append(
+            {
+                "n": n,
+                "defs": defs,
+                "off_time": off_time,
+                "on_time": on_time,
+                "overhead_pct": overhead_pct,
+                "emit_us": emit_us,
+                "implied_pct": implied_pct,
+                "events": events,
+            }
+        )
+    return table, rows
+
+
+@pytest.mark.parametrize("n", [5, 20])
+def test_redefine_events_off(benchmark, n):
+    pa = warm_project(n)
+    new = REDEFINE_TEMPLATE.format(n=n)
+    old = f"b{n} (fs f{n})"
+    benchmark(lambda: _redefine_batch(pa, f"x{n}", new, old))
+
+
+@pytest.mark.parametrize("n", [5, 20])
+def test_redefine_events_on(benchmark, n, tmp_path):
+    pa = warm_project(n)
+    new = REDEFINE_TEMPLATE.format(n=n)
+    old = f"b{n} (fs f{n})"
+    log = EventLog(sink_path=str(tmp_path / "events.jsonl"))
+    try:
+        with bind_request(log=log):
+            benchmark(lambda: _redefine_batch(pa, f"x{n}", new, old))
+    finally:
+        log.close()
+
+
+def test_obs_events_shape():
+    repeat = 3
+    _, rows = run_report(sizes=[5, 10], repeat=repeat)
+    for row in rows:
+        # One delta event per redefine — aggregate emission, never
+        # per-worklist-step. The log accumulates across the timing
+        # repeats, so the exact total is batch size x repeats.
+        assert row["events"] == INNER * repeat, row
+        # The warn-only target is 1% on the deterministic implied
+        # figure; the hard bounds are loose enough for CI boxes.
+        assert row["implied_pct"] < 10.0, row
+        # The paired wall-clock diff only bounds the overhead within
+        # scheduler noise.
+        assert row["overhead_pct"] < 50.0, row
+
+
+def render_verdict(rows) -> str:
+    worst = max(rows, key=lambda r: r["implied_pct"])
+    verdict = "ok" if worst["implied_pct"] < TARGET_PCT else "WARN"
+    return (
+        f"emit cost {worst['emit_us']:.2f} us/event; worst implied "
+        f"overhead {worst['implied_pct']:.2f}% at n={worst['n']} "
+        f"(target <{TARGET_PCT:.0f}%, warn-only): {verdict}"
+    )
+
+
+if __name__ == "__main__":
+    table, rows = run_report()
+    print(table.render())
+    print(render_verdict(rows))

@@ -5,7 +5,7 @@ Usage::
     python benchmarks/run_all.py [--quick] [--metrics PATH | --no-metrics]
 
 Prints the reproduction of each experiment indexed in DESIGN.md (E1 -
-E20), in order. ``--quick`` shrinks the sweeps for a fast smoke run.
+E21), in order. ``--quick`` shrinks the sweeps for a fast smoke run.
 EXPERIMENTS.md records a reference run of this script.
 
 Every run also writes a machine-readable metrics document (default
@@ -34,6 +34,7 @@ import bench_graph_backend
 import bench_hybrid
 import bench_joinpoint
 import bench_lint
+import bench_obs_events
 import bench_polyvariant
 import bench_rules
 import bench_rules_full
@@ -316,6 +317,17 @@ def main(quick: bool = False, metrics_path=None) -> None:
         f"worst step ratio {worst:.3f}x "
         f"(bound {bench_rules_full.RATIO_BOUND}x)"
     )
+
+    print("\n" + "=" * 72)
+    print("E21 (extra) — event-log overhead on warm redefines")
+    print("=" * 72)
+    table, rows = bench_obs_events.run_report(
+        sizes=[5, 10] if quick else bench_obs_events.SIZES,
+        repeat=5 if quick else 9,
+    )
+    record("E21", "event-log overhead on warm redefines", rows)
+    print(table.render())
+    print(bench_obs_events.render_verdict(rows))
 
     if metrics_path is not None:
         write_metrics(metrics_path, experiments, quick)

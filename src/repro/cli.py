@@ -24,11 +24,19 @@ Usage (also available as ``python -m repro``)::
                         [--noise-floor N=V] [--warn-only] [--json]
     repro obs flame     prog.ml [--algorithm A] [--lint] [-o out.folded]
     repro obs top       trace.jsonl [--metrics m.json] [--limit N]
+                        | --live (--socket PATH | --port N)
+                        [--refresh S] [--iterations N]
     repro obs waterfall trace.jsonl [--limit N]
+    repro obs tail      [events.jsonl | --socket PATH | --port N]
+                        [--grep TEXT] [--request ID] [--max-events N]
+    repro obs req       ID (--events events.jsonl
+                        | --socket PATH | --port N) [--json]
     repro daemon  start|stop|status (--socket PATH | --port N)
-                  [--graph-backend B] [--capacity N] [--json]
+                  [--graph-backend B] [--capacity N] [--events PATH]
+                  [--slow-ms MS] [--json]
     repro client  VERB (--socket PATH | --port N) [--project P]
                   [--name N] [--source EXPR | --file PATH] [--label L]
+                  [--request-id ID] [--format json|prometheus]
 
 ``analyze`` and ``lint`` accept any mix of files and directories
 (directories contribute their ``*.lam`` files); multi-input runs go
@@ -883,11 +891,39 @@ def _cmd_obs_top(args) -> int:
     from repro.obs import read_events
     from repro.obs.tracetools import provenance_check, render_top
 
+    if args.live:
+        return _obs_top_live(args)
+    if args.trace is None:
+        raise ReproError(
+            "pass a trace/event-log file, or --live with a daemon "
+            "endpoint (--socket/--port)"
+        )
     events = read_events(args.trace)
     metrics = _load_json(args.metrics) if args.metrics else None
     print(render_top(events, metrics=metrics, limit=args.limit))
     if metrics is not None:
         return 0 if provenance_check(events, metrics)["ok"] else 1
+    return 0
+
+
+def _obs_top_live(args) -> int:
+    """``repro obs top --live``: scrape ``telemetry`` and render the
+    per-verb latency / per-project hit-rate dashboard."""
+    import time
+
+    from repro.daemon import DaemonClient
+    from repro.obs import render_live_top
+
+    endpoint = _daemon_endpoint(args)
+    iterations = max(1, args.iterations)
+    for iteration in range(iterations):
+        with DaemonClient(**endpoint) as client:
+            document = client.telemetry()
+        if iteration:
+            print()
+        print(render_live_top(document, limit=args.limit), flush=True)
+        if iteration + 1 < iterations:
+            time.sleep(args.refresh)
     return 0
 
 
@@ -897,6 +933,81 @@ def _cmd_obs_waterfall(args) -> int:
 
     print(render_waterfall(read_events(args.trace), limit=args.limit))
     return 0
+
+
+def _optional_endpoint(args) -> Optional[dict]:
+    """Endpoint kwargs when --socket/--port was given, else None."""
+    if (
+        getattr(args, "socket", None) is None
+        and getattr(args, "port", None) is None
+    ):
+        return None
+    return _daemon_endpoint(args)
+
+
+def _cmd_obs_tail(args) -> int:
+    from repro.obs import read_event_log
+    from repro.obs.live import filter_events
+
+    endpoint = _optional_endpoint(args)
+    if (args.source is None) == (endpoint is None):
+        raise ReproError(
+            "pass an event-log file OR a daemon endpoint "
+            "(--socket/--port), not both"
+        )
+    if args.source is not None:
+        events = filter_events(
+            read_event_log(args.source),
+            grep=args.grep,
+            request_id=args.request,
+        )
+        if args.max_events is not None:
+            events = events[-args.max_events:]
+        for event in events:
+            print(json.dumps(event, sort_keys=True))
+        return 0
+    # Live follow over the daemon socket. --grep filters server-side;
+    # the request filter is client-side (the protocol's ``watch``
+    # selects projects, not requests).
+    from repro.daemon import DaemonClient
+
+    printed = 0
+    with DaemonClient(**endpoint) as client:
+        for event in client.subscribe(grep=args.grep):
+            if (
+                args.request is not None
+                and event.get("request_id") != args.request
+            ):
+                continue
+            print(json.dumps(event, sort_keys=True), flush=True)
+            printed += 1
+            if args.max_events is not None and printed >= args.max_events:
+                break
+    return 0
+
+
+def _cmd_obs_req(args) -> int:
+    from repro.obs import read_event_log, render_request, request_chain
+
+    endpoint = _optional_endpoint(args)
+    if (args.events is None) == (endpoint is None):
+        raise ReproError(
+            "pass --events FILE or a daemon endpoint "
+            "(--socket/--port), not both"
+        )
+    if args.events is not None:
+        events = read_event_log(args.events)
+    else:
+        from repro.daemon import DaemonClient
+
+        with DaemonClient(**endpoint) as client:
+            events = client.telemetry()["events"]
+    report = request_chain(events, args.request_id)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_request(report))
+    return 0 if (report["connected"] and report["ordered"]) else 1
 
 
 def _cmd_dot(args) -> int:
@@ -938,6 +1049,8 @@ def _cmd_daemon(args) -> int:
             run_daemon(
                 graph_backend=args.graph_backend,
                 capacity=args.capacity,
+                events_path=args.events,
+                slow_threshold_s=args.slow_ms / 1000.0,
                 **endpoint,
             )
         )
@@ -953,13 +1066,25 @@ def _cmd_daemon(args) -> int:
             return 0
         projects = status["projects"]
         print(f"pid: {status['pid']}")
+        if "uptime_s" in status:
+            print(f"uptime: {status['uptime_s']:.1f}s")
+        events = status.get("events")
+        if events:
+            print(
+                f"events: {events['emitted']} emitted, "
+                f"{events['buffered']} buffered, "
+                f"{events['dropped']} dropped"
+            )
         warm = projects["warm"]
         print(f"warm projects ({len(warm)}/{projects['capacity']}):")
         for entry in warm:
             fallbacks = sum(entry["fallbacks"].values())
+            hits = entry.get("hits") or {}
             print(
                 f"  {entry['project']}: {entry['definitions']} defs, "
-                f"version {entry['version']}, {fallbacks} fallback(s)"
+                f"version {entry['version']}, {fallbacks} fallback(s), "
+                f"hits warm={hits.get('warm', 0)} "
+                f"cold={hits.get('cold', 0)}"
             )
         if projects["cold"]:
             print("cold projects: " + ", ".join(projects["cold"]))
@@ -988,11 +1113,21 @@ def _cmd_client(args) -> int:
         ("name", getattr(args, "name", None)),
         ("source", source),
         ("label", getattr(args, "label", None)),
+        ("request_id", getattr(args, "request_id", None)),
     ):
         if value is not None:
             fields[key] = value
+    fmt = getattr(args, "format", None)
+    if fmt is not None:
+        if args.verb != "telemetry":
+            raise ReproError("--format only applies to the telemetry verb")
+        fields["fmt"] = fmt
     with DaemonClient(**_daemon_endpoint(args)) as client:
         result = client.request(args.verb, **fields)
+        request_id = client.last_request_id
+    # The id goes to stderr so stdout stays byte-identical to the
+    # non-daemon render (the warm/cold CI check compares stdout).
+    print(f"request_id: {request_id}", file=sys.stderr)
     if args.verb == "analyze":
         # Byte-identical to `repro analyze FILE --json` of the
         # project's rendered source — the warm/cold CI check relies
@@ -1000,6 +1135,8 @@ def _cmd_client(args) -> int:
         print(json.dumps(result["envelope"], indent=2, sort_keys=True))
     elif args.verb == "source":
         sys.stdout.write(result["source"])
+    elif args.verb == "telemetry" and result.get("format") == "prometheus":
+        sys.stdout.write(result["text"])
     else:
         print(json.dumps(result, indent=2, sort_keys=True))
     if args.verb == "sanitize" and not result["ok"]:
@@ -1312,10 +1449,26 @@ def build_parser() -> argparse.ArgumentParser:
     add_sanitize(p)
     p.set_defaults(run=_cmd_dot)
 
+    def add_endpoint(p):
+        p.add_argument(
+            "--socket",
+            metavar="PATH",
+            help="Unix-domain socket path of the daemon",
+        )
+        p.add_argument(
+            "--port", type=int, metavar="N", help="TCP port of the daemon"
+        )
+        p.add_argument(
+            "--host",
+            default="127.0.0.1",
+            metavar="HOST",
+            help="TCP host (with --port; default 127.0.0.1)",
+        )
+
     p = sub.add_parser(
         "obs",
         help="performance observatory: baseline diffs, flamegraphs, "
-        "trace analytics",
+        "trace analytics, live telemetry",
     )
     obs = p.add_subparsers(dest="obs_command", required=True)
 
@@ -1385,10 +1538,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     q = obs.add_parser(
         "top",
-        help="rule/node hotspot tables from a trace.jsonl stream "
-        "(with --metrics: exit 1 on a provenance mismatch)",
+        help="rule/node hotspot tables from a trace.jsonl or event-log "
+        "stream (with --metrics: exit 1 on a provenance mismatch); "
+        "--live scrapes a running daemon instead",
     )
-    q.add_argument("trace", help="trace.jsonl written by --trace")
+    q.add_argument(
+        "trace",
+        nargs="?",
+        help="trace.jsonl written by --trace, or an event-log file "
+        "(omit with --live)",
+    )
     q.add_argument(
         "--metrics",
         metavar="PATH",
@@ -1396,31 +1555,88 @@ def build_parser() -> argparse.ArgumentParser:
         "cross-check CLOSE-* edge provenance",
     )
     q.add_argument("--limit", type=int, default=10, metavar="N")
+    q.add_argument(
+        "--live",
+        action="store_true",
+        help="scrape `telemetry` from a running daemon "
+        "(--socket/--port) and render the per-verb latency / "
+        "hit-rate dashboard",
+    )
+    add_endpoint(q)
+    q.add_argument(
+        "--refresh",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="seconds between --live refreshes (default 2)",
+    )
+    q.add_argument(
+        "--iterations",
+        type=int,
+        default=1,
+        metavar="N",
+        help="number of --live refreshes (default 1: one scrape)",
+    )
     q.set_defaults(run=_cmd_obs_top)
 
     q = obs.add_parser(
         "waterfall",
-        help="demand-sweep waterfall from a trace.jsonl stream",
+        help="demand-sweep waterfall from a trace.jsonl stream "
+        "(request waterfall for event-log streams)",
     )
     q.add_argument("trace", help="trace.jsonl written by --trace")
     q.add_argument("--limit", type=int, default=20, metavar="N")
     q.set_defaults(run=_cmd_obs_waterfall)
 
-    def add_endpoint(p):
-        p.add_argument(
-            "--socket",
-            metavar="PATH",
-            help="Unix-domain socket path of the daemon",
-        )
-        p.add_argument(
-            "--port", type=int, metavar="N", help="TCP port of the daemon"
-        )
-        p.add_argument(
-            "--host",
-            default="127.0.0.1",
-            metavar="HOST",
-            help="TCP host (with --port; default 127.0.0.1)",
-        )
+    q = obs.add_parser(
+        "tail",
+        help="print repro.events/1 records as JSONL — from an "
+        "event-log file, or live from a daemon (--socket/--port)",
+    )
+    q.add_argument(
+        "source",
+        nargs="?",
+        help="event-log JSONL written by `repro daemon start "
+        "--events` (omit to follow a live daemon)",
+    )
+    add_endpoint(q)
+    q.add_argument(
+        "--grep",
+        metavar="TEXT",
+        help="only events whose JSON rendering contains TEXT",
+    )
+    q.add_argument(
+        "--request",
+        metavar="ID",
+        help="only events for this request id",
+    )
+    q.add_argument(
+        "--max-events",
+        type=int,
+        metavar="N",
+        help="stop after N events (file mode: the last N)",
+    )
+    q.set_defaults(run=_cmd_obs_tail)
+
+    q = obs.add_parser(
+        "req",
+        help="reassemble one request's event chain (exit 0 iff the "
+        "chain is connected and time-ordered)",
+    )
+    q.add_argument("request_id", help="request id to reassemble")
+    q.add_argument(
+        "--events",
+        metavar="PATH",
+        help="event-log JSONL file (omit to scrape telemetry from a "
+        "daemon via --socket/--port)",
+    )
+    add_endpoint(q)
+    q.add_argument(
+        "--json",
+        action="store_true",
+        help="print the chain report as JSON",
+    )
+    q.set_defaults(run=_cmd_obs_req)
 
     p = sub.add_parser(
         "daemon",
@@ -1442,6 +1658,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="warm project graphs kept resident (LRU; default 8)",
     )
     p.add_argument(
+        "--events",
+        metavar="PATH",
+        help="mirror the request-correlated event log to a rotating "
+        "JSONL sink (start only)",
+    )
+    p.add_argument(
+        "--slow-ms",
+        type=float,
+        default=1000.0,
+        metavar="MS",
+        help="capture a span profile for requests slower than MS "
+        "milliseconds (start only; default 1000)",
+    )
+    p.add_argument(
         "--json", action="store_true", help="JSON output (status only)"
     )
     p.set_defaults(run=_cmd_daemon)
@@ -1461,6 +1691,7 @@ def build_parser() -> argparse.ArgumentParser:
             "sanitize",
             "source",
             "status",
+            "telemetry",
         ],
         help="request verb (see docs/DAEMON.md)",
     )
@@ -1478,6 +1709,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="read the define source from PATH (- for stdin)",
     )
     p.add_argument("--label", metavar="LABEL", help="query by label")
+    p.add_argument(
+        "--request-id",
+        metavar="ID",
+        help="use this request id instead of minting one (the id is "
+        "echoed to stderr either way)",
+    )
+    p.add_argument(
+        "--format",
+        choices=["json", "prometheus"],
+        help="telemetry output format (default json)",
+    )
     p.set_defaults(run=_cmd_client)
 
     return parser

@@ -15,6 +15,7 @@ from typing import Dict, Optional
 
 from repro.daemon import protocol
 from repro.errors import ReproError
+from repro.obs.events import new_request_id, validate_event
 
 
 class DaemonError(ReproError):
@@ -45,6 +46,10 @@ class DaemonClient:
             )
         self._file = self._sock.makefile("rwb")
         self._next_id = 0
+        #: Correlation id of the most recent request — mint one per
+        #: request unless the caller provides its own; ``repro obs req
+        #: <id>`` reassembles the server-side chain from it.
+        self.last_request_id: Optional[str] = None
 
     def close(self) -> None:
         try:
@@ -60,8 +65,15 @@ class DaemonClient:
 
     def request(self, verb: str, **fields) -> Dict[str, object]:
         """Send one request; return the ``result`` object of the ok
-        response. Raises :class:`DaemonError` on an error response."""
+        response. Raises :class:`DaemonError` on an error response.
+
+        Every request carries a ``request_id`` (caller-chosen via the
+        keyword, else freshly minted), kept in
+        :attr:`last_request_id`."""
         self._next_id += 1
+        if not fields.get("request_id"):
+            fields["request_id"] = new_request_id()
+        self.last_request_id = fields["request_id"]
         record = protocol.request_record(self._next_id, verb, **fields)
         protocol.validate_daemon_record(record)
         payload = (
@@ -116,6 +128,42 @@ class DaemonClient:
 
     def status(self):
         return self.request("status")
+
+    def telemetry(self, fmt: Optional[str] = None):
+        """One-shot observability scrape (``repro.events/1``)."""
+        fields = {}
+        if fmt is not None:
+            fields["fmt"] = fmt
+        return self.request("telemetry", **fields)
+
+    def subscribe(
+        self,
+        grep: Optional[str] = None,
+        watch: Optional[str] = None,
+    ):
+        """Attach a live event tail; yields validated event records.
+
+        After the ``ok`` response this connection is a one-way JSONL
+        stream — it cannot issue further requests. Iterate until
+        done, then :meth:`close`. Read timeouts end the iteration
+        (the daemon is idle), they are not errors.
+        """
+        fields = {}
+        if grep is not None:
+            fields["grep"] = grep
+        if watch is not None:
+            fields["watch"] = watch
+        self.request("subscribe", **fields)
+        while True:
+            try:
+                line = self._file.readline()
+            except (socket.timeout, OSError):
+                return
+            if not line:
+                return
+            if not line.strip():
+                continue
+            yield validate_event(json.loads(line.decode("utf-8")))
 
     def shutdown(self):
         return self.request("shutdown")

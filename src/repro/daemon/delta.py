@@ -59,6 +59,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import AnalysisBudgetExceeded, ScopeError
 from repro.core.lc import LCEngine, SubtransitiveGraph
+from repro.obs.events import emit_event, span as _span
 from repro.core.nodes import (
     CONTRAVARIANT_HEADS,
     COVARIANT_HEADS,
@@ -801,8 +802,9 @@ class ProjectAnalysis:
         self.defs = []
         self._fresh_state()
         try:
-            for name, source, raw in specs:
-                self._append(name, source, raw)
+            with _span("delta.replay"):
+                for name, source, raw in specs:
+                    self._append(name, source, raw)
             self._renumber_lines()
         except Exception:
             self._restore(saved)
@@ -872,7 +874,8 @@ class ProjectAnalysis:
         pre_specs = self._specs()
         entry = self._splice_append(name, source, raw)
         return self._apply_guarded(
-            "define", name, pre_specs, retracted=[], inserted=[entry]
+            "define", name, pre_specs, retracted=[], inserted=[entry],
+            mode="append",
         )
 
     def _splice_append(self, name: str, source: str, raw: Expr) -> DefEntry:
@@ -938,6 +941,7 @@ class ProjectAnalysis:
                 pre_specs,
                 retracted=[old],
                 inserted=[self.defs[index]],
+                mode="splice",
             )
         # Delta path: swap the spine node, re-index, retract + build.
         cls = Letrec if recursive else Let
@@ -967,12 +971,14 @@ class ProjectAnalysis:
         pre_specs: List[Tuple[str, str, Expr]],
         retracted: List[DefEntry],
         inserted: List[DefEntry],
+        mode: str = "delta",
     ) -> Dict[str, object]:
         """Run the graph delta; on failure replay the (already
         updated) definition list, and if even that fails restore the
         pre-operation program before re-raising."""
         try:
-            sizes = self._apply_delta(retracted, inserted)
+            with _span(f"delta.{mode}"):
+                sizes = self._apply_delta(retracted, inserted)
         except Exception as error:
             reason = (
                 "node-budget"
@@ -989,7 +995,7 @@ class ProjectAnalysis:
                 self._replay(pre_specs)
                 raise error
             return self._report(op, name, reason, {})
-        return self._report(op, name, None, sizes)
+        return self._report(op, name, None, sizes, mode=mode)
 
     def _report(
         self,
@@ -997,16 +1003,21 @@ class ProjectAnalysis:
         name: str,
         fallback_reason: Optional[str],
         sizes: Dict[str, int],
+        mode: str = "replay",
     ) -> Dict[str, object]:
         # Every mutation ends here: restamp chain positions so read
         # surfaces (lint above all) agree with a cold parse.
         self._renumber_lines()
         graph = self.engine.graph
-        return {
+        report = {
             "op": op,
             "name": name,
             "delta": fallback_reason is None,
             "delta_fallback_reason": fallback_reason,
+            #: How the mutation landed: ``splice`` (same-shape fast
+            #: path), ``delta`` (DRed retract/rederive), ``append``
+            #: (new trailing definition) or ``replay`` (full rebuild).
+            "mode": mode,
             "retracted_edges": sizes.get("retracted_edges", 0),
             "retracted_close_edges": sizes.get("retracted_close_edges", 0),
             "rederived_edges": sizes.get("rederived_edges", 0),
@@ -1017,6 +1028,18 @@ class ProjectAnalysis:
             "version": self.version,
             "definitions": len(self.defs),
         }
+        emit_event(
+            "delta",
+            component="delta",
+            op=op,
+            name=name,
+            mode=mode,
+            fallback_reason=fallback_reason,
+            retracted_edges=report["retracted_edges"],
+            rederived_edges=report["rederived_edges"],
+            version=self.version,
+        )
+        return report
 
     # -- read surfaces ---------------------------------------------------------
 

@@ -33,9 +33,26 @@ Verbs:
     The concrete mini-ML rendering of the project's current program —
     the exact text a cold run must parse to agree with ``analyze``.
 ``status``
-    Daemon-wide status: projects, versions, metrics snapshot.
+    Daemon-wide status: projects, versions, metrics snapshot, uptime
+    and event-log accounting.
+``telemetry``
+    One-shot observability scrape: metrics + histograms + recent
+    events + slow-request log, as a ``repro.events/1`` JSON envelope
+    or Prometheus-style text (``"format": "prometheus"``).
+``subscribe``
+    Stream the live event log: after the ``ok`` response, the daemon
+    keeps the connection open and writes one raw ``repro.events/1``
+    JSONL record per line as events are emitted (optionally filtered
+    by ``request_id``/``grep``). The stream ends when the client
+    disconnects or the daemon stops.
 ``shutdown``
     Stop the daemon after responding.
+
+Requests and responses may both carry an optional ``request_id``
+string: the correlation id threaded through the event log. Clients
+that omit it get one minted by the server and echoed on the response
+— an additive, version-compatible field (old clients never see it;
+old servers ignore it).
 
 :func:`validate_daemon_record` freezes the shape structurally, the
 same way :func:`repro.serve.protocol.validate_batch_record` does for
@@ -61,8 +78,13 @@ VERBS = (
     "sanitize",
     "source",
     "status",
+    "telemetry",
+    "subscribe",
     "shutdown",
 )
+
+#: Output formats accepted by the ``telemetry`` verb.
+TELEMETRY_FORMATS = ("json", "prometheus")
 
 #: Verbs that operate on a project (and therefore require one).
 PROJECT_VERBS = frozenset(
@@ -80,6 +102,10 @@ def request_record(
     name: Optional[str] = None,
     source: Optional[str] = None,
     label: Optional[str] = None,
+    request_id: Optional[str] = None,
+    fmt: Optional[str] = None,
+    grep: Optional[str] = None,
+    watch: Optional[str] = None,
 ) -> Dict[str, object]:
     record: Dict[str, object] = {
         "schema": SCHEMA,
@@ -95,6 +121,14 @@ def request_record(
         record["source"] = source
     if label is not None:
         record["label"] = label
+    if request_id is not None:
+        record["request_id"] = request_id
+    if fmt is not None:
+        record["format"] = fmt
+    if grep is not None:
+        record["grep"] = grep
+    if watch is not None:
+        record["watch"] = watch
     return record
 
 
@@ -184,6 +218,30 @@ def validate_daemon_record(record) -> Dict[str, object]:
                 "$.name",
                 "verb 'query' requires exactly one of name/label",
             )
+        if record.get("format") is not None:
+            _expect(
+                verb == "telemetry",
+                "$.format",
+                "format is only valid on 'telemetry' requests",
+            )
+            _expect(
+                record["format"] in TELEMETRY_FORMATS,
+                "$.format",
+                f"expected one of {TELEMETRY_FORMATS}, "
+                f"got {record['format']!r}",
+            )
+        for field in ("grep", "watch"):
+            if record.get(field) is not None:
+                _expect(
+                    verb == "subscribe",
+                    f"$.{field}",
+                    f"{field} is only valid on 'subscribe' requests",
+                )
+                _expect(
+                    isinstance(record[field], str) and bool(record[field]),
+                    f"$.{field}",
+                    "expected a non-empty string",
+                )
     else:  # response
         if record.get("id") is not None:
             _check_int(record["id"], "$.id")
@@ -222,6 +280,16 @@ def validate_daemon_record(record) -> Dict[str, object]:
                 "$.result",
                 "error response must carry result=null",
             )
+    # ``request_id`` is an additive optional field on both record
+    # kinds (the telemetry correlation id); absent on pre-telemetry
+    # frames, so no schema bump.
+    if record.get("request_id") is not None:
+        _expect(
+            isinstance(record["request_id"], str)
+            and bool(record["request_id"]),
+            "$.request_id",
+            "expected a non-empty string",
+        )
     return record
 
 

@@ -21,6 +21,7 @@ from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from repro.daemon.delta import ProjectAnalysis
+from repro.obs.events import emit_event
 from repro.obs.metrics import MetricsRegistry
 
 #: Default number of warm project graphs kept resident.
@@ -58,6 +59,10 @@ class ProjectRegistry:
         self._states: "OrderedDict[str, ProjectState]" = OrderedDict()
         #: Evicted projects' definition sources, awaiting rehydration.
         self._cold: Dict[str, List[Tuple[str, str]]] = {}
+        #: Per-project touch accounting: a ``get`` that found the
+        #: project warm vs one that had to build it (create or
+        #: rehydrate). Survives eviction so hit rates stay honest.
+        self.hits: Dict[str, Dict[str, int]] = {}
         self._c_created = self.registry.counter("daemon.projects.created")
         self._c_evicted = self.registry.counter("daemon.projects.evictions")
         self._c_rehydrated = self.registry.counter(
@@ -68,18 +73,28 @@ class ProjectRegistry:
         """The project's warm state — created, or rehydrated from its
         evicted definition history, on first touch. Marks it most
         recently used and evicts past capacity."""
+        hits = self.hits.setdefault(name, {"warm": 0, "cold": 0})
         state = self._states.get(name)
         if state is not None:
             self._states.move_to_end(name)
+            hits["warm"] += 1
+            emit_event("registry", component="registry",
+                       action="warm-hit", project=name)
             return state
+        hits["cold"] += 1
         state = ProjectState(name, self.graph_backend)
         history = self._cold.pop(name, None)
         if history is not None:
             self._c_rehydrated.inc()
+            emit_event("registry", component="registry",
+                       action="rehydrate", project=name,
+                       definitions=len(history))
             for def_name, source in history:
                 state.analysis.define(def_name, source)
         else:
             self._c_created.inc()
+            emit_event("registry", component="registry",
+                       action="create", project=name)
         self._states[name] = state
         self._evict()
         return state
@@ -103,6 +118,8 @@ class ProjectRegistry:
             state = self._states.pop(victim)
             self._cold[victim] = state.snapshot_defs()
             self._c_evicted.inc()
+            emit_event("registry", component="registry",
+                       action="evict", project=victim)
 
     def project_names(self) -> List[str]:
         """All known projects, warm first (LRU order), then cold."""
@@ -116,6 +133,9 @@ class ProjectRegistry:
                     "definitions": len(state.analysis.defs),
                     "version": state.analysis.version,
                     "fallbacks": dict(state.analysis.fallbacks),
+                    "hits": dict(
+                        self.hits.get(name, {"warm": 0, "cold": 0})
+                    ),
                 }
                 for name, state in self._states.items()
             ],

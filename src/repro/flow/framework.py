@@ -39,6 +39,7 @@ from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence
 
 from repro.errors import AnalysisBudgetExceeded
 from repro.obs import MetricsRegistry
+from repro.obs.events import emit_event, tally
 
 Item = Hashable
 
@@ -274,6 +275,13 @@ def run_flow(
     registry.counter(f"flow.updates.{analysis.name}").inc(
         updates[0]
     )
+    # Per-request telemetry: one event per *pass* with its totals,
+    # never one per worklist step (the E21 overhead budget).
+    tally("flow.steps", steps)
+    emit_event(
+        "flow", component="flow", analysis=analysis.name,
+        fused=False, steps=steps, updates=updates[0],
+    )
     if fuel is not None:
         registry.gauge(f"flow.fuel.budget.{analysis.name}").set(fuel)
         registry.gauge(f"flow.fuel.used.{analysis.name}").set(steps)
@@ -313,6 +321,13 @@ def run_fused(
     registry.gauge("flow.fused.analyses").set(len(analyses))
     for analysis, changed in zip(analyses, updates):
         registry.counter(f"flow.updates.{analysis.name}").inc(changed)
+    # One aggregate event per fused sweep (see run_flow).
+    tally("flow.steps", steps)
+    emit_event(
+        "flow", component="flow",
+        analysis=",".join(a.name for a in analyses),
+        fused=True, steps=steps, updates=sum(updates),
+    )
     if fuel is not None:
         registry.gauge("flow.fuel.budget.fused").set(fuel)
         registry.gauge("flow.fuel.used.fused").set(steps)

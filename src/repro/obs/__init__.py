@@ -24,7 +24,15 @@ single home for that accounting:
   and noise floors, with an exit-code verdict for CI gates;
 * :mod:`repro.obs.tracetools` — offline analytics over ``trace.jsonl``
   streams (hotspot tables, demand-sweep waterfall, edge-provenance
-  cross-checks against the metrics accounting).
+  cross-checks against the metrics accounting);
+* :mod:`repro.obs.events` — the ``repro.events/1`` request-correlated
+  event log: ring-buffered :class:`EventLog` with rotating JSONL
+  sink, the contextvars-based request binding every layer emits
+  through, and the telemetry-envelope validators;
+* :mod:`repro.obs.live` — live rendering over event logs and
+  ``telemetry`` scrapes (Prometheus text exposition, request-chain
+  reassembly for ``repro obs req``, the refreshing ``obs top --live``
+  table).
 
 See ``docs/OBSERVABILITY.md`` for the schema reference and CLI usage
 (``repro analyze --metrics out.json --trace out.jsonl``,
@@ -39,13 +47,32 @@ from repro.obs.baseline import (
     render_diff,
     validate_diff,
 )
+from repro.obs.events import (
+    EVENTS_SCHEMA,
+    EventLog,
+    RequestContext,
+    bind_request,
+    current_request,
+    emit_event,
+    new_request_id,
+    read_event_log,
+    validate_event,
+    validate_telemetry,
+)
 from repro.obs.export import (
     SCHEMA,
     collect_metrics,
     metrics_to_json,
     validate_metrics,
+    validate_registry_snapshot,
 )
-from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
+from repro.obs.live import (
+    render_live_top,
+    render_prometheus,
+    render_request,
+    request_chain,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, Timer
 from repro.obs.profile import Span, SpanProfiler, validate_folded
 from repro.obs.trace import EVENT_KINDS, NULL_TRACER, NullTracer, Tracer
 from repro.obs.tracetools import (
@@ -59,27 +86,44 @@ from repro.obs.tracetools import (
 __all__ = [
     "Counter",
     "DIFF_SCHEMA",
+    "EVENTS_SCHEMA",
     "EVENT_KINDS",
+    "EventLog",
     "Gauge",
+    "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "RequestContext",
     "SCHEMA",
     "Span",
     "SpanProfiler",
     "Timer",
     "Tracer",
+    "bind_request",
     "collect_metrics",
+    "current_request",
     "demand_waterfall",
     "diff_documents",
     "diff_exit_code",
+    "emit_event",
     "environment_provenance",
     "metrics_to_json",
+    "new_request_id",
     "node_hotspots",
     "provenance_check",
+    "read_event_log",
     "read_events",
     "render_diff",
+    "render_live_top",
+    "render_prometheus",
+    "render_request",
+    "request_chain",
     "rule_hotspots",
     "validate_diff",
+    "validate_event",
     "validate_folded",
+    "validate_metrics",
+    "validate_registry_snapshot",
+    "validate_telemetry",
 ]

@@ -226,6 +226,77 @@ def _check_number(value, path: str) -> None:
     )
 
 
+def validate_registry_snapshot(registry, path: str = "$.registry"):
+    """Validate one :meth:`MetricsRegistry.snapshot` dict.
+
+    Shared between the metrics document validator and the daemon's
+    ``telemetry`` scrape (``repro.events/1``), which embeds a bare
+    registry snapshot without the engine sections.
+    """
+    _expect(isinstance(registry, dict), path, "expected object")
+    for key in ("counters", "gauges", "timers"):
+        _expect(
+            isinstance(registry.get(key), dict),
+            f"{path}.{key}",
+            "expected object",
+        )
+    for name, count in registry["counters"].items():
+        _check_int(count, f"{path}.counters.{name}")
+    for name, timer in registry["timers"].items():
+        _expect(
+            isinstance(timer, dict),
+            f"{path}.timers.{name}",
+            "expected object",
+        )
+        for key in ("count", "total_seconds", "last_seconds"):
+            _check_number(timer.get(key), f"{path}.timers.{name}.{key}")
+        # Distribution fields (min/max/mean) arrived after the schema
+        # froze; they are optional — older documents without them stay
+        # valid, newer ones get their types checked. No schema bump:
+        # additive, and every required key above is unchanged.
+        for key in ("min_seconds", "max_seconds", "mean_seconds"):
+            if timer.get(key) is not None:
+                _check_number(timer[key], f"{path}.timers.{name}.{key}")
+    # ``histograms`` is likewise additive-optional: snapshots only
+    # carry the key once a histogram exists, and documents written
+    # before histograms existed stay valid.
+    histograms = registry.get("histograms")
+    if histograms is not None:
+        _expect(
+            isinstance(histograms, dict),
+            f"{path}.histograms",
+            "expected object",
+        )
+        for name, hist in histograms.items():
+            hist_path = f"{path}.histograms.{name}"
+            _expect(isinstance(hist, dict), hist_path, "expected object")
+            _check_int(hist.get("count"), f"{hist_path}.count")
+            for key in ("sum", "min", "max", "mean"):
+                _check_number(hist.get(key), f"{hist_path}.{key}")
+            buckets = hist.get("buckets")
+            _expect(
+                isinstance(buckets, dict),
+                f"{hist_path}.buckets",
+                "expected object",
+            )
+            total = 0
+            for bucket, count in buckets.items():
+                _check_int(count, f"{hist_path}.buckets.{bucket}")
+                _expect(
+                    bucket == "zero"
+                    or bucket.lstrip("-").isdigit(),
+                    f"{hist_path}.buckets.{bucket}",
+                    "bucket keys are 'zero' or a base-2 exponent",
+                )
+                total += count
+            _expect(
+                total == hist["count"],
+                f"{hist_path}.buckets",
+                "bucket counts must sum to count",
+            )
+    return registry
+
+
 def validate_metrics(document) -> Dict[str, object]:
     """Structurally validate a metrics document against the v1 schema.
 
@@ -312,35 +383,7 @@ def validate_metrics(document) -> Dict[str, object]:
     for key in ("count", "visited_nodes"):
         _check_int(queries.get(key), f"$.queries.{key}")
 
-    registry = document["registry"]
-    _expect(isinstance(registry, dict), "$.registry", "expected object")
-    for key in ("counters", "gauges", "timers"):
-        _expect(
-            isinstance(registry.get(key), dict),
-            f"$.registry.{key}",
-            "expected object",
-        )
-    for name, count in registry["counters"].items():
-        _check_int(count, f"$.registry.counters.{name}")
-    for name, timer in registry["timers"].items():
-        _expect(
-            isinstance(timer, dict),
-            f"$.registry.timers.{name}",
-            "expected object",
-        )
-        for key in ("count", "total_seconds", "last_seconds"):
-            _check_number(
-                timer.get(key), f"$.registry.timers.{name}.{key}"
-            )
-        # Distribution fields (min/max/mean) arrived after the schema
-        # froze; they are optional — older documents without them stay
-        # valid, newer ones get their types checked. No schema bump:
-        # additive, and every required key above is unchanged.
-        for key in ("min_seconds", "max_seconds", "mean_seconds"):
-            if timer.get(key) is not None:
-                _check_number(
-                    timer[key], f"$.registry.timers.{name}.{key}"
-                )
+    validate_registry_snapshot(document["registry"], "$.registry")
 
     session = document.get("session")
     if session is not None:

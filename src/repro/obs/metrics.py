@@ -10,7 +10,11 @@ same numbers. :class:`MetricsRegistry` is the one place they live:
 * :class:`Gauge` — a point-in-time level (node budget, nodes created);
 * :class:`Timer` — accumulated wall-clock sections measured with the
   monotonic ``time.perf_counter`` clock (build phase, close phase,
-  query time).
+  query time);
+* :class:`Histogram` — a fixed-boundary log2 distribution (request
+  latencies, retraction counts, fused-step totals) whose buckets are
+  powers of two, so merging two histograms is bucket-wise addition
+  and boundaries never depend on the data seen so far.
 
 Design constraints, in order:
 
@@ -31,8 +35,9 @@ concurrent analyses never share counters.
 
 from __future__ import annotations
 
+import math
 import time
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 
 class Counter:
@@ -136,6 +141,137 @@ class Timer:
         )
 
 
+def bucket_key(value) -> str:
+    """The log2 bucket holding ``value``.
+
+    Buckets have *fixed* boundaries — powers of two — so the key for a
+    value never depends on what else the histogram has seen:
+
+    * ``"zero"`` holds every value ``<= 0`` (empty deltas, zero
+      retractions);
+    * key ``str(e)`` holds ``2**(e-1) <= value < 2**e`` (the binary
+      exponent from :func:`math.frexp`, whose mantissa lives in
+      ``[0.5, 1)`` — so each power of two opens its own bucket).
+
+    Fixed boundaries are what make :meth:`Histogram.merge` a plain
+    bucket-wise addition (associative and commutative), which in turn
+    lets per-worker histograms be combined in any order.
+    """
+    if value <= 0:
+        return "zero"
+    return str(math.frexp(value)[1])
+
+
+def bucket_bounds(key: str) -> Tuple[float, float]:
+    """The interval covered by bucket ``key``: ``[lo, hi)`` for
+    exponent buckets, ``(-inf, 0]`` for ``"zero"``. ``hi`` is the
+    inclusive upper bound quantiles and Prometheus ``le`` labels
+    report (every sample in the bucket is ``< hi``)."""
+    if key == "zero":
+        return (float("-inf"), 0.0)
+    exponent = int(key)
+    return (2.0 ** (exponent - 1), 2.0 ** exponent)
+
+
+class Histogram:
+    """A log2 fixed-boundary distribution of non-negative samples.
+
+    ``observe`` is one ``frexp`` plus a dict increment — cheap enough
+    to sit on the daemon's per-request path. The snapshot keeps the
+    exact ``count``/``sum``/``min``/``max`` alongside the buckets so
+    means are exact even though quantiles are bucket-resolution.
+    """
+
+    __slots__ = ("name", "count", "sum", "min", "max", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        #: Extremes over all samples; 0.0 until the first observation
+        #: (mirroring :class:`Timer`).
+        self.min = 0.0
+        self.max = 0.0
+        self.buckets: Dict[str, int] = {}
+
+    def observe(self, value) -> None:
+        value = float(value)
+        if self.count == 0 or value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.count += 1
+        self.sum += value
+        key = bucket_key(value)
+        self.buckets[key] = self.buckets.get(key, 0) + 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (bucket-wise addition)."""
+        if other.count == 0:
+            return
+        if self.count == 0 or other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        self.count += other.count
+        self.sum += other.sum
+        for key, count in other.buckets.items():
+            self.buckets[key] = self.buckets.get(key, 0) + count
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Upper bucket bound at quantile ``q`` (None when empty).
+
+        Bucket-resolution: the true value lies within a factor of two
+        below the returned bound (exact for the ``zero`` bucket).
+        """
+        if not self.count:
+            return None
+        rank = q * self.count
+        seen = 0
+
+        def order(key: str) -> float:
+            return float("-inf") if key == "zero" else float(key)
+
+        for key in sorted(self.buckets, key=order):
+            seen += self.buckets[key]
+            if seen >= rank:
+                return bucket_bounds(key)[1]
+        return self.max
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {
+                key: self.buckets[key] for key in sorted(self.buckets)
+            },
+        }
+
+    @classmethod
+    def from_snapshot(cls, name: str, doc) -> "Histogram":
+        """Rebuild a histogram from :meth:`snapshot` output."""
+        hist = cls(name)
+        hist.count = int(doc["count"])
+        hist.sum = float(doc["sum"])
+        hist.min = float(doc["min"])
+        hist.max = float(doc["max"])
+        hist.buckets = {
+            str(key): int(count)
+            for key, count in dict(doc["buckets"]).items()
+        }
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name} count={self.count}>"
+
+
 class MetricsRegistry:
     """A namespace of named counters, gauges and timers.
 
@@ -150,6 +286,7 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._timers: Dict[str, Timer] = {}
+        self._histograms: Dict[str, Histogram] = {}
 
     # -- get-or-create -----------------------------------------------------
 
@@ -171,6 +308,12 @@ class MetricsRegistry:
             metric = self._timers[name] = Timer(name)
         return metric
 
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
     # -- inspection --------------------------------------------------------
 
     def counters(self) -> Iterator[Tuple[str, int]]:
@@ -178,8 +321,14 @@ class MetricsRegistry:
             yield name, metric.value
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
-        """All metrics as plain JSON-safe nested dicts (sorted keys)."""
-        return {
+        """All metrics as plain JSON-safe nested dicts (sorted keys).
+
+        The ``histograms`` section appears only when at least one
+        histogram exists: registries that never create one (the whole
+        pre-telemetry surface — engine stats, batch summaries, warm
+        and cold daemon envelopes) keep byte-identical snapshots.
+        """
+        document = {
             "counters": {
                 name: self._counters[name].value
                 for name in sorted(self._counters)
@@ -200,6 +349,12 @@ class MetricsRegistry:
                 for name, timer in sorted(self._timers.items())
             },
         }
+        if self._histograms:
+            document["histograms"] = {
+                name: hist.snapshot()
+                for name, hist in sorted(self._histograms.items())
+            }
+        return document
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -22,6 +22,13 @@ a finished trace file, long after the analysed process exited:
 
 The CLI surfaces these as ``repro obs top`` and
 ``repro obs waterfall`` (see ``docs/OBSERVABILITY.md``).
+
+Two JSONL dialects share this reader: PR-5 engine traces
+(``trace.jsonl``) and the ``repro.events/1`` request-correlated event
+log (:mod:`repro.obs.events`). :func:`read_events` sniffs each frame
+— event-log records carry ``request_id``, trace records never do —
+so ``repro obs top``/``waterfall`` work on either file; the rendering
+entry points dispatch on :func:`is_event_stream`.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional
 
+from repro.obs.events import looks_like_event, validate_event
 from repro.obs.trace import EVENT_KINDS
 
 
@@ -59,6 +67,16 @@ def read_events(source) -> List[Dict[str, object]]:
             event = item
         if not isinstance(event, dict):
             raise ValueError(f"trace line {lineno}: expected an object")
+        if looks_like_event(event):
+            # A repro.events/1 record (request-correlated event log).
+            try:
+                validate_event(event)
+            except ValueError as error:
+                raise ValueError(
+                    f"trace line {lineno}: {error}"
+                ) from None
+            events.append(event)
+            continue
         seq = event.get("seq")
         if not isinstance(seq, int) or isinstance(seq, bool):
             raise ValueError(f"trace line {lineno}: missing integer 'seq'")
@@ -69,6 +87,12 @@ def read_events(source) -> List[Dict[str, object]]:
             )
         events.append(event)
     return events
+
+
+def is_event_stream(events: List[Dict[str, object]]) -> bool:
+    """True when the stream is ``repro.events/1`` (request-correlated
+    event log) rather than a PR-5 engine trace."""
+    return bool(events) and all(looks_like_event(e) for e in events)
 
 
 def completeness(events: List[Dict[str, object]]) -> Dict[str, object]:
@@ -261,8 +285,16 @@ def render_top(
     metrics=None,
     limit: int = 10,
 ) -> str:
-    """The ``repro obs top`` report: rules, nodes, provenance."""
+    """The ``repro obs top`` report: rules, nodes, provenance.
+
+    Event-log streams get the request-centric report instead (per
+    kind/component counts, per-verb latency, slowest requests)."""
     from repro.bench import Table
+
+    if is_event_stream(events):
+        from repro.obs.live import render_events_top
+
+        return render_events_top(events, limit=limit)
 
     lines: List[str] = []
     rules = rule_hotspots(events)
@@ -306,8 +338,16 @@ def render_top(
 def render_waterfall(
     events: List[Dict[str, object]], limit: int = 20
 ) -> str:
-    """The ``repro obs waterfall`` report: the demand cascade."""
+    """The ``repro obs waterfall`` report: the demand cascade.
+
+    Event-log streams get the request waterfall instead: one row per
+    request with the delta/flow work it triggered."""
     from repro.bench import Table
+
+    if is_event_stream(events):
+        from repro.obs.live import render_request_waterfall
+
+        return render_request_waterfall(events, limit=limit)
 
     rows = demand_waterfall(events)
     table = Table(

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.export import result_fingerprint
 from repro.obs import MetricsRegistry
+from repro.obs.events import emit_event, new_request_id
 from repro.serve.cache import ResultCache, cache_key, canonical_options
 from repro.serve.jobs import (
     STATUS_DEGRADED,
@@ -209,9 +210,23 @@ class BatchRunner:
         batch_timer = self.registry.timer("serve.batch.seconds")
         with batch_timer:
             results = self._run(jobs)
+        latency = self.registry.histogram("serve.jobs.latency")
         for result in results:
             self.registry.counter("serve.jobs.total").inc()
             self.registry.counter(f"serve.jobs.{result.status}").inc()
+            latency.observe(result.seconds)
+            # Per-job telemetry: each job gets its own request id on
+            # the batch-level event log (no-op when none is bound).
+            emit_event(
+                "job",
+                component="serve",
+                request_id=new_request_id(),
+                path=result.path,
+                status=result.status,
+                cache=result.cache,
+                seconds=result.seconds,
+                attempts=result.attempts,
+            )
         return BatchResult(
             results,
             seconds=batch_timer.last_seconds,

@@ -24,7 +24,12 @@ from repro.obs import (
     rule_hotspots,
     validate_metrics,
 )
-from repro.obs.tracetools import completeness, render_top, render_waterfall
+from repro.obs.tracetools import (
+    completeness,
+    is_event_stream,
+    render_top,
+    render_waterfall,
+)
 from repro.workloads.cubic import make_cubic_program
 
 SOURCE = (
@@ -176,6 +181,82 @@ class TestProvenance:
         assert "rule hotspots" in top
         assert "provenance" in top
         assert "demand waterfall" in render_waterfall(events, limit=3)
+
+
+class TestEventLogDialect:
+    """The reader sniffs ``repro.events/1`` frames, so the same CLI
+    (``obs top`` / ``obs waterfall``) covers both JSONL dialects."""
+
+    @pytest.fixture()
+    def event_log(self, tmp_path):
+        from repro.obs import EventLog
+
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(sink_path=path)
+        rid = "req-0001"
+        log.emit(
+            "request", request_id=rid, component="server",
+            verb="define", project="demo",
+        )
+        log.emit(
+            "delta", request_id=rid, component="delta",
+            op="define", name="f", retracted_edges=0,
+        )
+        log.emit(
+            "flow", request_id=rid, component="flow",
+            steps=12, fused=True,
+        )
+        log.emit(
+            "response", request_id=rid, component="server",
+            verb="define", status="ok", seconds=0.004,
+        )
+        log.flush()
+        log.close()
+        return path, log.events()
+
+    def test_read_events_sniffs_event_frames(self, event_log):
+        path, emitted = event_log
+        events = read_events(path)
+        assert events == emitted
+        assert is_event_stream(events)
+        # Engine traces are not mistaken for event logs.
+        assert not is_event_stream(
+            [{"seq": 0, "kind": "demand", "node": "x"}]
+        )
+
+    def test_read_events_rejects_malformed_event_frame(self, event_log):
+        path, _ = event_log
+        bad = dict(read_events(path)[0])
+        bad["seq"] = "zero"
+        with pytest.raises(ValueError, match="line 1"):
+            read_events([bad])
+
+    def test_render_top_dispatches_to_request_report(self, event_log):
+        path, _ = event_log
+        top = render_top(read_events(path), limit=5)
+        assert "event mix" in top
+        assert "request latency" in top
+        # And never the engine-trace report.
+        assert "rule hotspots" not in top
+
+    def test_render_waterfall_dispatches_to_request_rows(self, event_log):
+        path, _ = event_log
+        out = render_waterfall(read_events(path), limit=5)
+        assert "request waterfall" in out
+        assert "req-0001" in out
+        assert "demand waterfall" not in out
+
+    def test_event_cli_paths(self, event_log, capsys):
+        path, _ = event_log
+        assert main(["obs", "top", path]) == 0
+        assert "request latency" in capsys.readouterr().out
+        assert main(["obs", "waterfall", path]) == 0
+        assert "request waterfall" in capsys.readouterr().out
+        assert main(["obs", "tail", path, "--grep", "delta"]) == 0
+        tail = capsys.readouterr().out
+        assert '"kind": "delta"' in tail or '"kind":"delta"' in tail
+        assert main(["obs", "req", "req-0001", "--events", path]) == 0
+        assert "req-0001" in capsys.readouterr().out
 
 
 class TestObsTraceCli:
